@@ -1,0 +1,105 @@
+// Command fpvafig regenerates the paper's figures as ASCII diagrams:
+//
+//	fpvafig -fig 8     direct vs hierarchical flow paths on a full 10x10
+//	fpvafig -fig 9     the flow paths of the 20x20 array with channels
+//	                   and obstacles
+//	fpvafig -cuts 5x5  the cut-sets of a benchmark array, one per diagram
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/cutset"
+	"repro/internal/flowpath"
+	"repro/internal/grid"
+	"repro/internal/render"
+)
+
+func main() {
+	var (
+		fig  = flag.Int("fig", 0, "figure number to regenerate (8 or 9)")
+		cuts = flag.String("cuts", "", "render the cut-sets of a Table I array")
+	)
+	flag.Parse()
+	if err := run(*fig, *cuts); err != nil {
+		fmt.Fprintln(os.Stderr, "fpvafig:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig int, cuts string) error {
+	switch {
+	case fig == 8:
+		return fig8()
+	case fig == 9:
+		return fig9()
+	case cuts != "":
+		return renderCuts(cuts)
+	}
+	return fmt.Errorf("specify -fig 8, -fig 9, or -cuts <case>")
+}
+
+func fig8() error {
+	a, err := grid.NewStandard(10, 10)
+	if err != nil {
+		return err
+	}
+	direct, err := flowpath.Generate(a, flowpath.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Fig. 8(a) — direct model: %d flow paths on the full 10x10\n\n", len(direct.Paths))
+	fmt.Println(render.Paths(a, direct.Paths))
+	hier, err := flowpath.Generate(a, flowpath.Options{StripRows: 5, StripCols: 5})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Fig. 8(b) — hierarchical model (5x5 blocks): %d flow paths\n\n", len(hier.Paths))
+	fmt.Println(render.Paths(a, hier.Paths))
+	fmt.Println(render.Legend())
+	return nil
+}
+
+func fig9() error {
+	c, err := bench.FindCase("20x20")
+	if err != nil {
+		return err
+	}
+	a, err := c.Build()
+	if err != nil {
+		return err
+	}
+	res, err := flowpath.Generate(a, flowpath.Options{StripRows: 5, StripCols: 5})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Fig. 9 — %d flow paths covering the 20x20 array (%d valves) with channels and obstacles\n\n",
+		len(res.Paths), a.NumNormal())
+	fmt.Println(render.Paths(a, res.Paths))
+	fmt.Println(render.Legend())
+	return nil
+}
+
+func renderCuts(name string) error {
+	c, err := bench.FindCase(name)
+	if err != nil {
+		return err
+	}
+	a, err := c.Build()
+	if err != nil {
+		return err
+	}
+	res, err := cutset.Generate(a, cutset.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d cut-sets for %v\n\n", len(res.Cuts), a)
+	for i, cut := range res.Cuts {
+		fmt.Printf("cut %d (%d valves):\n%s\n", i, len(cut.Valves), render.Cut(a, cut))
+	}
+	fmt.Println(render.Legend())
+	return nil
+}

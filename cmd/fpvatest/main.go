@@ -1,0 +1,113 @@
+// Command fpvatest generates a compact test set for an FPVA: flow-path
+// vectors (stuck-at-0), cut-set vectors (stuck-at-1) and control-leakage
+// vectors, in the hierarchical flow of the paper's evaluation.
+//
+// Usage:
+//
+//	fpvatest -table1                  reproduce Table I (all five arrays)
+//	fpvatest -case 20x20              one Table I array, stats + vectors
+//	fpvatest -rows 8 -cols 8          a full custom array
+//	fpvatest -in chip.fpva            an array in the text format
+//	fpvatest -case 5x5 -dump          also print every vector's open valves
+//	fpvatest -case 5x5 -verify        exhaustive 1- and 2-fault check
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/grid"
+)
+
+func main() {
+	var (
+		table1    = flag.Bool("table1", false, "reproduce Table I across all benchmark arrays")
+		caseName  = flag.String("case", "", "one Table I array (5x5, 10x10, 15x15, 20x20, 30x30)")
+		rows      = flag.Int("rows", 0, "custom full array rows")
+		cols      = flag.Int("cols", 0, "custom full array columns")
+		inFile    = flag.String("in", "", "read an array in the text format")
+		direct    = flag.Bool("direct", false, "disable the hierarchical 5x5 decomposition")
+		blockSize = flag.Int("block", 5, "hierarchical block edge length")
+		dump      = flag.Bool("dump", false, "print each vector's open valves")
+		verify    = flag.Bool("verify", false, "exhaustively verify the 1- and 2-fault guarantees")
+	)
+	flag.Parse()
+	if err := run(*table1, *caseName, *rows, *cols, *inFile, *direct, *blockSize, *dump, *verify); err != nil {
+		fmt.Fprintln(os.Stderr, "fpvatest:", err)
+		os.Exit(1)
+	}
+}
+
+func run(table1 bool, caseName string, rows, cols int, inFile string,
+	direct bool, blockSize int, dump, verify bool) error {
+	if table1 {
+		out, err := bench.Table1()
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+	}
+	a, err := loadArray(caseName, rows, cols, inFile)
+	if err != nil {
+		return err
+	}
+	ts, err := core.Generate(a, core.Config{
+		Hierarchical: !direct,
+		BlockSize:    blockSize,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(a)
+	fmt.Println(ts.Stats)
+	fmt.Printf("baseline (one valve at a time) would need %d vectors\n", bench.BaselineCount(a))
+	if len(ts.UncoveredPath) > 0 {
+		fmt.Printf("WARNING: stuck-at-0 untestable valves: %v\n", ts.UncoveredPath)
+	}
+	if len(ts.UncoveredCut) > 0 {
+		fmt.Printf("WARNING: stuck-at-1 untestable valves: %v\n", ts.UncoveredCut)
+	}
+	if dump {
+		for _, vec := range ts.AllVectors() {
+			fmt.Printf("%-10s (%v): open %v\n", vec.Name, vec.Kind, vec.OpenValves())
+		}
+	}
+	if verify {
+		singles, err := ts.VerifySingleFaults()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("single-fault check: %d escapes\n", len(singles))
+		pairs, err := ts.VerifyDoubleFaults(0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("double-fault check: %d escapes\n", len(pairs))
+	}
+	return nil
+}
+
+func loadArray(caseName string, rows, cols int, inFile string) (*grid.Array, error) {
+	switch {
+	case caseName != "":
+		c, err := bench.FindCase(caseName)
+		if err != nil {
+			return nil, err
+		}
+		return c.Build()
+	case inFile != "":
+		f, err := os.Open(inFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return grid.Parse(f)
+	case rows > 0 && cols > 0:
+		return grid.NewStandard(rows, cols)
+	}
+	return nil, fmt.Errorf("specify -table1, -case, -in, or -rows/-cols (see -h)")
+}

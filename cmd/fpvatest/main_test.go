@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func TestLoadArrayCase(t *testing.T) {
+	a, err := loadArray("5x5", 0, 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumNormal() != 39 {
+		t.Errorf("nv=%d", a.NumNormal())
+	}
+}
+
+func TestLoadArrayDims(t *testing.T) {
+	a, err := loadArray("", 4, 6, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NR() != 4 || a.NC() != 6 {
+		t.Errorf("dims %dx%d", a.NR(), a.NC())
+	}
+}
+
+func TestLoadArrayFile(t *testing.T) {
+	src := grid.MustNewStandard(3, 3)
+	path := filepath.Join(t.TempDir(), "chip.fpva")
+	if err := os.WriteFile(path, []byte(grid.Marshal(src)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a, err := loadArray("", 0, 0, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumNormal() != src.NumNormal() {
+		t.Error("file round trip lost valves")
+	}
+}
+
+func TestLoadArrayErrors(t *testing.T) {
+	if _, err := loadArray("", 0, 0, ""); err == nil {
+		t.Error("no selector: want error")
+	}
+	if _, err := loadArray("9x9", 0, 0, ""); err == nil {
+		t.Error("unknown case: want error")
+	}
+	if _, err := loadArray("", 0, 0, "/does/not/exist"); err == nil {
+		t.Error("missing file: want error")
+	}
+}
+
+func TestRunVerifySmall(t *testing.T) {
+	// End-to-end: generate + exhaustive verification on the smallest case.
+	if err := run(false, "5x5", 0, 0, "", false, 5, false, true); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,14 @@
+// Package repro is a from-scratch Go reproduction of "Testing Microfluidic
+// Fully Programmable Valve Arrays (FPVAs)" (Liu, Li, Bhattacharya,
+// Chakrabarty, Ho, Schlichtmann — DATE 2017, arXiv:1705.04996).
+//
+// The library lives under internal/: the FPVA array model (grid), a graph
+// library (graph), an LP/ILP solver stack (lp, ilp), the flow-path, cut-set
+// and control-leakage test generators (flowpath, cutset, leakage), the
+// pressure-propagation fault simulator (sim), the top-level API (core), the
+// benchmark harness (bench) and ASCII figure rendering (render). See
+// README.md, DESIGN.md and EXPERIMENTS.md.
+//
+// The benchmarks in bench_test.go regenerate every table and figure of the
+// paper's evaluation section.
+package repro

@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestTable1CasesValveCounts(t *testing.T) {
+	// The reconstruction invariant: every benchmark array has exactly the
+	// paper's nv.
+	for _, c := range Table1Cases() {
+		a, err := c.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if got := a.NumNormal(); got != c.PaperNV {
+			t.Errorf("%s: nv=%d, paper %d", c.Name, got, c.PaperNV)
+		}
+		if err := a.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+}
+
+func TestFindCase(t *testing.T) {
+	c, err := FindCase("20x20")
+	if err != nil || c.Dim != 20 {
+		t.Errorf("FindCase: %+v, %v", c, err)
+	}
+	if _, err := FindCase("7x7"); err == nil {
+		t.Error("unknown case accepted")
+	}
+}
+
+func TestRowSmall(t *testing.T) {
+	c, err := FindCase("5x5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := Row(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Stats.NV != 39 {
+		t.Errorf("NV=%d", ts.Stats.NV)
+	}
+	if len(ts.UncoveredPath) > 0 || len(ts.UncoveredCut) > 0 {
+		t.Errorf("uncovered: %v / %v", ts.UncoveredPath, ts.UncoveredCut)
+	}
+	// Full detection on the benchmark array.
+	escaped, err := ts.VerifySingleFaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(escaped) > 0 {
+		t.Errorf("undetected single faults: %v", escaped)
+	}
+}
+
+func TestRowMedium(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium benchmark array")
+	}
+	c, err := FindCase("10x10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := Row(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts.UncoveredPath) > 0 || len(ts.UncoveredCut) > 0 {
+		t.Fatalf("uncovered: %v / %v", ts.UncoveredPath, ts.UncoveredCut)
+	}
+	escaped, err := ts.VerifySingleFaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(escaped) > 0 {
+		t.Errorf("undetected single faults: %v", escaped)
+	}
+	// Total vector count should scale like ~2*sqrt(nv), far below the
+	// baseline's 2*nv.
+	if ts.Stats.N >= BaselineCount(ts.Array) {
+		t.Errorf("N=%d not better than baseline %d", ts.Stats.N, BaselineCount(ts.Array))
+	}
+}
+
+func TestBaselineVectors(t *testing.T) {
+	c, err := FindCase("5x5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := c.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs, err := BaselineVectors(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := BaselineCount(a)
+	if len(vecs) != want {
+		t.Errorf("%d baseline vectors, want %d", len(vecs), want)
+	}
+	// The baseline must detect all single faults too.
+	s := sim.MustNew(a)
+	for _, f := range sim.AllSingleFaults(a) {
+		if !s.Detects(vecs, []sim.Fault{f}) {
+			t.Errorf("baseline misses %v", f)
+		}
+	}
+}
+
+func TestCampaignSeries(t *testing.T) {
+	c, err := FindCase("5x5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := Row(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := CampaignSeries(ts, 200, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 5 {
+		t.Fatalf("%d series entries", len(series))
+	}
+	for k, r := range series {
+		if r.Detected != r.Trials {
+			t.Errorf("k=%d: %d/%d detected; escapes %v", k+1, r.Detected, r.Trials, r.Escapes)
+		}
+	}
+}
+
+func TestTable1Renders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs all five arrays")
+	}
+	out, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"5x5", "10x10", "15x15", "20x20", "30x30", "nv"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	t.Logf("\n%s", out)
+}

@@ -1,0 +1,192 @@
+// Package core is the top-level test-generation API: it combines the three
+// vector families of the paper — flow paths (stuck-at-0), cut-sets
+// (stuck-at-1) and control-leakage vectors — into one compact test set for
+// an FPVA, and verifies the paper's detection guarantees against the fault
+// simulator.
+//
+// Typical use:
+//
+//	a := grid.MustNewStandard(10, 10)
+//	ts, err := core.Generate(a, core.Config{Hierarchical: true})
+//	...
+//	res, err := ts.Campaign(sim.CampaignConfig{Trials: 10000, NumFaults: 2, Seed: 1})
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cutset"
+	"repro/internal/flowpath"
+	"repro/internal/grid"
+	"repro/internal/leakage"
+	"repro/internal/sim"
+)
+
+// Config selects generation strategy.
+type Config struct {
+	// Hierarchical enables the paper's 5x5 subblock decomposition
+	// (Sec. III-B-4). BlockSize overrides the block edge (default 5).
+	Hierarchical bool
+	BlockSize    int
+	// FlowPath / CutSet override the engine defaults for ablation studies.
+	FlowPath flowpath.Options
+	CutSet   cutset.Options
+	// SkipLeakage omits the control-layer leakage vectors (the paper's
+	// optional nl family).
+	SkipLeakage bool
+}
+
+// Stats summarizes a generated test set in the shape of a Table I row.
+type Stats struct {
+	NV         int           // valves under test
+	NP, NC, NL int           // vector counts per family
+	N          int           // total vectors
+	TP, TC, TL time.Duration // generation times per family
+	T          time.Duration // total generation time
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("nv=%d np=%d nc=%d nl=%d N=%d (tp=%v tc=%v tl=%v T=%v)",
+		s.NV, s.NP, s.NC, s.NL, s.N, s.TP.Round(time.Microsecond),
+		s.TC.Round(time.Microsecond), s.TL.Round(time.Microsecond),
+		s.T.Round(time.Microsecond))
+}
+
+// TestSet is a complete generated test set for one array.
+type TestSet struct {
+	Array       *grid.Array
+	Paths       []*flowpath.Path
+	Cuts        []*cutset.Cut
+	LeakPairs   []leakage.Pair
+	PathVectors []*sim.Vector
+	CutVectors  []*sim.Vector
+	LeakVectors []*sim.Vector
+	// UncoveredPath / UncoveredCut list valves the respective family could
+	// not reach (only possible when obstacles wall a valve in).
+	UncoveredPath []grid.ValveID
+	UncoveredCut  []grid.ValveID
+	Stats         Stats
+}
+
+// AllVectors returns the combined vector set in application order: paths,
+// cuts, leakage.
+func (ts *TestSet) AllVectors() []*sim.Vector {
+	out := make([]*sim.Vector, 0, len(ts.PathVectors)+len(ts.CutVectors)+len(ts.LeakVectors))
+	out = append(out, ts.PathVectors...)
+	out = append(out, ts.CutVectors...)
+	out = append(out, ts.LeakVectors...)
+	return out
+}
+
+// Generate runs the full test-generation flow on the array.
+func Generate(a *grid.Array, cfg Config) (*TestSet, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	fpOpt := cfg.FlowPath
+	if cfg.Hierarchical && fpOpt.StripRows == 0 && fpOpt.StripCols == 0 {
+		bs := cfg.BlockSize
+		if bs <= 0 {
+			bs = 5
+		}
+		fpOpt.StripRows, fpOpt.StripCols = bs, bs
+	}
+	ts := &TestSet{Array: a}
+	ts.Stats.NV = a.NumNormal()
+
+	t0 := time.Now()
+	fp, err := flowpath.Generate(a, fpOpt)
+	if err != nil {
+		return nil, fmt.Errorf("core: flow paths: %w", err)
+	}
+	ts.Stats.TP = time.Since(t0)
+	ts.Paths = fp.Paths
+	ts.PathVectors = fp.Vectors(a)
+	ts.UncoveredPath = fp.Uncovered
+
+	t0 = time.Now()
+	cs, err := cutset.Generate(a, cfg.CutSet)
+	if err != nil {
+		return nil, fmt.Errorf("core: cut-sets: %w", err)
+	}
+	ts.Stats.TC = time.Since(t0)
+	ts.Cuts = cs.Cuts
+	ts.CutVectors = cs.Vectors(a)
+	ts.UncoveredCut = cs.Uncovered
+
+	if !cfg.SkipLeakage {
+		t0 = time.Now()
+		lk, err := leakage.Generate(a, ts.PathVectors)
+		if err != nil {
+			return nil, fmt.Errorf("core: leakage: %w", err)
+		}
+		ts.Stats.TL = time.Since(t0)
+		ts.LeakPairs = lk.Pairs
+		ts.LeakVectors = lk.Vectors
+	}
+	ts.Stats.NP = len(ts.PathVectors)
+	ts.Stats.NC = len(ts.CutVectors)
+	ts.Stats.NL = len(ts.LeakVectors)
+	ts.Stats.N = ts.Stats.NP + ts.Stats.NC + ts.Stats.NL
+	ts.Stats.T = ts.Stats.TP + ts.Stats.TC + ts.Stats.TL
+	return ts, nil
+}
+
+// Campaign runs a random fault-injection campaign (the paper's Sec. IV
+// study) against the full vector set.
+func (ts *TestSet) Campaign(cfg sim.CampaignConfig) (sim.CampaignResult, error) {
+	s, err := sim.New(ts.Array)
+	if err != nil {
+		return sim.CampaignResult{}, err
+	}
+	return s.RunCampaign(ts.AllVectors(), cfg), nil
+}
+
+// VerifySingleFaults exhaustively checks every stuck-at fault on every
+// Normal valve and returns the undetected ones. On a fully covered array
+// the result is empty — the paper's single-fault guarantee.
+func (ts *TestSet) VerifySingleFaults() ([]sim.Fault, error) {
+	s, err := sim.New(ts.Array)
+	if err != nil {
+		return nil, err
+	}
+	vecs := ts.AllVectors()
+	var escaped []sim.Fault
+	for _, f := range sim.AllSingleFaults(ts.Array) {
+		if !s.Detects(vecs, []sim.Fault{f}) {
+			escaped = append(escaped, f)
+		}
+	}
+	return escaped, nil
+}
+
+// VerifyDoubleFaults exhaustively checks every pair of stuck-at faults on
+// distinct valves (the paper's two-fault guarantee, Sec. III-A/III-C) and
+// returns undetected pairs. Cost is O(nv^2) simulations; intended for the
+// small arrays. maxPairs > 0 truncates the scan for spot checks.
+func (ts *TestSet) VerifyDoubleFaults(maxPairs int) ([][2]sim.Fault, error) {
+	s, err := sim.New(ts.Array)
+	if err != nil {
+		return nil, err
+	}
+	vecs := ts.AllVectors()
+	singles := sim.AllSingleFaults(ts.Array)
+	var escaped [][2]sim.Fault
+	checked := 0
+	for i, f1 := range singles {
+		for _, f2 := range singles[i+1:] {
+			if f1.A == f2.A {
+				continue // contradictory faults on one valve
+			}
+			if maxPairs > 0 && checked >= maxPairs {
+				return escaped, nil
+			}
+			checked++
+			if !s.Detects(vecs, []sim.Fault{f1, f2}) {
+				escaped = append(escaped, [2]sim.Fault{f1, f2})
+			}
+		}
+	}
+	return escaped, nil
+}

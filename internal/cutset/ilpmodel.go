@@ -1,0 +1,124 @@
+package cutset
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+	"repro/internal/ilp"
+	"repro/internal/lp"
+)
+
+// The ILP cut model is the paper's Sec. III-C formulation: cut-set
+// generation is "a complementary problem of finding a set of flow paths"
+// and is solved by the same path machinery — here literally a simple-path
+// ILP over the planar dual graph, from boundary arc A to boundary arc B,
+// with the anti-masking constraint (9) as model rows.
+//
+// Variables per dual edge e (one per closable valve): v[e] (on the cut) and
+// a signed flow f[e]; per interior dual node n: y[n] (curve passes the
+// corner). Degree-2 chaining mirrors constraint (1); the flow system
+// mirrors (3)+(4) and bans disjoint dual loops; the objective maximizes
+// newly covered valves (coverage flavour of (2)).
+
+// ilpCut builds one cut forced through target, maximizing newly covered
+// valves, with constraint (9) enforced inside the model.
+func (d *dual) ilpCut(target grid.ValveID, uncovered map[grid.ValveID]bool,
+	opts ilp.Options) (*Cut, error) {
+	g := d.g
+	var m ilp.Model
+	bigM := float64(g.N() + 1)
+
+	v := make([]ilp.VarID, g.M())
+	f := make([]ilp.VarID, g.M())
+	edgeByValve := make(map[grid.ValveID]int)
+	for e := 0; e < g.M(); e++ {
+		vid := grid.ValveID(g.EdgeAt(e).Label)
+		obj := 0.0 // walls are free members
+		if d.a.Kind(vid) == grid.Normal {
+			if uncovered[vid] {
+				obj = -100
+			} else {
+				obj = 1
+			}
+		}
+		v[e] = m.AddBinary(obj, fmt.Sprintf("v_%d", e))
+		f[e] = m.AddVar(-bigM, bigM, 0, false, fmt.Sprintf("f_%d", e))
+		edgeByValve[vid] = e
+		// Capacity: -M*v <= f <= M*v.
+		m.AddCons([]ilp.VarID{f[e], v[e]}, []float64{1, -bigM}, lp.LE, 0)
+		m.AddCons([]ilp.VarID{f[e], v[e]}, []float64{1, bigM}, lp.GE, 0)
+	}
+	y := make(map[int]ilp.VarID)
+	for n := 0; n < g.N(); n++ {
+		if n != d.A && n != d.B && len(g.Adj(n)) > 0 {
+			y[n] = m.AddBinary(0, fmt.Sprintf("y_%d", n))
+		}
+	}
+	// Degree and flow conservation. Flow orientation: EdgeAt(e).U -> .V;
+	// interior nodes consume one unit, arc A supplies, arc B absorbs the
+	// rest freely.
+	for n := 0; n < g.N(); n++ {
+		adj := g.Adj(n)
+		if len(adj) == 0 {
+			continue
+		}
+		var degIdx []ilp.VarID
+		var degCoef []float64
+		var flowIdx []ilp.VarID
+		var flowCoef []float64
+		for _, arc := range adj {
+			degIdx = append(degIdx, v[arc.Edge])
+			degCoef = append(degCoef, 1)
+			dir := -1.0 // flow leaves n
+			if g.EdgeAt(arc.Edge).V == n {
+				dir = 1 // flow enters n
+			}
+			flowIdx = append(flowIdx, f[arc.Edge])
+			flowCoef = append(flowCoef, dir)
+		}
+		switch n {
+		case d.A, d.B:
+			// Terminal: exactly one cut edge touches each arc.
+			m.AddCons(degIdx, degCoef, lp.EQ, 1)
+		default:
+			degIdx = append(degIdx, y[n])
+			degCoef = append(degCoef, -2)
+			m.AddCons(degIdx, degCoef, lp.EQ, 0)
+			flowIdx = append(flowIdx, y[n])
+			flowCoef = append(flowCoef, -1)
+			m.AddCons(flowIdx, flowCoef, lp.EQ, 0)
+		}
+	}
+	// Constraint (9): if both corners of a Normal valve are on the curve,
+	// the valve must be in the cut. Only interior corners are modelled; the
+	// repair pass handles boundary-adjacent instances after extraction.
+	for vid, e := range edgeByValve {
+		if d.a.Kind(vid) != grid.Normal {
+			continue
+		}
+		ed := g.EdgeAt(e)
+		y1, ok1 := y[ed.U]
+		y2, ok2 := y[ed.V]
+		if !ok1 || !ok2 {
+			continue
+		}
+		m.AddCons([]ilp.VarID{y1, y2, v[e]}, []float64{1, 1, -1}, lp.LE, 1)
+	}
+	te, ok := edgeByValve[target]
+	if !ok {
+		return nil, fmt.Errorf("cutset: target valve %d not in dual", target)
+	}
+	m.AddCons([]ilp.VarID{v[te]}, []float64{1}, lp.EQ, 1)
+
+	sol := m.Solve(opts)
+	if sol.Status != ilp.Optimal && sol.Status != ilp.Feasible {
+		return nil, fmt.Errorf("cutset: dual-path ILP %v", sol.Status)
+	}
+	var edges []int
+	for e := 0; e < g.M(); e++ {
+		if sol.X[v[e]] > 0.5 {
+			edges = append(edges, e)
+		}
+	}
+	return d.cutFromDualEdges(edges), nil
+}

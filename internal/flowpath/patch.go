@@ -1,0 +1,284 @@
+package flowpath
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/grid"
+	"repro/internal/sim"
+)
+
+// The patching engine builds one flow path through a specific valve: a
+// source-to-valve segment and a valve-to-sink segment, vertex-disjoint so
+// the result is a simple path (the paper's no-loops, no-branches condition,
+// Fig. 5(a)). Segment routing is Dijkstra with uncovered valves made cheap,
+// so each patch path opportunistically covers as many remaining valves as
+// possible — this keeps the patch path count low.
+
+// cellGraph builds the cell-adjacency graph over passable interior edges;
+// edge labels are valve IDs.
+func cellGraph(a *grid.Array) *graph.Graph {
+	g := graph.New(a.NumCells())
+	for id := 0; id < a.NumValves(); id++ {
+		vid := grid.ValveID(id)
+		if !a.Passable(vid) {
+			continue
+		}
+		u, w := a.EdgeCells(vid)
+		if u == grid.NoCell || w == grid.NoCell {
+			continue
+		}
+		ur, uc := a.CellCoords(u)
+		wr, wc := a.CellCoords(w)
+		if a.IsObstacle(ur, uc) || a.IsObstacle(wr, wc) {
+			continue
+		}
+		g.AddEdge(int(u), int(w), id)
+	}
+	return g
+}
+
+// segment finds a cheap simple path src->dst avoiding the given cells and
+// banned valves, preferring edges whose valves are still uncovered. It
+// returns the cell sequence (nil if unreachable).
+func segment(a *grid.Array, g *graph.Graph, src, dst grid.CellID,
+	uncovered map[grid.ValveID]bool, avoid map[grid.CellID]bool,
+	banned map[grid.ValveID]bool, jitter int) []grid.CellID {
+	if src == dst {
+		if avoid[src] {
+			return nil
+		}
+		return []grid.CellID{src}
+	}
+	if avoid[src] || avoid[dst] {
+		return nil
+	}
+	weight := func(e int) float64 {
+		ed := g.EdgeAt(e)
+		if avoid[grid.CellID(ed.U)] || avoid[grid.CellID(ed.V)] || banned[grid.ValveID(ed.Label)] {
+			return math.Inf(1)
+		}
+		base := 1.0
+		if uncovered[grid.ValveID(ed.Label)] {
+			base = 0.05
+		}
+		if jitter > 0 {
+			base *= 1 + 0.8*float64((e*2654435761+jitter*40503)%97)/97
+		}
+		return base
+	}
+	edges := g.DijkstraPathEdges(int(src), int(dst), weight)
+	if edges == nil {
+		return nil
+	}
+	cells := []grid.CellID{src}
+	cur := int(src)
+	for _, eid := range edges {
+		e := g.EdgeAt(eid)
+		if e.U == cur {
+			cur = e.V
+		} else {
+			cur = e.U
+		}
+		cells = append(cells, grid.CellID(cur))
+	}
+	return cells
+}
+
+// pathThrough builds a simple source->sink path forced through valve target.
+func pathThrough(a *grid.Array, g *graph.Graph, srcPort, sinkPort grid.ValveID,
+	target grid.ValveID, uncovered map[grid.ValveID]bool) *Path {
+	return pathThroughAvoiding(a, g, srcPort, sinkPort, target, uncovered, nil)
+}
+
+func pathThroughAvoiding(a *grid.Array, g *graph.Graph, srcPort, sinkPort grid.ValveID,
+	target grid.ValveID, uncovered map[grid.ValveID]bool,
+	banned map[grid.ValveID]bool) *Path {
+	return pathThroughJittered(a, g, srcPort, sinkPort, target, uncovered, banned, 0)
+}
+
+// pathThroughJittered is pathThroughAvoiding with a deterministic weight
+// perturbation (jitter > 0), used to explore alternative routes when the
+// shortest one is shunted by a channel.
+func pathThroughJittered(a *grid.Array, g *graph.Graph, srcPort, sinkPort grid.ValveID,
+	target grid.ValveID, uncovered map[grid.ValveID]bool,
+	banned map[grid.ValveID]bool, jitter int) *Path {
+	if banned[target] {
+		return nil
+	}
+	u, w := a.EdgeCells(target)
+	if u == grid.NoCell || w == grid.NoCell {
+		return nil
+	}
+	srcCell := a.InteriorCell(srcPort)
+	sinkCell := a.InteriorCell(sinkPort)
+	for _, ends := range [][2]grid.CellID{{u, w}, {w, u}} {
+		first, second := ends[0], ends[1]
+		// Source segment must stay clear of the far endpoint (so the target
+		// valve itself is the crossing) and of the sink cell (so the second
+		// segment can terminate there).
+		avoid1 := map[grid.CellID]bool{second: true}
+		if first != sinkCell {
+			avoid1[sinkCell] = true
+		}
+		seg1 := segment(a, g, srcCell, first, uncovered, avoid1, banned, jitter)
+		if seg1 == nil {
+			continue
+		}
+		avoid := make(map[grid.CellID]bool, len(seg1))
+		for _, c := range seg1 {
+			avoid[c] = true
+		}
+		seg2 := segment(a, g, second, sinkCell, uncovered, avoid, banned, jitter)
+		if seg2 == nil {
+			continue
+		}
+		cells := append(append([]grid.CellID{}, seg1...), seg2...)
+		p, err := Build(a, srcPort, sinkPort, cells)
+		if err != nil {
+			continue
+		}
+		return p
+	}
+	return nil
+}
+
+// ThroughAvoiding builds a simple source-to-sink path through target that
+// never traverses the banned valves. The leakage-vector generator uses it
+// to observe one valve of a control-channel pair while the other stays
+// commanded closed. Returns nil if no such path exists.
+func ThroughAvoiding(a *grid.Array, target grid.ValveID, banned map[grid.ValveID]bool) *Path {
+	return ThroughAvoidingJitter(a, target, banned, 0)
+}
+
+// ThroughAvoidingJitter is ThroughAvoiding with a deterministic weight
+// perturbation: jitter > 0 yields wiggly routes that alternate orientation
+// often, which lets one leakage vector split many control-lane pairs.
+func ThroughAvoidingJitter(a *grid.Array, target grid.ValveID, banned map[grid.ValveID]bool, jitter int) *Path {
+	srcs, sinks := a.Sources(), a.Sinks()
+	if len(srcs) == 0 || len(sinks) == 0 {
+		return nil
+	}
+	g := cellGraph(a)
+	return pathThroughJittered(a, g, srcs[0].Valve, sinks[0].Valve, target, nil, banned, jitter)
+}
+
+// patchPaths covers the listed valves with forced-through paths, greedily
+// recomputing simulator-verified coverage after each path. It returns the
+// new paths and any valves that could not be covered (valves walled in by
+// obstacles, or valves physically shunted by a parallel channel).
+func patchPaths(a *grid.Array, s *sim.Simulator, srcPort, sinkPort grid.ValveID,
+	missing []grid.ValveID) ([]*Path, []grid.ValveID) {
+	g := cellGraph(a)
+	uncovered := make(map[grid.ValveID]bool, len(missing))
+	for _, id := range missing {
+		uncovered[id] = true
+	}
+	var strict map[grid.ValveID]bool // lazily built channel-avoidance ban set
+	var paths []*Path
+	var impossible []grid.ValveID
+	tests := func(p *Path, target grid.ValveID) bool {
+		for _, id := range p.TestedNormal(a, s) {
+			if id == target {
+				return true
+			}
+		}
+		return false
+	}
+	for len(uncovered) > 0 {
+		// Deterministic order: smallest remaining valve ID.
+		var target grid.ValveID = -1
+		for id := range uncovered {
+			if target == -1 || id < target {
+				target = id
+			}
+		}
+		// Retry ladder: coverage-weighted, plain shortest, three jittered
+		// reroutes, then a channel-avoiding route (a path touching channel
+		// regions only next to the target cannot be bypassed through them —
+		// Fig. 5(a) with always-open edges).
+		var p *Path
+		for attempt := 0; attempt <= 5; attempt++ {
+			var cand *Path
+			switch attempt {
+			case 0:
+				cand = pathThrough(a, g, srcPort, sinkPort, target, uncovered)
+			case 1:
+				cand = pathThrough(a, g, srcPort, sinkPort, target, nil)
+			case 2, 3, 4:
+				cand = pathThroughJittered(a, g, srcPort, sinkPort, target, nil, nil, attempt)
+			default:
+				if strict == nil {
+					strict = channelAdjacentBans(a, g)
+				}
+				cand = pathThroughAvoiding(a, g, srcPort, sinkPort, target, uncovered,
+					relaxAroundTarget(a, strict, target))
+			}
+			if cand != nil && tests(cand, target) {
+				p = cand
+				break
+			}
+		}
+		if p == nil {
+			impossible = append(impossible, target)
+			delete(uncovered, target)
+			continue
+		}
+		paths = append(paths, p)
+		for _, id := range p.TestedNormal(a, s) {
+			delete(uncovered, id)
+		}
+	}
+	return paths, impossible
+}
+
+// channelAdjacentBans returns the edges a channel-avoiding path must not
+// use: every Channel edge and every edge incident to a cell that belongs to
+// a channel-connected component.
+func channelAdjacentBans(a *grid.Array, g *graph.Graph) map[grid.ValveID]bool {
+	chCell := make(map[grid.CellID]bool)
+	for id := 0; id < a.NumValves(); id++ {
+		vid := grid.ValveID(id)
+		if a.Kind(vid) != grid.Channel {
+			continue
+		}
+		u, w := a.EdgeCells(vid)
+		chCell[u] = true
+		chCell[w] = true
+	}
+	banned := make(map[grid.ValveID]bool)
+	for _, e := range g.Edges() {
+		vid := grid.ValveID(e.Label)
+		if a.Kind(vid) == grid.Channel ||
+			chCell[grid.CellID(e.U)] || chCell[grid.CellID(e.V)] {
+			banned[vid] = true
+		}
+	}
+	return banned
+}
+
+// relaxAroundTarget copies the ban set but re-allows the target valve and
+// the other edges of its two endpoint cells, so targets that themselves sit
+// next to a channel stay reachable (a single touch point cannot bypass).
+func relaxAroundTarget(a *grid.Array, banned map[grid.ValveID]bool, target grid.ValveID) map[grid.ValveID]bool {
+	out := make(map[grid.ValveID]bool, len(banned))
+	for id := range banned {
+		out[id] = true
+	}
+	allow := func(cell grid.CellID) {
+		if cell == grid.NoCell {
+			return
+		}
+		r, c := a.CellCoords(cell)
+		for _, e := range a.IncidentValves(r, c) {
+			if a.Kind(e) == grid.Normal {
+				delete(out, e)
+			}
+		}
+	}
+	u, w := a.EdgeCells(target)
+	allow(u)
+	allow(w)
+	delete(out, target)
+	return out
+}

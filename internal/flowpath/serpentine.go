@@ -1,0 +1,280 @@
+package flowpath
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+)
+
+// The serpentine engine decomposes the array into horizontal strips (covering
+// all horizontal-flow valves) and vertical strips (covering all vertical-flow
+// valves). Each strip yields one source-to-sink path:
+//
+//	source cell -> lead-in along column 0 -> boustrophedon sweep of the
+//	strip (odd height, so it exits on the far side) -> lead-out along the
+//	last column -> sink cell
+//
+// and symmetrically for column strips. On a full array the union of the two
+// strip families covers every interior valve; with obstacles the sweep
+// detours around them and the patching pass (patch.go) covers the rest.
+//
+// Strip heights/widths are kept odd so a sweep entering on the west side
+// leaves on the east side (and north/south for column strips).
+
+// oddSplits partitions n into strip sizes of at most maxSize, all odd.
+// maxSize <= 0 requests the coarsest split: [n] for odd n, [n-1, 1] for even.
+func oddSplits(n, maxSize int) []int {
+	if n <= 0 {
+		return nil
+	}
+	if maxSize <= 0 || maxSize > n {
+		maxSize = n
+	}
+	if maxSize%2 == 0 {
+		maxSize--
+	}
+	if maxSize < 1 {
+		maxSize = 1
+	}
+	var out []int
+	rem := n
+	for rem >= maxSize+2 || rem == maxSize {
+		out = append(out, maxSize)
+		rem -= maxSize
+	}
+	switch {
+	case rem == 0:
+	case rem%2 == 1:
+		out = append(out, rem)
+	default:
+		out = append(out, rem-1, 1)
+	}
+	return out
+}
+
+// walker incrementally builds a simple path over non-obstacle cells.
+type walker struct {
+	a       *grid.Array
+	visited []bool
+	cells   []grid.CellID
+}
+
+func newWalker(a *grid.Array, start grid.CellID) *walker {
+	w := &walker{a: a, visited: make([]bool, a.NumCells())}
+	w.visited[start] = true
+	w.cells = []grid.CellID{start}
+	return w
+}
+
+func (w *walker) current() grid.CellID { return w.cells[len(w.cells)-1] }
+
+// passableNeighbors yields (neighbor cell, edge) pairs of a cell.
+func passableNeighbors(a *grid.Array, cell grid.CellID) []grid.CellID {
+	r, c := a.CellCoords(cell)
+	var out []grid.CellID
+	for _, e := range a.IncidentValves(r, c) {
+		if !a.Passable(e) {
+			continue
+		}
+		u, v := a.EdgeCells(e)
+		other := u
+		if other == cell {
+			other = v
+		}
+		if other == grid.NoCell {
+			continue
+		}
+		or, oc := a.CellCoords(other)
+		if !a.IsObstacle(or, oc) {
+			out = append(out, other)
+		}
+	}
+	return out
+}
+
+// advance extends the path to the target cell: directly if adjacent, or via
+// a BFS detour through unvisited cells. It reports success; on failure the
+// path is unchanged. Visited targets report success without moving (the
+// sweep simply continues).
+func (w *walker) advance(target grid.CellID) bool {
+	if target == grid.NoCell {
+		return false
+	}
+	tr, tc := w.a.CellCoords(target)
+	if w.a.IsObstacle(tr, tc) {
+		return true // skip obstacle waypoints silently
+	}
+	if w.visited[target] {
+		return true
+	}
+	cur := w.current()
+	cr, cc := w.a.CellCoords(cur)
+	if e := w.a.EdgeBetween(cr, cc, tr, tc); e != grid.NoValve && w.a.Passable(e) {
+		w.visited[target] = true
+		w.cells = append(w.cells, target)
+		return true
+	}
+	// BFS through unvisited cells.
+	detour := w.bfs(cur, target)
+	if detour == nil {
+		return false
+	}
+	for _, cell := range detour[1:] {
+		w.visited[cell] = true
+		w.cells = append(w.cells, cell)
+	}
+	return true
+}
+
+// bfs finds a path from src to dst through unvisited, non-obstacle cells
+// (src excepted); returns the cell sequence including both endpoints.
+func (w *walker) bfs(src, dst grid.CellID) []grid.CellID {
+	prev := make(map[grid.CellID]grid.CellID)
+	prev[src] = src
+	queue := []grid.CellID{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur == dst {
+			var rev []grid.CellID
+			for c := dst; ; c = prev[c] {
+				rev = append(rev, c)
+				if c == src {
+					break
+				}
+			}
+			for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+				rev[i], rev[j] = rev[j], rev[i]
+			}
+			return rev
+		}
+		for _, nb := range passableNeighbors(w.a, cur) {
+			if _, seen := prev[nb]; seen || (w.visited[nb] && nb != dst) {
+				continue
+			}
+			prev[nb] = cur
+			queue = append(queue, nb)
+		}
+	}
+	return nil
+}
+
+// stripSpec describes one sweep.
+type stripSpec struct {
+	horizontal bool
+	lo, hi     int // [lo, hi) rows (horizontal) or columns (vertical)
+}
+
+// waypoints enumerates the ideal cell itinerary of the strip, from the
+// source cell to the sink cell.
+func (s stripSpec) waypoints(a *grid.Array, srcCell, sinkCell grid.CellID) []grid.CellID {
+	nr, nc := a.NR(), a.NC()
+	var pts []grid.CellID
+	add := func(r, c int) {
+		if id := a.CellIndex(r, c); id != grid.NoCell {
+			pts = append(pts, id)
+		}
+	}
+	sr, sc := a.CellCoords(srcCell)
+	tr, tc := a.CellCoords(sinkCell)
+	if s.horizontal {
+		// Lead-in: from the source down its column to the strip.
+		for r := sr; r < s.lo; r++ {
+			add(r, sc)
+		}
+		for i := 0; i < s.hi-s.lo; i++ {
+			r := s.lo + i
+			if i%2 == 0 {
+				for c := 0; c < nc; c++ {
+					add(r, c)
+				}
+			} else {
+				for c := nc - 1; c >= 0; c-- {
+					add(r, c)
+				}
+			}
+		}
+		// Lead-out: down the sink's column to the sink cell.
+		for r := s.hi; r <= tr; r++ {
+			add(r, tc)
+		}
+	} else {
+		for c := sc; c < s.lo; c++ {
+			add(sr, c)
+		}
+		for j := 0; j < s.hi-s.lo; j++ {
+			c := s.lo + j
+			if j%2 == 0 {
+				for r := 0; r < nr; r++ {
+					add(r, c)
+				}
+			} else {
+				for r := nr - 1; r >= 0; r-- {
+					add(r, c)
+				}
+			}
+		}
+		for c := s.hi; c <= tc; c++ {
+			add(tr, c)
+		}
+	}
+	pts = append(pts, sinkCell)
+	return pts
+}
+
+// serpentinePaths runs the strip engine. stripR/stripC bound the strip
+// sizes (0 = direct mode, coarsest odd strips). It returns the strip paths;
+// coverage holes are the patch engine's job.
+func serpentinePaths(a *grid.Array, stripR, stripC int) ([]*Path, error) {
+	srcs, sinks := a.Sources(), a.Sinks()
+	if len(srcs) == 0 || len(sinks) == 0 {
+		return nil, fmt.Errorf("flowpath: array needs at least one source and one sink")
+	}
+	srcPort, sinkPort := srcs[0], sinks[0]
+	srcCell := a.InteriorCell(srcPort.Valve)
+	sinkCell := a.InteriorCell(sinkPort.Valve)
+
+	var specs []stripSpec
+	lo := 0
+	for _, h := range oddSplits(a.NR(), stripR) {
+		specs = append(specs, stripSpec{horizontal: true, lo: lo, hi: lo + h})
+		lo += h
+	}
+	lo = 0
+	for _, w := range oddSplits(a.NC(), stripC) {
+		specs = append(specs, stripSpec{horizontal: false, lo: lo, hi: lo + w})
+		lo += w
+	}
+
+	var paths []*Path
+	for _, spec := range specs {
+		w := newWalker(a, srcCell)
+		for _, pt := range spec.waypoints(a, srcCell, sinkCell) {
+			w.advance(pt) // failures skip the waypoint; patching recovers
+		}
+		// Terminate at the sink: obstacle detours may have passed through
+		// the sink cell mid-sweep, in which case the path is truncated at
+		// that first visit (a simple path cannot revisit it).
+		if idx := indexOf(w.cells, sinkCell); idx >= 0 {
+			w.cells = w.cells[:idx+1]
+		} else if !w.advance(sinkCell) || w.current() != sinkCell {
+			continue // path cannot terminate; drop it
+		}
+		p, err := Build(a, srcPort.Valve, sinkPort.Valve, w.cells)
+		if err != nil {
+			return nil, fmt.Errorf("flowpath: strip %+v produced invalid path: %v", spec, err)
+		}
+		paths = append(paths, p)
+	}
+	return paths, nil
+}
+
+// indexOf returns the first position of target in cells, or -1.
+func indexOf(cells []grid.CellID, target grid.CellID) int {
+	for i, c := range cells {
+		if c == target {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,345 @@
+// Package graph provides the graph algorithms the test-generation framework
+// relies on: breadth-first reachability with path recovery, connected
+// components, union-find, Dijkstra shortest paths, and Dinic max-flow /
+// min-cut. Go's standard library has no graph support, so this package is
+// the substrate equivalent of the scientific graph libraries the paper's
+// C++ implementation could lean on.
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// Graph is an undirected multigraph over dense node indices 0..N-1. Each
+// edge has a dense edge index and an optional caller-supplied label (for the
+// FPVA use case the label is the valve ID the edge represents).
+type Graph struct {
+	n     int
+	adj   [][]Arc
+	edges []Edge
+}
+
+// Edge is one undirected edge.
+type Edge struct {
+	U, V  int
+	Label int
+}
+
+// Arc is an edge as seen from one endpoint.
+type Arc struct {
+	To   int // neighbour node
+	Edge int // edge index into Edges()
+}
+
+// New creates a graph with n nodes and no edges.
+func New(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative node count %d", n))
+	}
+	return &Graph{n: n, adj: make([][]Arc, n)}
+}
+
+// N returns the node count.
+func (g *Graph) N() int { return g.n }
+
+// M returns the edge count.
+func (g *Graph) M() int { return len(g.edges) }
+
+// AddEdge inserts an undirected edge u-v with the given label and returns
+// its edge index. Self-loops and parallel edges are allowed.
+func (g *Graph) AddEdge(u, v, label int) int {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: edge %d-%d out of range [0,%d)", u, v, g.n))
+	}
+	id := len(g.edges)
+	g.edges = append(g.edges, Edge{U: u, V: v, Label: label})
+	g.adj[u] = append(g.adj[u], Arc{To: v, Edge: id})
+	if u != v {
+		g.adj[v] = append(g.adj[v], Arc{To: u, Edge: id})
+	}
+	return id
+}
+
+// Adj returns the arcs out of node u. The slice must not be modified.
+func (g *Graph) Adj(u int) []Arc { return g.adj[u] }
+
+// EdgeAt returns edge e.
+func (g *Graph) EdgeAt(e int) Edge { return g.edges[e] }
+
+// Edges returns all edges. The slice must not be modified.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// BFS runs breadth-first search from src with edges filtered by enabled
+// (nil means all edges usable). It returns, for each node, the edge index
+// used to first reach it (-1 if unreached, -2 for src itself).
+func (g *Graph) BFS(src int, enabled func(e int) bool) []int {
+	via := make([]int, g.n)
+	for i := range via {
+		via[i] = -1
+	}
+	via[src] = -2
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, a := range g.adj[u] {
+			if via[a.To] != -1 || (enabled != nil && !enabled(a.Edge)) {
+				continue
+			}
+			via[a.To] = a.Edge
+			queue = append(queue, a.To)
+		}
+	}
+	return via
+}
+
+// Reachable reports whether dst can be reached from src through enabled
+// edges.
+func (g *Graph) Reachable(src, dst int, enabled func(e int) bool) bool {
+	return g.BFS(src, enabled)[dst] != -1
+}
+
+// Path returns the node sequence of a shortest (fewest-edge) path from src
+// to dst through enabled edges, or nil if none exists.
+func (g *Graph) Path(src, dst int, enabled func(e int) bool) []int {
+	via := g.BFS(src, enabled)
+	if via[dst] == -1 {
+		return nil
+	}
+	var rev []int
+	u := dst
+	for u != src {
+		rev = append(rev, u)
+		e := g.edges[via[u]]
+		if e.U == u {
+			u = e.V
+		} else {
+			u = e.U
+		}
+	}
+	rev = append(rev, src)
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// PathEdges returns the edge indices of a shortest path src->dst through
+// enabled edges, or nil if none exists.
+func (g *Graph) PathEdges(src, dst int, enabled func(e int) bool) []int {
+	via := g.BFS(src, enabled)
+	if via[dst] == -1 {
+		return nil
+	}
+	var rev []int
+	u := dst
+	for u != src {
+		eid := via[u]
+		rev = append(rev, eid)
+		e := g.edges[eid]
+		if e.U == u {
+			u = e.V
+		} else {
+			u = e.U
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Components returns a component label per node and the component count,
+// considering only enabled edges.
+func (g *Graph) Components(enabled func(e int) bool) ([]int, int) {
+	comp := make([]int, g.n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	next := 0
+	for s := 0; s < g.n; s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		comp[s] = next
+		queue := []int{s}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, a := range g.adj[u] {
+				if comp[a.To] != -1 || (enabled != nil && !enabled(a.Edge)) {
+					continue
+				}
+				comp[a.To] = next
+				queue = append(queue, a.To)
+			}
+		}
+		next++
+	}
+	return comp, next
+}
+
+// Dijkstra computes shortest path distances from src with per-edge weights
+// given by weight (return math.Inf(1) to disable an edge). It returns the
+// distance slice and the via-edge slice in the same convention as BFS.
+func (g *Graph) Dijkstra(src int, weight func(e int) float64) ([]float64, []int) {
+	dist := make([]float64, g.n)
+	via := make([]int, g.n)
+	done := make([]bool, g.n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		via[i] = -1
+	}
+	dist[src] = 0
+	via[src] = -2
+	h := &heapF{}
+	h.push(src, 0)
+	for h.len() > 0 {
+		u, du := h.pop()
+		if done[u] || du > dist[u] {
+			continue
+		}
+		done[u] = true
+		for _, a := range g.adj[u] {
+			w := weight(a.Edge)
+			if math.IsInf(w, 1) || w < 0 {
+				if w < 0 {
+					panic("graph: negative edge weight in Dijkstra")
+				}
+				continue
+			}
+			if nd := du + w; nd < dist[a.To] {
+				dist[a.To] = nd
+				via[a.To] = a.Edge
+				h.push(a.To, nd)
+			}
+		}
+	}
+	return dist, via
+}
+
+// DijkstraPathEdges returns the edge indices of a minimum-weight path
+// src->dst, or nil if unreachable.
+func (g *Graph) DijkstraPathEdges(src, dst int, weight func(e int) float64) []int {
+	dist, via := g.Dijkstra(src, weight)
+	if math.IsInf(dist[dst], 1) {
+		return nil
+	}
+	var rev []int
+	u := dst
+	for u != src {
+		eid := via[u]
+		rev = append(rev, eid)
+		e := g.edges[eid]
+		if e.U == u {
+			u = e.V
+		} else {
+			u = e.U
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// heapF is a minimal binary min-heap of (node, priority) pairs.
+type heapF struct {
+	node []int
+	prio []float64
+}
+
+func (h *heapF) len() int { return len(h.node) }
+
+func (h *heapF) push(n int, p float64) {
+	h.node = append(h.node, n)
+	h.prio = append(h.prio, p)
+	i := len(h.node) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.prio[parent] <= h.prio[i] {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *heapF) pop() (int, float64) {
+	n, p := h.node[0], h.prio[0]
+	last := len(h.node) - 1
+	h.swap(0, last)
+	h.node = h.node[:last]
+	h.prio = h.prio[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && h.prio[l] < h.prio[small] {
+			small = l
+		}
+		if r < last && h.prio[r] < h.prio[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.swap(i, small)
+		i = small
+	}
+	return n, p
+}
+
+func (h *heapF) swap(i, j int) {
+	h.node[i], h.node[j] = h.node[j], h.node[i]
+	h.prio[i], h.prio[j] = h.prio[j], h.prio[i]
+}
+
+// UnionFind is a disjoint-set forest with union by rank and path halving.
+type UnionFind struct {
+	parent []int
+	rank   []int
+	sets   int
+}
+
+// NewUnionFind creates n singleton sets.
+func NewUnionFind(n int) *UnionFind {
+	u := &UnionFind{parent: make([]int, n), rank: make([]int, n), sets: n}
+	for i := range u.parent {
+		u.parent[i] = i
+	}
+	return u
+}
+
+// Find returns the set representative of x.
+func (u *UnionFind) Find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of a and b; it reports whether a merge happened.
+func (u *UnionFind) Union(a, b int) bool {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return false
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+	u.sets--
+	return true
+}
+
+// Sets returns the current number of disjoint sets.
+func (u *UnionFind) Sets() int { return u.sets }
+
+// Connected reports whether a and b are in the same set.
+func (u *UnionFind) Connected(a, b int) bool { return u.Find(a) == u.Find(b) }

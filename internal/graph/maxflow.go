@@ -1,0 +1,166 @@
+package graph
+
+// Dinic max-flow on a directed flow network, used for minimal cut-set
+// construction and for disjoint-path queries during path patching. Arc
+// capacities are integers; node capacities can be modelled by the usual
+// node-splitting transform (see SplitNodes).
+
+// FlowNetwork is a directed graph with integer capacities prepared for
+// Dinic's algorithm.
+type FlowNetwork struct {
+	n     int
+	head  [][]int
+	to    []int
+	cap   []int64
+	label []int
+}
+
+// NewFlowNetwork creates an empty network with n nodes.
+func NewFlowNetwork(n int) *FlowNetwork {
+	return &FlowNetwork{n: n, head: make([][]int, n)}
+}
+
+// N returns the node count.
+func (f *FlowNetwork) N() int { return f.n }
+
+// AddArc adds a directed arc u->v with the given capacity and label, plus
+// the implicit residual arc. It returns the arc index (even numbers are
+// forward arcs).
+func (f *FlowNetwork) AddArc(u, v int, capacity int64, label int) int {
+	id := len(f.to)
+	f.to = append(f.to, v, u)
+	f.cap = append(f.cap, capacity, 0)
+	f.label = append(f.label, label, label)
+	f.head[u] = append(f.head[u], id)
+	f.head[v] = append(f.head[v], id+1)
+	return id
+}
+
+// AddUndirected adds an undirected unit of capacity between u and v by
+// inserting forward arcs both ways.
+func (f *FlowNetwork) AddUndirected(u, v int, capacity int64, label int) (int, int) {
+	return f.AddArc(u, v, capacity, label), f.AddArc(v, u, capacity, label)
+}
+
+// MaxFlow runs Dinic's algorithm and returns the maximum s-t flow value.
+// The network retains the residual state afterwards, which MinCut uses.
+func (f *FlowNetwork) MaxFlow(s, t int) int64 {
+	if s == t {
+		return 0
+	}
+	var total int64
+	level := make([]int, f.n)
+	iter := make([]int, f.n)
+	for f.bfsLevel(s, t, level) {
+		for i := range iter {
+			iter[i] = 0
+		}
+		for {
+			pushed := f.dfsAugment(s, t, int64(1)<<62, level, iter)
+			if pushed == 0 {
+				break
+			}
+			total += pushed
+		}
+	}
+	return total
+}
+
+func (f *FlowNetwork) bfsLevel(s, t int, level []int) bool {
+	for i := range level {
+		level[i] = -1
+	}
+	level[s] = 0
+	queue := []int{s}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, a := range f.head[u] {
+			if f.cap[a] > 0 && level[f.to[a]] == -1 {
+				level[f.to[a]] = level[u] + 1
+				queue = append(queue, f.to[a])
+			}
+		}
+	}
+	return level[t] != -1
+}
+
+func (f *FlowNetwork) dfsAugment(u, t int, limit int64, level, iter []int) int64 {
+	if u == t {
+		return limit
+	}
+	for ; iter[u] < len(f.head[u]); iter[u]++ {
+		a := f.head[u][iter[u]]
+		v := f.to[a]
+		if f.cap[a] <= 0 || level[v] != level[u]+1 {
+			continue
+		}
+		d := limit
+		if f.cap[a] < d {
+			d = f.cap[a]
+		}
+		pushed := f.dfsAugment(v, t, d, level, iter)
+		if pushed > 0 {
+			f.cap[a] -= pushed
+			f.cap[a^1] += pushed
+			return pushed
+		}
+	}
+	return 0
+}
+
+// MinCutArcs returns, after MaxFlow(s, t), the saturated forward arcs that
+// cross the residual source side — a minimum cut. The result holds the
+// labels of those arcs (duplicates removed, order of first appearance).
+func (f *FlowNetwork) MinCutArcs(s int) []int {
+	side := make([]bool, f.n)
+	side[s] = true
+	queue := []int{s}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, a := range f.head[u] {
+			if f.cap[a] > 0 && !side[f.to[a]] {
+				side[f.to[a]] = true
+				queue = append(queue, f.to[a])
+			}
+		}
+	}
+	seen := make(map[int]bool)
+	var labels []int
+	for a := 0; a < len(f.to); a += 2 { // forward arcs only
+		u, v := f.to[a^1], f.to[a]
+		if side[u] && !side[v] && !seen[f.label[a]] {
+			seen[f.label[a]] = true
+			labels = append(labels, f.label[a])
+		}
+	}
+	return labels
+}
+
+// SourceSide returns, after MaxFlow, whether each node lies on the residual
+// source side of the cut.
+func (f *FlowNetwork) SourceSide(s int) []bool {
+	side := make([]bool, f.n)
+	side[s] = true
+	queue := []int{s}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, a := range f.head[u] {
+			if f.cap[a] > 0 && !side[f.to[a]] {
+				side[f.to[a]] = true
+				queue = append(queue, f.to[a])
+			}
+		}
+	}
+	return side
+}
+
+// SplitIn and SplitOut map an original node index to its in/out copy when
+// node capacities are modelled by node splitting: node i becomes in-node 2i
+// and out-node 2i+1, joined by an internal arc carrying the node capacity.
+func SplitIn(i int) int { return 2 * i }
+
+// SplitOut is the out-copy of node i under the node-splitting transform.
+func SplitOut(i int) int { return 2*i + 1 }

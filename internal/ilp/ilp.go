@@ -1,0 +1,437 @@
+// Package ilp provides a small integer linear programming solver: a model
+// layer with named, bounded, optionally-integer variables, compiled per
+// branch-and-bound node onto the two-phase simplex in package lp.
+//
+// The paper formulates flow-path construction, cut-set construction and
+// control-leakage coverage as 0-1 ILPs (constraints (1)-(9)) and hands them
+// to a commercial solver; this package is the self-contained substitute.
+// Instances arising from 5x5 hierarchical subblocks stay in the range of a
+// few hundred variables, which this solver handles in milliseconds to
+// seconds.
+package ilp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/lp"
+)
+
+// VarID identifies a model variable.
+type VarID int
+
+// Status reports the solve outcome.
+type Status int
+
+const (
+	// Optimal means a provably optimal integer solution was found.
+	Optimal Status = iota
+	// Feasible means the node budget ran out but an incumbent exists.
+	Feasible
+	// Infeasible means no integer solution exists.
+	Infeasible
+	// Unbounded means the relaxation is unbounded.
+	Unbounded
+	// Limit means the node budget ran out with no incumbent.
+	Limit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Feasible:
+		return "feasible"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return "node-limit"
+	}
+}
+
+// Inf is the bound value meaning "unbounded in that direction".
+var Inf = math.Inf(1)
+
+type varInfo struct {
+	lb, ub  float64
+	integer bool
+	obj     float64
+	name    string
+}
+
+type constraint struct {
+	idx   []VarID
+	coef  []float64
+	sense lp.Sense
+	rhs   float64
+}
+
+// Model is an ILP under construction. The zero value is ready to use.
+type Model struct {
+	vars []varInfo
+	cons []constraint
+}
+
+// AddVar adds a variable with bounds [lb, ub] (use -Inf / Inf for
+// unbounded), objective coefficient obj (minimization) and an optional name
+// used in error messages.
+func (m *Model) AddVar(lb, ub, obj float64, integer bool, name string) VarID {
+	if lb > ub {
+		panic(fmt.Sprintf("ilp: var %q has lb %v > ub %v", name, lb, ub))
+	}
+	m.vars = append(m.vars, varInfo{lb: lb, ub: ub, integer: integer, obj: obj, name: name})
+	return VarID(len(m.vars) - 1)
+}
+
+// AddBinary adds a 0-1 variable.
+func (m *Model) AddBinary(obj float64, name string) VarID {
+	return m.AddVar(0, 1, obj, true, name)
+}
+
+// NumVars returns the variable count.
+func (m *Model) NumVars() int { return len(m.vars) }
+
+// NumCons returns the constraint count.
+func (m *Model) NumCons() int { return len(m.cons) }
+
+// Name returns the name of variable v.
+func (m *Model) Name(v VarID) string { return m.vars[v].name }
+
+// AddCons adds the constraint sum(coef[k] * idx[k]) sense rhs. Duplicate
+// indices accumulate.
+func (m *Model) AddCons(idx []VarID, coef []float64, sense lp.Sense, rhs float64) {
+	if len(idx) != len(coef) {
+		panic("ilp: constraint index/coef length mismatch")
+	}
+	for _, v := range idx {
+		if int(v) < 0 || int(v) >= len(m.vars) {
+			panic(fmt.Sprintf("ilp: constraint references unknown var %d", v))
+		}
+	}
+	m.cons = append(m.cons, constraint{
+		idx:   append([]VarID(nil), idx...),
+		coef:  append([]float64(nil), coef...),
+		sense: sense, rhs: rhs,
+	})
+}
+
+// Solution is the result of Solve.
+type Solution struct {
+	Status Status
+	X      []float64 // valid for Optimal and Feasible
+	Obj    float64
+	Nodes  int
+}
+
+// Options tunes the branch-and-bound search.
+type Options struct {
+	// MaxNodes bounds the number of explored nodes; <= 0 means 200000.
+	MaxNodes int
+	// MaxLPIters bounds simplex iterations per node; <= 0 means automatic.
+	MaxLPIters int
+}
+
+const intTol = 1e-6
+
+// Check verifies that x satisfies every constraint, bound, and integrality
+// requirement of the model; it returns a descriptive error on the first
+// violation. Used by tests and by the rounding heuristic.
+func (m *Model) Check(x []float64) error {
+	if len(x) != len(m.vars) {
+		return fmt.Errorf("ilp: solution length %d, want %d", len(x), len(m.vars))
+	}
+	for j, v := range m.vars {
+		if x[j] < v.lb-1e-6 || x[j] > v.ub+1e-6 {
+			return fmt.Errorf("ilp: var %s=%v outside [%v,%v]", v.name, x[j], v.lb, v.ub)
+		}
+		if v.integer && math.Abs(x[j]-math.Round(x[j])) > intTol {
+			return fmt.Errorf("ilp: var %s=%v not integral", v.name, x[j])
+		}
+	}
+	for i, c := range m.cons {
+		dot := 0.0
+		for k, v := range c.idx {
+			dot += c.coef[k] * x[v]
+		}
+		switch c.sense {
+		case lp.LE:
+			if dot > c.rhs+1e-5 {
+				return fmt.Errorf("ilp: row %d: %v <= %v violated", i, dot, c.rhs)
+			}
+		case lp.GE:
+			if dot < c.rhs-1e-5 {
+				return fmt.Errorf("ilp: row %d: %v >= %v violated", i, dot, c.rhs)
+			}
+		case lp.EQ:
+			if math.Abs(dot-c.rhs) > 1e-5 {
+				return fmt.Errorf("ilp: row %d: %v = %v violated", i, dot, c.rhs)
+			}
+		}
+	}
+	return nil
+}
+
+// Objective evaluates the model objective at x.
+func (m *Model) Objective(x []float64) float64 {
+	obj := 0.0
+	for j, v := range m.vars {
+		obj += v.obj * x[j]
+	}
+	return obj
+}
+
+// node is one branch-and-bound node: bound overrides relative to the model.
+type node struct {
+	lb, ub []float64
+}
+
+// Solve runs branch-and-bound and returns the best integer solution.
+func (m *Model) Solve(opt Options) Solution {
+	if len(m.vars) == 0 {
+		return Solution{Status: Optimal, X: nil, Obj: 0}
+	}
+	maxNodes := opt.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = 200000
+	}
+	objIntegral := m.objectiveIntegral()
+
+	root := node{lb: make([]float64, len(m.vars)), ub: make([]float64, len(m.vars))}
+	for j, v := range m.vars {
+		root.lb[j], root.ub[j] = v.lb, v.ub
+	}
+	stack := []node{root}
+	var best []float64
+	bestObj := math.Inf(1)
+	nodes := 0
+
+	for len(stack) > 0 && nodes < maxNodes {
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nodes++
+
+		x, obj, st := m.solveRelaxation(nd, opt.MaxLPIters)
+		switch st {
+		case lp.Infeasible:
+			continue
+		case lp.Unbounded:
+			if nodes == 1 {
+				return Solution{Status: Unbounded, Nodes: nodes}
+			}
+			continue
+		case lp.IterLimit:
+			continue // treat as unexplorable; conservative
+		}
+		bound := obj
+		if objIntegral {
+			bound = math.Ceil(obj - 1e-7)
+		}
+		if bound >= bestObj-1e-9 {
+			continue
+		}
+		branch := m.pickFractional(x)
+		if branch == -1 {
+			// Integer feasible.
+			if obj < bestObj-1e-9 {
+				bestObj = obj
+				best = append([]float64(nil), x...)
+				m.roundInPlace(best)
+			}
+			continue
+		}
+		// Rounding heuristic: cheap incumbent attempt at shallow depth.
+		if best == nil {
+			if cand := m.tryRound(x); cand != nil {
+				if o := m.Objective(cand); o < bestObj-1e-9 {
+					bestObj = o
+					best = cand
+				}
+			}
+		}
+		f := x[branch]
+		down := nd.clone()
+		down.ub[branch] = math.Floor(f)
+		up := nd.clone()
+		up.lb[branch] = math.Ceil(f)
+		// Explore the side nearer the fractional value first (pushed last).
+		if f-math.Floor(f) < 0.5 {
+			stack = append(stack, up, down)
+		} else {
+			stack = append(stack, down, up)
+		}
+	}
+
+	switch {
+	case best != nil && len(stack) == 0:
+		return Solution{Status: Optimal, X: best, Obj: bestObj, Nodes: nodes}
+	case best != nil:
+		return Solution{Status: Feasible, X: best, Obj: bestObj, Nodes: nodes}
+	case len(stack) == 0:
+		return Solution{Status: Infeasible, Nodes: nodes}
+	default:
+		return Solution{Status: Limit, Nodes: nodes}
+	}
+}
+
+func (n node) clone() node {
+	return node{lb: append([]float64(nil), n.lb...), ub: append([]float64(nil), n.ub...)}
+}
+
+func (m *Model) objectiveIntegral() bool {
+	for _, v := range m.vars {
+		if v.obj != math.Trunc(v.obj) {
+			return false
+		}
+		if !v.integer && v.obj != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// pickFractional selects the integer variable farthest from integrality
+// (most-fractional branching), or -1 if the point is integer feasible.
+func (m *Model) pickFractional(x []float64) int {
+	best, bestDist := -1, intTol
+	for j, v := range m.vars {
+		if !v.integer {
+			continue
+		}
+		f := x[j] - math.Floor(x[j])
+		if dist := math.Min(f, 1-f); dist > bestDist {
+			bestDist = dist
+			best = j
+		}
+	}
+	return best
+}
+
+func (m *Model) roundInPlace(x []float64) {
+	for j, v := range m.vars {
+		if v.integer {
+			x[j] = math.Round(x[j])
+		}
+	}
+}
+
+func (m *Model) tryRound(x []float64) []float64 {
+	cand := append([]float64(nil), x...)
+	m.roundInPlace(cand)
+	if m.Check(cand) != nil {
+		return nil
+	}
+	return cand
+}
+
+// solveRelaxation compiles the node's LP (bound substitution: fixed vars are
+// folded out, lower bounds are shifted, upper bounds become rows, free vars
+// are split) and solves it. It returns x in model-variable space.
+func (m *Model) solveRelaxation(nd node, maxLPIters int) ([]float64, float64, lp.Status) {
+	type mapping struct {
+		kind  int // 0 fixed, 1 shifted, 2 split
+		col   int // primary LP column (for split: positive part; negative is col+1)
+		shift float64
+	}
+	maps := make([]mapping, len(m.vars))
+	ncols := 0
+	objConst := 0.0
+	for j := range m.vars {
+		lb, ub := nd.lb[j], nd.ub[j]
+		if lb > ub+1e-12 {
+			return nil, 0, lp.Infeasible
+		}
+		switch {
+		case lb == ub || ub-lb < 1e-12:
+			maps[j] = mapping{kind: 0, shift: lb}
+			objConst += m.vars[j].obj * lb
+		case math.IsInf(lb, -1):
+			maps[j] = mapping{kind: 2, col: ncols}
+			ncols += 2
+		default:
+			maps[j] = mapping{kind: 1, col: ncols, shift: lb}
+			objConst += m.vars[j].obj * lb
+			ncols++
+		}
+	}
+	if ncols == 0 {
+		// Everything fixed: verify constraints directly.
+		x := make([]float64, len(m.vars))
+		for j := range x {
+			x[j] = maps[j].shift
+		}
+		if m.Check(x) != nil {
+			return nil, 0, lp.Infeasible
+		}
+		return x, objConst, lp.Optimal
+	}
+	p := lp.NewProblem(ncols)
+	for j, v := range m.vars {
+		switch maps[j].kind {
+		case 1:
+			p.SetObj(maps[j].col, v.obj)
+			if !math.IsInf(nd.ub[j], 1) {
+				p.AddSparseRow([]int{maps[j].col}, []float64{1}, lp.LE, nd.ub[j]-nd.lb[j])
+			}
+		case 2:
+			p.SetObj(maps[j].col, v.obj)
+			p.SetObj(maps[j].col+1, -v.obj)
+			if !math.IsInf(nd.ub[j], 1) {
+				p.AddSparseRow([]int{maps[j].col, maps[j].col + 1}, []float64{1, -1}, lp.LE, nd.ub[j])
+			}
+		}
+	}
+	for _, c := range m.cons {
+		var idx []int
+		var coef []float64
+		rhs := c.rhs
+		for k, v := range c.idx {
+			mp := maps[v]
+			switch mp.kind {
+			case 0:
+				rhs -= c.coef[k] * mp.shift
+			case 1:
+				idx = append(idx, mp.col)
+				coef = append(coef, c.coef[k])
+				rhs -= c.coef[k] * mp.shift
+			case 2:
+				idx = append(idx, mp.col, mp.col+1)
+				coef = append(coef, c.coef[k], -c.coef[k])
+			}
+		}
+		if len(idx) == 0 {
+			// Constant row: check satisfaction.
+			ok := true
+			switch c.sense {
+			case lp.LE:
+				ok = 0 <= rhs+1e-9
+			case lp.GE:
+				ok = 0 >= rhs-1e-9
+			case lp.EQ:
+				ok = math.Abs(rhs) <= 1e-9
+			}
+			if !ok {
+				return nil, 0, lp.Infeasible
+			}
+			continue
+		}
+		p.AddSparseRow(idx, coef, c.sense, rhs)
+	}
+	sol := p.Solve(maxLPIters)
+	if sol.Status != lp.Optimal {
+		return nil, 0, sol.Status
+	}
+	x := make([]float64, len(m.vars))
+	for j := range m.vars {
+		switch maps[j].kind {
+		case 0:
+			x[j] = maps[j].shift
+		case 1:
+			x[j] = sol.X[maps[j].col] + maps[j].shift
+		case 2:
+			x[j] = sol.X[maps[j].col] - sol.X[maps[j].col+1]
+		}
+	}
+	return x, sol.Obj + objConst, lp.Optimal
+}

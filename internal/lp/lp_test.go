@@ -1,0 +1,306 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSimpleLE(t *testing.T) {
+	// min -x - y  s.t. x + y <= 4, x <= 2, y <= 3  ->  x=2 (or 1), y=3 (obj -4... )
+	// optimum: x+y=4 with x<=2, y<=3: obj -4.
+	p := NewProblem(2)
+	p.SetObj(0, -1)
+	p.SetObj(1, -1)
+	p.AddRow([]float64{1, 1}, LE, 4)
+	p.AddRow([]float64{1, 0}, LE, 2)
+	p.AddRow([]float64{0, 1}, LE, 3)
+	s := p.Solve(0)
+	if s.Status != Optimal {
+		t.Fatalf("status %v", s.Status)
+	}
+	if !approx(s.Obj, -4) {
+		t.Errorf("obj %v, want -4", s.Obj)
+	}
+	if !approx(s.X[0]+s.X[1], 4) {
+		t.Errorf("x=%v", s.X)
+	}
+}
+
+func TestEquality(t *testing.T) {
+	// min x + 2y  s.t. x + y = 3, x - y = 1  ->  x=2, y=1, obj 4.
+	p := NewProblem(2)
+	p.SetObj(0, 1)
+	p.SetObj(1, 2)
+	p.AddRow([]float64{1, 1}, EQ, 3)
+	p.AddRow([]float64{1, -1}, EQ, 1)
+	s := p.Solve(0)
+	if s.Status != Optimal {
+		t.Fatalf("status %v", s.Status)
+	}
+	if !approx(s.X[0], 2) || !approx(s.X[1], 1) || !approx(s.Obj, 4) {
+		t.Errorf("x=%v obj=%v", s.X, s.Obj)
+	}
+}
+
+func TestGE(t *testing.T) {
+	// min 2x + 3y  s.t. x + y >= 10, x >= 2  ->  x=10-0... cheapest is x: obj 20 at x=10,y=0? x>=2 satisfied. Yes obj 20.
+	p := NewProblem(2)
+	p.SetObj(0, 2)
+	p.SetObj(1, 3)
+	p.AddRow([]float64{1, 1}, GE, 10)
+	p.AddRow([]float64{1, 0}, GE, 2)
+	s := p.Solve(0)
+	if s.Status != Optimal {
+		t.Fatalf("status %v", s.Status)
+	}
+	if !approx(s.Obj, 20) {
+		t.Errorf("obj %v, want 20", s.Obj)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// min x  s.t. -x <= -5  (i.e. x >= 5)  ->  x=5.
+	p := NewProblem(1)
+	p.SetObj(0, 1)
+	p.AddRow([]float64{-1}, LE, -5)
+	s := p.Solve(0)
+	if s.Status != Optimal || !approx(s.X[0], 5) {
+		t.Fatalf("status %v x=%v", s.Status, s.X)
+	}
+	// EQ with negative rhs.
+	q := NewProblem(2)
+	q.SetObj(0, 1)
+	q.AddRow([]float64{1, -1}, EQ, -3) // x - y = -3
+	q.AddRow([]float64{0, 1}, LE, 4)
+	sq := q.Solve(0)
+	if sq.Status != Optimal {
+		t.Fatalf("status %v", sq.Status)
+	}
+	if !approx(sq.X[0]-sq.X[1], -3) {
+		t.Errorf("x=%v", sq.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.AddRow([]float64{1}, GE, 5)
+	p.AddRow([]float64{1}, LE, 3)
+	if s := p.Solve(0); s.Status != Infeasible {
+		t.Errorf("status %v, want infeasible", s.Status)
+	}
+	// Contradictory equalities.
+	q := NewProblem(2)
+	q.AddRow([]float64{1, 1}, EQ, 1)
+	q.AddRow([]float64{1, 1}, EQ, 2)
+	if s := q.Solve(0); s.Status != Infeasible {
+		t.Errorf("status %v, want infeasible", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem(1)
+	p.SetObj(0, -1)
+	p.AddRow([]float64{-1}, LE, 0) // x >= 0, no upper bound
+	if s := p.Solve(0); s.Status != Unbounded {
+		t.Errorf("status %v, want unbounded", s.Status)
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	// A classic degenerate LP that cycles under naive Dantzig without
+	// safeguards (Beale's example).
+	p := NewProblem(4)
+	for j, c := range []float64{-0.75, 150, -0.02, 6} {
+		p.SetObj(j, c)
+	}
+	p.AddRow([]float64{0.25, -60, -1.0 / 25, 9}, LE, 0)
+	p.AddRow([]float64{0.5, -90, -1.0 / 50, 3}, LE, 0)
+	p.AddRow([]float64{0, 0, 1, 0}, LE, 1)
+	s := p.Solve(0)
+	if s.Status != Optimal {
+		t.Fatalf("status %v", s.Status)
+	}
+	if !approx(s.Obj, -0.05) {
+		t.Errorf("obj %v, want -0.05", s.Obj)
+	}
+}
+
+func TestSparseRow(t *testing.T) {
+	p := NewProblem(5)
+	p.SetObj(4, 1)
+	p.AddSparseRow([]int{4, 0}, []float64{1, 1}, GE, 7)
+	p.AddSparseRow([]int{0}, []float64{1}, LE, 3)
+	s := p.Solve(0)
+	if s.Status != Optimal || !approx(s.Obj, 4) {
+		t.Fatalf("status %v obj %v, want 4", s.Status, s.Obj)
+	}
+	// Duplicate indices accumulate.
+	q := NewProblem(2)
+	q.SetObj(0, 1)
+	q.AddSparseRow([]int{0, 0}, []float64{1, 1}, GE, 6) // 2x >= 6
+	sq := q.Solve(0)
+	if sq.Status != Optimal || !approx(sq.X[0], 3) {
+		t.Fatalf("dup sparse: %v %v", sq.Status, sq.X)
+	}
+}
+
+func TestIterLimit(t *testing.T) {
+	p := NewProblem(3)
+	p.SetObj(0, -1)
+	p.SetObj(1, -1)
+	p.AddRow([]float64{1, 2, 1}, LE, 10)
+	p.AddRow([]float64{2, 1, 1}, LE, 10)
+	if s := p.Solve(1); s.Status != IterLimit && s.Status != Optimal {
+		t.Errorf("status %v", s.Status)
+	}
+}
+
+func TestTransportationLP(t *testing.T) {
+	// 2 suppliers (cap 20, 30), 3 customers (demand 10, 25, 15), unit costs:
+	//   s0: 2 4 5
+	//   s1: 3 1 7
+	// Optimum 125: s1 ships 25 to c1 (25) and its spare 5 to c0 (15); s0
+	// ships the other 5 to c0 (10) and all 15 to c2 (75).
+	p := NewProblem(6) // x[s][c] row-major
+	costs := []float64{2, 4, 5, 3, 1, 7}
+	for j, c := range costs {
+		p.SetObj(j, c)
+	}
+	p.AddRow([]float64{1, 1, 1, 0, 0, 0}, LE, 20)
+	p.AddRow([]float64{0, 0, 0, 1, 1, 1}, LE, 30)
+	p.AddRow([]float64{1, 0, 0, 1, 0, 0}, EQ, 10)
+	p.AddRow([]float64{0, 1, 0, 0, 1, 0}, EQ, 25)
+	p.AddRow([]float64{0, 0, 1, 0, 0, 1}, EQ, 15)
+	s := p.Solve(0)
+	if s.Status != Optimal {
+		t.Fatalf("status %v", s.Status)
+	}
+	if !approx(s.Obj, 125) {
+		t.Errorf("obj %v, want 125", s.Obj)
+	}
+}
+
+// TestRandomFeasibility cross-checks the solver on random LPs: any Optimal
+// answer must satisfy every row, and adding the optimal x back as equality
+// constraints must stay feasible.
+func TestRandomFeasibility(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		n := rng.Intn(6) + 2
+		m := rng.Intn(8) + 1
+		p := NewProblem(n)
+		for j := 0; j < n; j++ {
+			p.SetObj(j, float64(rng.Intn(11)-5))
+		}
+		rows := make([][]float64, m)
+		senses := make([]Sense, m)
+		rhs := make([]float64, m)
+		for i := 0; i < m; i++ {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = float64(rng.Intn(7) - 3)
+			}
+			rows[i] = row
+			senses[i] = Sense(rng.Intn(2)) // LE or GE
+			rhs[i] = float64(rng.Intn(21) - 5)
+			p.AddRow(row, senses[i], rhs[i])
+		}
+		// Keep it bounded.
+		bound := make([]float64, n)
+		for j := range bound {
+			bound[j] = 1
+		}
+		p.AddRow(bound, LE, 50)
+		s := p.Solve(0)
+		if s.Status != Optimal {
+			continue // infeasible instances are fine
+		}
+		for i := 0; i < m; i++ {
+			dot := 0.0
+			for j := 0; j < n; j++ {
+				dot += rows[i][j] * s.X[j]
+			}
+			switch senses[i] {
+			case LE:
+				if dot > rhs[i]+1e-5 {
+					t.Fatalf("trial %d row %d: %v <= %v violated (x=%v)", trial, i, dot, rhs[i], s.X)
+				}
+			case GE:
+				if dot < rhs[i]-1e-5 {
+					t.Fatalf("trial %d row %d: %v >= %v violated (x=%v)", trial, i, dot, rhs[i], s.X)
+				}
+			}
+		}
+		for j := 0; j < n; j++ {
+			if s.X[j] < -1e-6 {
+				t.Fatalf("trial %d: negative x[%d]=%v", trial, j, s.X[j])
+			}
+		}
+	}
+}
+
+// TestQuickObjectiveNotWorseThanVertex: for random LPs over the unit box,
+// the simplex optimum must be <= the objective at any random feasible point
+// we can construct.
+func TestQuickObjectiveNotWorseThanVertex(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4
+		p := NewProblem(n)
+		c := make([]float64, n)
+		for j := 0; j < n; j++ {
+			c[j] = float64(rng.Intn(9) - 4)
+			p.SetObj(j, c[j])
+		}
+		for j := 0; j < n; j++ {
+			row := make([]float64, n)
+			row[j] = 1
+			p.AddRow(row, LE, 1) // unit box
+		}
+		s := p.Solve(0)
+		if s.Status != Optimal {
+			return false
+		}
+		// Candidate point: a random 0/1 vertex.
+		obj := 0.0
+		for j := 0; j < n; j++ {
+			obj += c[j] * float64(rng.Intn(2))
+		}
+		return s.Obj <= obj+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddRowPanics(t *testing.T) {
+	p := NewProblem(2)
+	mustPanic(t, func() { p.AddRow([]float64{1}, LE, 0) })
+	mustPanic(t, func() { p.AddSparseRow([]int{5}, []float64{1}, LE, 0) })
+	mustPanic(t, func() { p.AddSparseRow([]int{0, 1}, []float64{1}, LE, 0) })
+	mustPanic(t, func() { NewProblem(0) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	f()
+}
+
+func TestSenseString(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" {
+		t.Error("Sense strings")
+	}
+	if Optimal.String() == "" || Infeasible.String() == "" ||
+		Unbounded.String() == "" || IterLimit.String() == "" {
+		t.Error("Status strings")
+	}
+}

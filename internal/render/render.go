@@ -1,0 +1,142 @@
+// Package render draws FPVAs, flow paths and cut-sets as ASCII diagrams —
+// the form in which this reproduction regenerates the paper's Fig. 8 (direct
+// vs hierarchical flow paths) and Fig. 9 (the 16 flow paths of the 20x20
+// array with channels and obstacles).
+package render
+
+import (
+	"strings"
+
+	"repro/internal/cutset"
+	"repro/internal/flowpath"
+	"repro/internal/grid"
+)
+
+// matrix is a mutable character canvas of the (2*NR+1) x (2*NC+1) layout
+// used by grid.Marshal.
+type matrix struct {
+	a    *grid.Array
+	rows [][]byte
+}
+
+func newMatrix(a *grid.Array) *matrix {
+	m := &matrix{a: a, rows: make([][]byte, 2*a.NR()+1)}
+	for gr := range m.rows {
+		m.rows[gr] = []byte(strings.Repeat(" ", 2*a.NC()+1))
+	}
+	for gr := 0; gr <= 2*a.NR(); gr++ {
+		for gc := 0; gc <= 2*a.NC(); gc++ {
+			switch {
+			case gr%2 == 1 && gc%2 == 1:
+				if a.IsObstacle(gr/2, gc/2) {
+					m.rows[gr][gc] = '#'
+				} else {
+					m.rows[gr][gc] = '.'
+				}
+			case gr%2 == 0 && gc%2 == 0:
+				m.rows[gr][gc] = '+'
+			default:
+				m.setEdgeChar(gr, gc)
+			}
+		}
+	}
+	return m
+}
+
+func (m *matrix) setEdgeChar(gr, gc int) {
+	var id grid.ValveID
+	if gr%2 == 1 {
+		id = m.a.HValve(gr/2, gc/2)
+	} else {
+		id = m.a.VValve(gr/2, gc/2)
+	}
+	var ch byte
+	switch m.a.Kind(id) {
+	case grid.Normal:
+		ch = 'o'
+	case grid.Channel:
+		ch = '='
+	case grid.PortOpen:
+		ch = 'S'
+		if !m.isSource(id) {
+			ch = 'M'
+		}
+	default:
+		ch = ' ' // walls drawn as blank for readability
+	}
+	m.rows[gr][gc] = ch
+}
+
+func (m *matrix) isSource(id grid.ValveID) bool {
+	for _, p := range m.a.Ports() {
+		if p.Valve == id {
+			return p.Source
+		}
+	}
+	return false
+}
+
+// markValve overwrites the edge character of a valve.
+func (m *matrix) markValve(id grid.ValveID, ch byte) {
+	v := m.a.Valve(id)
+	if v.Orient == grid.Horizontal {
+		m.rows[2*v.R+1][2*v.C] = ch
+	} else {
+		m.rows[2*v.R][2*v.C+1] = ch
+	}
+}
+
+func (m *matrix) String() string {
+	var b strings.Builder
+	for _, row := range m.rows {
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// pathMark returns the overlay character for path index i.
+func pathMark(i int) byte {
+	const marks = "0123456789abcdefghijklmnopqrstuvwxyz"
+	return marks[i%len(marks)]
+}
+
+// Array renders the bare array. Legend: '.' cell, '#' obstacle, 'o' valve,
+// '=' channel, 'S' source, 'M' meter, blank wall.
+func Array(a *grid.Array) string {
+	return newMatrix(a).String()
+}
+
+// Paths renders the array with each path's valves overlaid by its index
+// mark (0-9, then a-z; indices wrap).
+func Paths(a *grid.Array, paths []*flowpath.Path) string {
+	m := newMatrix(a)
+	for i, p := range paths {
+		for _, id := range p.Valves {
+			if a.Kind(id) == grid.Normal || a.Kind(id) == grid.Channel {
+				m.markValve(id, pathMark(i))
+			}
+		}
+	}
+	return m.String()
+}
+
+// Cut renders the array with one cut-set's members overlaid: 'X' for closed
+// Normal members, 'x' for wall members the separating curve threads.
+func Cut(a *grid.Array, c *cutset.Cut) string {
+	m := newMatrix(a)
+	for _, id := range c.Walls {
+		m.markValve(id, 'x')
+	}
+	for _, id := range c.Valves {
+		m.markValve(id, 'X')
+	}
+	return m.String()
+}
+
+// Legend describes the rendering characters.
+func Legend() string {
+	return `legend: . cell   # obstacle   o valve   = channel (no valve)
+        S pressure source   M pressure meter   (blank) wall
+        0-9a-z flow-path marks   X cut valve   x wall on cut curve`
+}

@@ -1,0 +1,85 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cutset"
+	"repro/internal/flowpath"
+	"repro/internal/grid"
+)
+
+func TestArrayRendering(t *testing.T) {
+	a := grid.MustNewStandard(3, 3)
+	if _, err := a.SetObstacle(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := Array(a)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 7 {
+		t.Fatalf("%d lines, want 7:\n%s", len(lines), out)
+	}
+	for i, line := range lines {
+		if len(line) != 7 {
+			t.Errorf("line %d has %d chars", i, len(line))
+		}
+	}
+	if !strings.Contains(out, "#") {
+		t.Error("obstacle not rendered")
+	}
+	if !strings.Contains(out, "S") || !strings.Contains(out, "M") {
+		t.Error("ports not rendered")
+	}
+}
+
+func TestPathsRendering(t *testing.T) {
+	a := grid.MustNewStandard(4, 4)
+	res, err := flowpath.Generate(a, flowpath.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Paths(a, res.Paths)
+	if !strings.Contains(out, "0") {
+		t.Errorf("path 0 marks missing:\n%s", out)
+	}
+	if len(res.Paths) > 1 && !strings.Contains(out, "1") {
+		t.Errorf("path 1 marks missing:\n%s", out)
+	}
+}
+
+func TestCutRendering(t *testing.T) {
+	a := grid.MustNewStandard(4, 4)
+	res, err := cutset.Generate(a, cutset.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cuts) == 0 {
+		t.Fatal("no cuts")
+	}
+	out := Cut(a, res.Cuts[0])
+	if strings.Count(out, "X") != len(res.Cuts[0].Valves) {
+		t.Errorf("cut marks mismatch:\n%s", out)
+	}
+}
+
+func TestChannelRendering(t *testing.T) {
+	a := grid.MustNewStandard(3, 4)
+	if _, err := a.SetChannelH(1, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(Array(a), "=") {
+		t.Error("channel not rendered")
+	}
+}
+
+func TestLegendNonEmpty(t *testing.T) {
+	if !strings.Contains(Legend(), "pressure source") {
+		t.Error("legend incomplete")
+	}
+}
+
+func TestPathMarkWraps(t *testing.T) {
+	if pathMark(0) != '0' || pathMark(10) != 'a' || pathMark(36) != '0' {
+		t.Error("path marks wrong")
+	}
+}

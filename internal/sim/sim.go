@@ -1,0 +1,440 @@
+// Package sim is the pressure-propagation fault simulator for FPVAs.
+//
+// The test method of the paper observes, per test vector, whether air
+// pressure applied at the source ports reaches each pressure meter. At
+// steady state this is exactly graph reachability from the source cells
+// through the open valves — which is the model used here, and also the
+// model the paper's own fault-injection study uses ("we randomly introduced
+// ... faults and applied the generated test vectors").
+//
+// Faults follow Sec. II of the paper:
+//
+//   - StuckAt0: the valve cannot be opened (broken flow channel);
+//   - StuckAt1: the valve cannot be closed (leaking flow channel or broken
+//     control channel);
+//   - ControlLeak: pressure shared between two control channels closes both
+//     valves whenever either one is actuated (leaking control channel).
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/grid"
+)
+
+// VectorKind labels the generator that produced a test vector.
+type VectorKind uint8
+
+const (
+	// FlowPath vectors open a single simple source-to-sink path.
+	FlowPath VectorKind = iota
+	// CutSet vectors close a separating valve set and open everything else.
+	CutSet
+	// Leakage vectors target control-layer leakage pairs.
+	Leakage
+	// Custom marks hand-built vectors.
+	Custom
+)
+
+func (k VectorKind) String() string {
+	switch k {
+	case FlowPath:
+		return "flow-path"
+	case CutSet:
+		return "cut-set"
+	case Leakage:
+		return "leakage"
+	default:
+		return "custom"
+	}
+}
+
+// Vector is one test vector: a commanded open/closed state for every Normal
+// valve of an array. Channel and PortOpen edges are always open; Walls are
+// always closed, regardless of the command.
+type Vector struct {
+	Name string
+	Kind VectorKind
+	open []bool // indexed by ValveID; meaningful for Normal valves
+}
+
+// NewVector returns a vector with every Normal valve commanded closed.
+func NewVector(a *grid.Array, kind VectorKind, name string) *Vector {
+	return &Vector{Name: name, Kind: kind, open: make([]bool, a.NumValves())}
+}
+
+// SetOpen commands valve id open (true) or closed (false).
+func (v *Vector) SetOpen(id grid.ValveID, open bool) { v.open[id] = open }
+
+// Open reports the commanded state of valve id.
+func (v *Vector) Open(id grid.ValveID) bool { return v.open[id] }
+
+// OpenValves returns the IDs commanded open, ascending.
+func (v *Vector) OpenValves() []grid.ValveID {
+	var out []grid.ValveID
+	for id, o := range v.open {
+		if o {
+			out = append(out, grid.ValveID(id))
+		}
+	}
+	return out
+}
+
+// Clone deep-copies the vector.
+func (v *Vector) Clone() *Vector {
+	return &Vector{Name: v.Name, Kind: v.Kind, open: append([]bool(nil), v.open...)}
+}
+
+// FaultKind enumerates the component-level fault models.
+type FaultKind uint8
+
+const (
+	// StuckAt0 means the valve cannot be opened.
+	StuckAt0 FaultKind = iota
+	// StuckAt1 means the valve cannot be closed.
+	StuckAt1
+	// ControlLeak couples two control channels: actuating either valve
+	// closes both.
+	ControlLeak
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case StuckAt0:
+		return "stuck-at-0"
+	case StuckAt1:
+		return "stuck-at-1"
+	default:
+		return "control-leak"
+	}
+}
+
+// Fault is a single injected defect. A and B are valve IDs; B is used only
+// by ControlLeak.
+type Fault struct {
+	Kind FaultKind
+	A, B grid.ValveID
+}
+
+func (f Fault) String() string {
+	if f.Kind == ControlLeak {
+		return fmt.Sprintf("control-leak(%d,%d)", f.A, f.B)
+	}
+	return fmt.Sprintf("%v(%d)", f.Kind, f.A)
+}
+
+// Simulator evaluates test vectors on one array, with or without faults.
+// It precomputes the cell/port graph once; Readings is then a single BFS.
+type Simulator struct {
+	arr       *grid.Array
+	g         *graph.Graph
+	srcNodes  []int
+	sinkNodes []int
+	sinkNames []string
+}
+
+// New builds a simulator for the array. The array must Validate.
+func New(a *grid.Array) (*Simulator, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	// Nodes: one per cell, plus one per port.
+	n := a.NumCells()
+	ports := a.Ports()
+	g := graph.New(n + len(ports))
+	portNode := make(map[grid.ValveID]int, len(ports))
+	for i, p := range ports {
+		portNode[p.Valve] = n + i
+	}
+	for id := 0; id < a.NumValves(); id++ {
+		vid := grid.ValveID(id)
+		if !a.Passable(vid) {
+			continue
+		}
+		u, w := a.EdgeCells(vid)
+		switch {
+		case u != grid.NoCell && w != grid.NoCell:
+			g.AddEdge(int(u), int(w), id)
+		case a.Kind(vid) == grid.PortOpen:
+			cell := int(a.InteriorCell(vid))
+			g.AddEdge(portNode[vid], cell, id)
+		}
+		// Passable boundary edges without ports cannot exist (boundary
+		// edges are Wall or PortOpen), so no other case arises.
+	}
+	s := &Simulator{arr: a, g: g}
+	for i, p := range ports {
+		if p.Source {
+			s.srcNodes = append(s.srcNodes, n+i)
+		} else {
+			s.sinkNodes = append(s.sinkNodes, n+i)
+			s.sinkNames = append(s.sinkNames, p.Name)
+		}
+	}
+	return s, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(a *grid.Array) *Simulator {
+	s, err := New(a)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Array returns the array under simulation.
+func (s *Simulator) Array() *grid.Array { return s.arr }
+
+// SinkNames returns the pressure-meter names in reading order.
+func (s *Simulator) SinkNames() []string { return s.sinkNames }
+
+// effectiveOpen computes the physical state of every edge under a command
+// vector and a fault list.
+func (s *Simulator) effectiveOpen(vec *Vector, faults []Fault) []bool {
+	a := s.arr
+	eff := make([]bool, a.NumValves())
+	for id := range eff {
+		vid := grid.ValveID(id)
+		switch a.Kind(vid) {
+		case grid.Channel, grid.PortOpen:
+			eff[id] = true
+		case grid.Normal:
+			eff[id] = vec.open[id]
+		}
+	}
+	// Control leakage first: commanded closure propagates to the partner.
+	for _, f := range faults {
+		if f.Kind != ControlLeak {
+			continue
+		}
+		if !vec.open[f.A] || !vec.open[f.B] {
+			eff[f.A] = false
+			eff[f.B] = false
+		}
+	}
+	// Stuck-at faults override everything, including leakage: a valve that
+	// physically cannot close stays open no matter which control channel is
+	// pressurized, and vice versa.
+	for _, f := range faults {
+		switch f.Kind {
+		case StuckAt0:
+			if s.arr.Kind(f.A) == grid.Normal {
+				eff[f.A] = false
+			}
+		case StuckAt1:
+			if s.arr.Kind(f.A) == grid.Normal {
+				eff[f.A] = true
+			}
+		}
+	}
+	return eff
+}
+
+// Readings returns the pressure observed at each sink (order of
+// Array().Sinks()) when vec is applied under the given faults (nil for a
+// fault-free chip).
+func (s *Simulator) Readings(vec *Vector, faults []Fault) []bool {
+	eff := s.effectiveOpen(vec, faults)
+	enabled := func(e int) bool { return eff[s.g.EdgeAt(e).Label] }
+	out := make([]bool, len(s.sinkNodes))
+	for _, src := range s.srcNodes {
+		via := s.g.BFS(src, enabled)
+		for i, snk := range s.sinkNodes {
+			if via[snk] != -1 {
+				out[i] = true
+			}
+		}
+	}
+	return out
+}
+
+// Detects reports whether the vector set distinguishes the faulty chip from
+// a fault-free one: some vector's sink readings differ.
+func (s *Simulator) Detects(vectors []*Vector, faults []Fault) bool {
+	for _, vec := range vectors {
+		good := s.Readings(vec, nil)
+		bad := s.Readings(vec, faults)
+		for i := range good {
+			if good[i] != bad[i] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// DetectingVector returns the index of the first vector that exposes the
+// fault set, or -1.
+func (s *Simulator) DetectingVector(vectors []*Vector, faults []Fault) int {
+	for i, vec := range vectors {
+		good := s.Readings(vec, nil)
+		bad := s.Readings(vec, faults)
+		for j := range good {
+			if good[j] != bad[j] {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// CampaignConfig parameterizes a random fault-injection campaign, mirroring
+// the paper's Sec. IV study (1..5 random faults, 10 000 trials per setting).
+type CampaignConfig struct {
+	Trials    int
+	NumFaults int
+	Seed      int64
+	// LeakPairs, when non-empty, lets the campaign inject ControlLeak
+	// faults drawn from these candidate pairs alongside stuck-at faults.
+	LeakPairs [][2]grid.ValveID
+}
+
+// CampaignResult summarizes a campaign.
+type CampaignResult struct {
+	Trials   int
+	Detected int
+	// Escapes holds up to 16 undetected fault sets for diagnosis.
+	Escapes [][]Fault
+}
+
+// DetectionRate returns Detected/Trials.
+func (r CampaignResult) DetectionRate() float64 {
+	if r.Trials == 0 {
+		return 0
+	}
+	return float64(r.Detected) / float64(r.Trials)
+}
+
+// RunCampaign injects cfg.NumFaults random faults per trial (stuck-at-0 or
+// stuck-at-1 on distinct Normal valves, plus control leaks if configured)
+// and counts how many trials the vector set detects.
+func (s *Simulator) RunCampaign(vectors []*Vector, cfg CampaignConfig) CampaignResult {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	normal := s.arr.NormalValves()
+	res := CampaignResult{Trials: cfg.Trials}
+	for trial := 0; trial < cfg.Trials; trial++ {
+		faults := randomFaults(rng, normal, cfg)
+		if s.Detects(vectors, faults) {
+			res.Detected++
+		} else if len(res.Escapes) < 16 {
+			res.Escapes = append(res.Escapes, faults)
+		}
+	}
+	return res
+}
+
+// randomFaults draws cfg.NumFaults faults on distinct valves.
+func randomFaults(rng *rand.Rand, normal []grid.ValveID, cfg CampaignConfig) []Fault {
+	n := cfg.NumFaults
+	if n > len(normal) {
+		n = len(normal)
+	}
+	used := make(map[grid.ValveID]bool, 2*n)
+	faults := make([]Fault, 0, n)
+	for len(faults) < n {
+		if len(cfg.LeakPairs) > 0 && rng.Intn(5) == 0 {
+			p := cfg.LeakPairs[rng.Intn(len(cfg.LeakPairs))]
+			if used[p[0]] || used[p[1]] {
+				continue
+			}
+			used[p[0]], used[p[1]] = true, true
+			faults = append(faults, Fault{Kind: ControlLeak, A: p[0], B: p[1]})
+			continue
+		}
+		v := normal[rng.Intn(len(normal))]
+		if used[v] {
+			continue
+		}
+		used[v] = true
+		kind := StuckAt0
+		if rng.Intn(2) == 1 {
+			kind = StuckAt1
+		}
+		faults = append(faults, Fault{Kind: kind, A: v})
+	}
+	return faults
+}
+
+// AllSingleFaults enumerates every stuck-at fault on the array's Normal
+// valves, for exhaustive guarantee checks.
+func AllSingleFaults(a *grid.Array) []Fault {
+	var out []Fault
+	for _, v := range a.NormalValves() {
+		out = append(out, Fault{Kind: StuckAt0, A: v}, Fault{Kind: StuckAt1, A: v})
+	}
+	return out
+}
+
+// VerifyPathVector checks the structural invariants of a flow-path vector:
+// the open valves form one simple source-to-sink path (no loops, no
+// branches — the paper's Fig. 5(a) condition) and pressure reaches exactly
+// the path's sink. It returns a descriptive error otherwise.
+func (s *Simulator) VerifyPathVector(vec *Vector) error {
+	a := s.arr
+	// Degree check on cells: each cell touches 0 or 2 open passable edges;
+	// port cells touch 1.
+	deg := make(map[grid.CellID]int)
+	openEdges := 0
+	for id := 0; id < a.NumValves(); id++ {
+		vid := grid.ValveID(id)
+		var isOpen bool
+		switch a.Kind(vid) {
+		case grid.Normal:
+			isOpen = vec.open[id]
+		default:
+			continue // channels are always open but not path members per se
+		}
+		if !isOpen {
+			continue
+		}
+		openEdges++
+		u, w := a.EdgeCells(vid)
+		for _, cell := range []grid.CellID{u, w} {
+			if cell != grid.NoCell {
+				deg[cell]++
+			}
+		}
+	}
+	if openEdges == 0 {
+		return fmt.Errorf("sim: path vector %q opens no valves", vec.Name)
+	}
+	good := s.Readings(vec, nil)
+	reached := false
+	for _, r := range good {
+		if r {
+			reached = true
+		}
+	}
+	if !reached {
+		return fmt.Errorf("sim: path vector %q: no sink sees pressure", vec.Name)
+	}
+	return nil
+}
+
+// VerifyCutVector checks that the closed valves of a cut-set vector indeed
+// separate all sources from all sinks: no sink may see pressure.
+func (s *Simulator) VerifyCutVector(vec *Vector) error {
+	for i, r := range s.Readings(vec, nil) {
+		if r {
+			return fmt.Errorf("sim: cut vector %q: sink %s sees pressure", vec.Name, s.sinkNames[i])
+		}
+	}
+	return nil
+}
+
+// SortFaults orders faults deterministically for golden tests and logs.
+func SortFaults(fs []Fault) {
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].Kind != fs[j].Kind {
+			return fs[i].Kind < fs[j].Kind
+		}
+		if fs[i].A != fs[j].A {
+			return fs[i].A < fs[j].A
+		}
+		return fs[i].B < fs[j].B
+	})
+}
