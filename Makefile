@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build test check fmt vet bench bench-smoke clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+# Full local gate: formatting, static checks, tests, and a one-shot campaign
+# benchmark smoke so the Sec. IV engine is exercised end to end.
+check: fmt vet test bench-smoke
+
+bench-smoke:
+	$(GO) test -run '^$$' -bench Campaign -benchtime 1x .
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+clean:
+	$(GO) clean ./...

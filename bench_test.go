@@ -14,6 +14,7 @@ package repro
 // numbers the paper reports appear directly in the benchmark output.
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/bench"
@@ -92,7 +93,7 @@ func BenchmarkFig9_Paths20x20(b *testing.B) {
 	b.ReportMetric(float64(a.NumNormal()), "valves")
 }
 
-func benchCampaign(b *testing.B, faults int) {
+func benchCampaign(b *testing.B, faults, workers int) {
 	c, err := bench.FindCase("5x5")
 	if err != nil {
 		b.Fatal(err)
@@ -104,21 +105,49 @@ func benchCampaign(b *testing.B, faults int) {
 	s := sim.MustNew(ts.Array)
 	vecs := ts.AllVectors()
 	var res sim.CampaignResult
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res = s.RunCampaign(vecs, sim.CampaignConfig{
-			Trials: 10000, NumFaults: faults, Seed: int64(faults),
+			Trials: 10000, NumFaults: faults, Seed: int64(faults), Workers: workers,
 		})
 	}
 	b.ReportMetric(res.DetectionRate(), "detection_rate")
 }
 
 // Sec. IV fault-injection study: 10 000 random injections per fault count
-// (paper: all detected, for every k in 1..5).
-func BenchmarkCampaign_1Fault(b *testing.B)  { benchCampaign(b, 1) }
-func BenchmarkCampaign_2Faults(b *testing.B) { benchCampaign(b, 2) }
-func BenchmarkCampaign_3Faults(b *testing.B) { benchCampaign(b, 3) }
-func BenchmarkCampaign_4Faults(b *testing.B) { benchCampaign(b, 4) }
-func BenchmarkCampaign_5Faults(b *testing.B) { benchCampaign(b, 5) }
+// (paper: all detected, for every k in 1..5). The base variants run
+// single-worker; the _Parallel variants shard trials across all CPUs.
+func BenchmarkCampaign_1Fault(b *testing.B)  { benchCampaign(b, 1, 1) }
+func BenchmarkCampaign_2Faults(b *testing.B) { benchCampaign(b, 2, 1) }
+func BenchmarkCampaign_3Faults(b *testing.B) { benchCampaign(b, 3, 1) }
+func BenchmarkCampaign_4Faults(b *testing.B) { benchCampaign(b, 4, 1) }
+func BenchmarkCampaign_5Faults(b *testing.B) { benchCampaign(b, 5, 1) }
+
+func BenchmarkCampaign_1Fault_Parallel(b *testing.B)  { benchCampaign(b, 1, runtime.NumCPU()) }
+func BenchmarkCampaign_2Faults_Parallel(b *testing.B) { benchCampaign(b, 2, runtime.NumCPU()) }
+func BenchmarkCampaign_3Faults_Parallel(b *testing.B) { benchCampaign(b, 3, runtime.NumCPU()) }
+func BenchmarkCampaign_4Faults_Parallel(b *testing.B) { benchCampaign(b, 4, runtime.NumCPU()) }
+func BenchmarkCampaign_5Faults_Parallel(b *testing.B) { benchCampaign(b, 5, runtime.NumCPU()) }
+
+// The compiled fast path: reuse one CompiledVectors across campaigns, as
+// CampaignSeries and fpvasim do — compile cost amortized away entirely.
+func BenchmarkCampaign_5Faults_Compiled(b *testing.B) {
+	c, err := bench.FindCase("5x5")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts, err := bench.Row(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cv := sim.MustNew(ts.Array).Compile(ts.AllVectors())
+	var res sim.CampaignResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = cv.RunCampaign(sim.CampaignConfig{Trials: 10000, NumFaults: 5, Seed: 5})
+	}
+	b.ReportMetric(res.DetectionRate(), "detection_rate")
+}
 
 func benchBaseline(b *testing.B, name string) {
 	c, err := bench.FindCase(name)

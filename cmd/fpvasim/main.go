@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -28,17 +29,18 @@ func main() {
 		trials    = flag.Int("trials", 10000, "injections per fault count")
 		maxFaults = flag.Int("faults", 5, "maximum number of simultaneous faults")
 		seed      = flag.Int64("seed", 2017, "campaign RNG seed")
+		workers   = flag.Int("workers", 0, "campaign worker goroutines (0 = all CPUs)")
 		leaks     = flag.Bool("leaks", false, "also inject control-leakage faults")
 		baseline  = flag.Bool("baseline", false, "evaluate the one-valve-at-a-time baseline instead")
 	)
 	flag.Parse()
-	if err := run(*caseName, *trials, *maxFaults, *seed, *leaks, *baseline); err != nil {
+	if err := run(os.Stdout, *caseName, *trials, *maxFaults, *seed, *workers, *leaks, *baseline); err != nil {
 		fmt.Fprintln(os.Stderr, "fpvasim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(caseName string, trials, maxFaults int, seed int64, leaks, baseline bool) error {
+func run(w io.Writer, caseName string, trials, maxFaults int, seed int64, workers int, leaks, baseline bool) error {
 	c, err := bench.FindCase(caseName)
 	if err != nil {
 		return err
@@ -65,7 +67,7 @@ func run(caseName string, trials, maxFaults int, seed int64, leaks, baseline boo
 		vectors = ts.AllVectors()
 		label = "proposed"
 	}
-	fmt.Printf("%s on %v: %d vectors (generated in %v)\n",
+	fmt.Fprintf(w, "%s on %v: %d vectors (generated in %v)\n",
 		label, a, len(vectors), time.Since(t0).Round(time.Millisecond))
 
 	var leakPairs [][2]grid.ValveID
@@ -78,14 +80,16 @@ func run(caseName string, trials, maxFaults int, seed int64, leaks, baseline boo
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-8s %-10s %-10s %-10s\n", "faults", "trials", "detected", "rate")
+	cv := s.Compile(vectors)
+	fmt.Fprintf(w, "%-8s %-10s %-10s %-10s\n", "faults", "trials", "detected", "rate")
 	for k := 1; k <= maxFaults; k++ {
-		res := s.RunCampaign(vectors, sim.CampaignConfig{
-			Trials: trials, NumFaults: k, Seed: seed + int64(k), LeakPairs: leakPairs,
+		res := cv.RunCampaign(sim.CampaignConfig{
+			Trials: trials, NumFaults: k, Seed: seed + int64(k),
+			Workers: workers, LeakPairs: leakPairs,
 		})
-		fmt.Printf("%-8d %-10d %-10d %.4f\n", k, res.Trials, res.Detected, res.DetectionRate())
+		fmt.Fprintf(w, "%-8d %-10d %-10d %.4f\n", k, res.Trials, res.Detected, res.DetectionRate())
 		for _, esc := range res.Escapes {
-			fmt.Printf("  escape: %v\n", esc)
+			fmt.Fprintf(w, "  escape: %v\n", esc)
 		}
 	}
 	return nil

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSmallCampaign(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "5x5", 100, 2, 1, 0, false, false); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"proposed", "faults", "1.0000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunWithLeaks(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "5x5", 50, 3, 7, 2, true, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "proposed") {
+		t.Errorf("output:\n%s", b.String())
+	}
+}
+
+func TestRunBaseline(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "5x5", 50, 1, 1, 1, false, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "baseline") {
+		t.Errorf("output:\n%s", b.String())
+	}
+}
+
+func TestRunWorkerCountsAgree(t *testing.T) {
+	// The campaign must print identical detection tables no matter how many
+	// workers shard the trials.
+	var seq, par strings.Builder
+	if err := run(&seq, "5x5", 200, 3, 42, 1, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&par, "5x5", 200, 3, 42, 8, false, false); err != nil {
+		t.Fatal(err)
+	}
+	trim := func(s string) string {
+		// Drop the first line: it carries generation wall-clock time.
+		if i := strings.IndexByte(s, '\n'); i >= 0 {
+			return s[i+1:]
+		}
+		return s
+	}
+	if trim(seq.String()) != trim(par.String()) {
+		t.Errorf("worker counts disagree:\n-- workers=1 --\n%s-- workers=8 --\n%s",
+			seq.String(), par.String())
+	}
+}
+
+func TestRunUnknownCase(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "7x7", 10, 1, 1, 1, false, false); err == nil {
+		t.Error("unknown case accepted")
+	}
+}

@@ -217,15 +217,19 @@ func BaselineVectors(a *grid.Array) ([]*sim.Vector, error) {
 }
 
 // CampaignSeries runs the Sec. IV experiment: for k = 1..maxFaults random
-// faults, trials injections each, reporting detection per k.
+// faults, trials injections each, reporting detection per k. The vector set
+// is compiled once and shared by all maxFaults campaigns, each of which
+// shards its trials across all CPUs.
 func CampaignSeries(ts *core.TestSet, trials, maxFaults int, seed int64) ([]sim.CampaignResult, error) {
+	cv, err := ts.Compile()
+	if err != nil {
+		return nil, err
+	}
 	var out []sim.CampaignResult
 	for k := 1; k <= maxFaults; k++ {
-		r, err := ts.Campaign(sim.CampaignConfig{Trials: trials, NumFaults: k, Seed: seed + int64(k)})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
+		out = append(out, cv.RunCampaign(sim.CampaignConfig{
+			Trials: trials, NumFaults: k, Seed: seed + int64(k),
+		}))
 	}
 	return out, nil
 }

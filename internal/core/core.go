@@ -133,29 +133,45 @@ func Generate(a *grid.Array, cfg Config) (*TestSet, error) {
 	return ts, nil
 }
 
+// Compile binds the full vector set to a fresh simulator with its
+// fault-free behaviour precomputed. All verification and campaign entry
+// points below go through this, so golden readings are computed exactly once
+// per vector no matter how many trials or fault pairs are evaluated.
+func (ts *TestSet) Compile() (*sim.CompiledVectors, error) {
+	s, err := sim.New(ts.Array)
+	if err != nil {
+		return nil, err
+	}
+	return s.Compile(ts.AllVectors()), nil
+}
+
 // Campaign runs a random fault-injection campaign (the paper's Sec. IV
 // study) against the full vector set.
 func (ts *TestSet) Campaign(cfg sim.CampaignConfig) (sim.CampaignResult, error) {
-	s, err := sim.New(ts.Array)
+	cv, err := ts.Compile()
 	if err != nil {
 		return sim.CampaignResult{}, err
 	}
-	return s.RunCampaign(ts.AllVectors(), cfg), nil
+	return cv.RunCampaign(cfg), nil
 }
 
 // VerifySingleFaults exhaustively checks every stuck-at fault on every
 // Normal valve and returns the undetected ones. On a fully covered array
 // the result is empty — the paper's single-fault guarantee.
 func (ts *TestSet) VerifySingleFaults() ([]sim.Fault, error) {
-	s, err := sim.New(ts.Array)
+	cv, err := ts.Compile()
 	if err != nil {
 		return nil, err
 	}
-	vecs := ts.AllVectors()
+	singles := sim.AllSingleFaults(ts.Array)
+	sets := make([][]sim.Fault, len(singles))
+	for i := range singles {
+		sets[i] = singles[i : i+1]
+	}
 	var escaped []sim.Fault
-	for _, f := range sim.AllSingleFaults(ts.Array) {
-		if !s.Detects(vecs, []sim.Fault{f}) {
-			escaped = append(escaped, f)
+	for i, det := range cv.DetectsBatch(sets, 0) {
+		if !det {
+			escaped = append(escaped, singles[i])
 		}
 	}
 	return escaped, nil
@@ -163,16 +179,30 @@ func (ts *TestSet) VerifySingleFaults() ([]sim.Fault, error) {
 
 // VerifyDoubleFaults exhaustively checks every pair of stuck-at faults on
 // distinct valves (the paper's two-fault guarantee, Sec. III-A/III-C) and
-// returns undetected pairs. Cost is O(nv^2) simulations; intended for the
-// small arrays. maxPairs > 0 truncates the scan for spot checks.
+// returns undetected pairs. The pair sweep is sharded across all CPUs
+// against one compiled vector set; cost is O(nv^2) simulations, intended
+// for the small arrays. maxPairs > 0 truncates the scan for spot checks.
 func (ts *TestSet) VerifyDoubleFaults(maxPairs int) ([][2]sim.Fault, error) {
-	s, err := sim.New(ts.Array)
+	cv, err := ts.Compile()
 	if err != nil {
 		return nil, err
 	}
-	vecs := ts.AllVectors()
 	singles := sim.AllSingleFaults(ts.Array)
+	// Stream the O(nv^2) pair space through fixed-size windows: each window
+	// is evaluated in parallel, but only one window of pairs is ever held in
+	// memory, and escape order stays the sequential scan order.
+	const window = 4096
+	pairs := make([][2]sim.Fault, 0, window)
+	sets := make([][]sim.Fault, 0, window)
 	var escaped [][2]sim.Fault
+	flush := func() {
+		for i, det := range cv.DetectsBatch(sets, 0) {
+			if !det {
+				escaped = append(escaped, pairs[i])
+			}
+		}
+		pairs, sets = pairs[:0], sets[:0]
+	}
 	checked := 0
 	for i, f1 := range singles {
 		for _, f2 := range singles[i+1:] {
@@ -180,13 +210,17 @@ func (ts *TestSet) VerifyDoubleFaults(maxPairs int) ([][2]sim.Fault, error) {
 				continue // contradictory faults on one valve
 			}
 			if maxPairs > 0 && checked >= maxPairs {
+				flush()
 				return escaped, nil
 			}
 			checked++
-			if !s.Detects(vecs, []sim.Fault{f1, f2}) {
-				escaped = append(escaped, [2]sim.Fault{f1, f2})
+			pairs = append(pairs, [2]sim.Fault{f1, f2})
+			sets = append(sets, []sim.Fault{f1, f2})
+			if len(sets) == window {
+				flush()
 			}
 		}
 	}
+	flush()
 	return escaped, nil
 }

@@ -74,15 +74,29 @@ func (g *Graph) Edges() []Edge { return g.edges }
 // (nil means all edges usable). It returns, for each node, the edge index
 // used to first reach it (-1 if unreached, -2 for src itself).
 func (g *Graph) BFS(src int, enabled func(e int) bool) []int {
-	via := make([]int, g.n)
+	return g.BFSInto(make([]int, g.n), make([]int, 0, g.n), []int{src}, enabled)
+}
+
+// BFSInto is the allocation-free, multi-source variant of BFS. It writes the
+// via-edge result into the caller-provided via slice (len(via) must be at
+// least N()) and uses queue's backing array as frontier scratch (cap(queue)
+// should be at least N() to stay allocation-free). Every node in srcs is
+// seeded with via = -2; reachability is therefore computed from the source
+// set as a whole. It returns via, resliced to length N().
+func (g *Graph) BFSInto(via, queue []int, srcs []int, enabled func(e int) bool) []int {
+	via = via[:g.n]
 	for i := range via {
 		via[i] = -1
 	}
-	via[src] = -2
-	queue := []int{src}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+	queue = queue[:0]
+	for _, s := range srcs {
+		if via[s] == -1 {
+			via[s] = -2
+			queue = append(queue, s)
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
 		for _, a := range g.adj[u] {
 			if via[a.To] != -1 || (enabled != nil && !enabled(a.Edge)) {
 				continue

@@ -331,3 +331,55 @@ func TestAddEdgePanicsOutOfRange(t *testing.T) {
 	}()
 	New(2).AddEdge(0, 5, -1)
 }
+
+func TestBFSIntoMatchesBFS(t *testing.T) {
+	g, at := ladder(6)
+	enabled := func(e int) bool { return e%3 != 0 }
+	want := g.BFS(at(0, 0), enabled)
+	via := make([]int, g.N())
+	queue := make([]int, 0, g.N())
+	got := g.BFSInto(via, queue, []int{at(0, 0)}, enabled)
+	for n := range want {
+		if (want[n] == -1) != (got[n] == -1) || want[n] == -2 && got[n] != -2 {
+			t.Fatalf("node %d: BFS via %d, BFSInto via %d", n, want[n], got[n])
+		}
+	}
+	// Reuse: a second search into the same buffers must fully reset state.
+	got = g.BFSInto(via, queue, []int{at(1, 5)}, nil)
+	if got[at(1, 5)] != -2 || got[at(0, 0)] == -1 {
+		t.Fatalf("reused buffers gave %v", got)
+	}
+}
+
+func TestBFSIntoMultiSource(t *testing.T) {
+	// Two disjoint paths: 0-1-2 and 3-4-5.
+	g := New(6)
+	g.AddEdge(0, 1, -1)
+	g.AddEdge(1, 2, -1)
+	g.AddEdge(3, 4, -1)
+	g.AddEdge(4, 5, -1)
+	via := g.BFSInto(make([]int, g.N()), make([]int, 0, g.N()), []int{0, 3}, nil)
+	for n := 0; n < g.N(); n++ {
+		if via[n] == -1 {
+			t.Errorf("node %d unreachable from source set {0,3}", n)
+		}
+	}
+	if via[0] != -2 || via[3] != -2 {
+		t.Errorf("sources not marked: via[0]=%d via[3]=%d", via[0], via[3])
+	}
+	// Duplicate sources must be harmless.
+	via = g.BFSInto(via, make([]int, 0, g.N()), []int{0, 0, 0}, nil)
+	if via[2] == -1 || via[3] != -1 {
+		t.Errorf("duplicate-source search gave %v", via)
+	}
+}
+
+func TestBFSIntoEmptySources(t *testing.T) {
+	g, _ := ladder(3)
+	via := g.BFSInto(make([]int, g.N()), make([]int, 0, g.N()), nil, nil)
+	for n, v := range via {
+		if v != -1 {
+			t.Errorf("node %d reached with no sources (via %d)", n, v)
+		}
+	}
+}

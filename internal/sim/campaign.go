@@ -1,0 +1,380 @@
+// Campaign engine: compiled vector sets with cached fault-free behaviour,
+// and the parallel random fault-injection campaign of the paper's Sec. IV.
+//
+// The two ideas that make campaigns fast:
+//
+//   - Compile once. A CompiledVectors caches, per vector, the fault-free
+//     effective valve state and the golden sink readings, so a campaign of
+//     t trials over n vectors runs n BFS passes for the golden side instead
+//     of t*n.
+//   - Shard trials. Every trial derives its fault draw from an RNG seeded
+//     purely by (Seed, trial index), so trials are independent of scheduling
+//     and the result is bit-identical for any worker count.
+package sim
+
+import (
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/grid"
+)
+
+// maxEscapes caps CampaignResult.Escapes.
+const maxEscapes = 16
+
+// CampaignConfig parameterizes a random fault-injection campaign, mirroring
+// the paper's Sec. IV study (1..5 random faults, 10 000 trials per setting).
+type CampaignConfig struct {
+	Trials    int
+	NumFaults int
+	Seed      int64
+	// Workers shards trials across goroutines; <= 0 means runtime.NumCPU().
+	// The result is bit-identical for any worker count: each trial's faults
+	// depend only on (Seed, trial index).
+	Workers int
+	// LeakPairs, when non-empty, lets the campaign inject ControlLeak
+	// faults drawn from these candidate pairs alongside stuck-at faults.
+	LeakPairs [][2]grid.ValveID
+}
+
+// CampaignResult summarizes a campaign.
+type CampaignResult struct {
+	Trials   int
+	Detected int
+	// Escapes holds up to 16 undetected fault sets (lowest trial indices
+	// first) for diagnosis.
+	Escapes [][]Fault
+}
+
+// DetectionRate returns Detected/Trials.
+func (r CampaignResult) DetectionRate() float64 {
+	if r.Trials == 0 {
+		return 0
+	}
+	return float64(r.Detected) / float64(r.Trials)
+}
+
+// CompiledVectors is a vector set bound to its simulator with the fault-free
+// behaviour precomputed: per-vector effective valve states and golden sink
+// readings. Compile once, then query Detects / RunCampaign / DetectsBatch
+// any number of times — the golden readings are computed exactly once per
+// vector instead of once per (vector, trial). Safe for concurrent use.
+type CompiledVectors struct {
+	s      *Simulator
+	vecs   []*Vector
+	base   [][]bool // fault-free effective state per vector
+	golden [][]bool // fault-free sink readings per vector
+}
+
+// Compile precomputes the fault-free effective states and sink readings of
+// the vector set. The vectors must not be mutated afterwards.
+func (s *Simulator) Compile(vectors []*Vector) *CompiledVectors {
+	cv := &CompiledVectors{
+		s:      s,
+		vecs:   vectors,
+		base:   make([][]bool, len(vectors)),
+		golden: make([][]bool, len(vectors)),
+	}
+	sc := s.getScratch()
+	defer s.putScratch(sc)
+	for i, vec := range vectors {
+		base := make([]bool, s.arr.NumValves())
+		s.effIntoBase(base, vec)
+		copy(sc.eff, base)
+		cv.base[i] = base
+		cv.golden[i] = s.readingsInto(sc, make([]bool, len(s.sinkNodes)))
+	}
+	return cv
+}
+
+// Simulator returns the simulator the vectors were compiled against.
+func (cv *CompiledVectors) Simulator() *Simulator { return cv.s }
+
+// Len returns the number of compiled vectors.
+func (cv *CompiledVectors) Len() int { return len(cv.vecs) }
+
+// Golden returns the cached fault-free sink readings of vector i. The slice
+// must not be modified.
+func (cv *CompiledVectors) Golden(i int) []bool { return cv.golden[i] }
+
+// detectingVector is the allocation-free inner loop: it overlays faults on
+// the cached fault-free state of each vector and compares readings against
+// the cached golden ones, skipping the BFS entirely when the faults do not
+// change the vector's physical state.
+func (cv *CompiledVectors) detectingVector(sc *scratch, faults []Fault) int {
+	s := cv.s
+	for i, vec := range cv.vecs {
+		copy(sc.eff, cv.base[i])
+		if !s.applyFaults(sc.eff, vec, faults) {
+			continue
+		}
+		s.readingsInto(sc, sc.out)
+		golden := cv.golden[i]
+		for j := range golden {
+			if golden[j] != sc.out[j] {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// Detects reports whether the compiled vector set distinguishes the faulty
+// chip from a fault-free one.
+func (cv *CompiledVectors) Detects(faults []Fault) bool {
+	return cv.DetectingVector(faults) >= 0
+}
+
+// DetectingVector returns the index of the first vector that exposes the
+// fault set, or -1.
+func (cv *CompiledVectors) DetectingVector(faults []Fault) int {
+	sc := cv.s.getScratch()
+	defer cv.s.putScratch(sc)
+	return cv.detectingVector(sc, faults)
+}
+
+// DetectsBatch evaluates many fault sets against the compiled vectors,
+// sharded across workers (<= 0 means runtime.NumCPU()), and reports per set
+// whether it is detected. Results are position-stable regardless of worker
+// count. This is the engine behind the exhaustive double-fault sweep.
+func (cv *CompiledVectors) DetectsBatch(faultSets [][]Fault, workers int) []bool {
+	out := make([]bool, len(faultSets))
+	if len(faultSets) == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(faultSets) {
+		workers = len(faultSets)
+	}
+	var next atomic.Int64
+	run := func() {
+		sc := cv.s.getScratch()
+		defer cv.s.putScratch(sc)
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(faultSets) {
+				return
+			}
+			out[i] = cv.detectingVector(sc, faultSets[i]) >= 0
+		}
+	}
+	if workers == 1 {
+		run()
+		return out
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			run()
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// RunCampaign injects cfg.NumFaults random faults per trial (stuck-at-0 or
+// stuck-at-1 on distinct Normal valves, plus control leaks if configured)
+// and counts how many trials the vector set detects. Trials are sharded
+// across cfg.Workers goroutines; for a fixed Seed the result is identical
+// for any worker count.
+func (s *Simulator) RunCampaign(vectors []*Vector, cfg CampaignConfig) CampaignResult {
+	return s.Compile(vectors).RunCampaign(cfg)
+}
+
+// RunCampaign runs the campaign against the compiled vector set.
+func (cv *CompiledVectors) RunCampaign(cfg CampaignConfig) CampaignResult {
+	res := CampaignResult{Trials: cfg.Trials}
+	if cfg.Trials <= 0 {
+		return res
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > cfg.Trials {
+		workers = cfg.Trials
+	}
+	normal := cv.s.arr.NormalValves()
+	type escape struct {
+		trial  int
+		faults []Fault
+	}
+	// Workers claim trial-index blocks from a shared counter. Each block is
+	// big enough to amortize the contended add, small enough to balance load
+	// at the tail.
+	const block = 32
+	var (
+		next     atomic.Int64
+		detected atomic.Int64
+		mu       sync.Mutex
+		escapes  []escape
+	)
+	worker := func() {
+		sc := cv.s.getScratch()
+		defer cv.s.putScratch(sc)
+		rng := rand.New(&splitmix64{})
+		var det int64
+		var local []escape
+		for {
+			start := int(next.Add(block)) - block
+			if start >= cfg.Trials {
+				break
+			}
+			end := start + block
+			if end > cfg.Trials {
+				end = cfg.Trials
+			}
+			for trial := start; trial < end; trial++ {
+				rng.Seed(trialSeed(cfg.Seed, trial))
+				faults := randomFaults(rng, normal, cfg)
+				if cv.detectingVector(sc, faults) >= 0 {
+					det++
+				} else if len(local) < maxEscapes {
+					// A worker's trials ascend, so its first maxEscapes
+					// escapes are a superset of its share of the global ones.
+					local = append(local, escape{trial, faults})
+				}
+			}
+		}
+		detected.Add(det)
+		if len(local) > 0 {
+			mu.Lock()
+			escapes = append(escapes, local...)
+			mu.Unlock()
+		}
+	}
+	if workers == 1 {
+		worker()
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				worker()
+			}()
+		}
+		wg.Wait()
+	}
+	res.Detected = int(detected.Load())
+	sort.Slice(escapes, func(i, j int) bool { return escapes[i].trial < escapes[j].trial })
+	if len(escapes) > maxEscapes {
+		escapes = escapes[:maxEscapes]
+	}
+	for _, e := range escapes {
+		res.Escapes = append(res.Escapes, e.faults)
+	}
+	return res
+}
+
+// trialSeed mixes the campaign seed and a trial index into an RNG seed
+// (splitmix64 finalizer), so each trial owns an independent, deterministic
+// fault draw no matter which worker executes it.
+func trialSeed(seed int64, trial int) int64 {
+	z := uint64(seed) + 0x9E3779B97F4A7C15*uint64(trial+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// splitmix64 is Vigna's SplitMix64 as a rand.Source64. Reseeding is a single
+// store — the stdlib rngSource pays ~1800 multiplies per Seed, which would
+// dominate a campaign that reseeds once per trial.
+type splitmix64 struct{ x uint64 }
+
+func (s *splitmix64) Seed(seed int64) { s.x = uint64(seed) }
+
+func (s *splitmix64) Uint64() uint64 {
+	s.x += 0x9E3779B97F4A7C15
+	z := s.x
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (s *splitmix64) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// randomFaults draws up to cfg.NumFaults faults on distinct valves. Stuck-at
+// faults are drawn without replacement from a shrinking free list, so the
+// draw can never spin; when a control-leak draw finds every candidate pair
+// blocked by already-used valves it falls back to a stuck-at draw. If leak
+// pairs consume so many valves that no free valve remains, the trial
+// proceeds with fewer faults rather than retrying forever.
+func randomFaults(rng *rand.Rand, normal []grid.ValveID, cfg CampaignConfig) []Fault {
+	n := cfg.NumFaults
+	if n > len(normal) {
+		n = len(normal)
+	}
+	free := append([]grid.ValveID(nil), normal...)
+	remove := func(v grid.ValveID) {
+		for i, f := range free {
+			if f == v {
+				free[i] = free[len(free)-1]
+				free = free[:len(free)-1]
+				return
+			}
+		}
+	}
+	used := make(map[grid.ValveID]bool, 2*n)
+	faults := make([]Fault, 0, n)
+	for len(faults) < n && len(free) > 0 {
+		if len(cfg.LeakPairs) > 0 && rng.Intn(5) == 0 {
+			if p, ok := pickLeakPair(rng, cfg.LeakPairs, used); ok {
+				used[p[0]], used[p[1]] = true, true
+				remove(p[0])
+				remove(p[1])
+				faults = append(faults, Fault{Kind: ControlLeak, A: p[0], B: p[1]})
+				continue
+			}
+			// All leak pairs exhausted: fall through to a stuck-at draw.
+		}
+		i := rng.Intn(len(free))
+		v := free[i]
+		free[i] = free[len(free)-1]
+		free = free[:len(free)-1]
+		used[v] = true
+		kind := StuckAt0
+		if rng.Intn(2) == 1 {
+			kind = StuckAt1
+		}
+		faults = append(faults, Fault{Kind: kind, A: v})
+	}
+	return faults
+}
+
+// pickLeakPair returns a uniformly random candidate pair whose valves are
+// both unused, or ok=false when no such pair remains. The common case — the
+// first probe hits a viable pair — costs one draw; only collisions pay for
+// the viability scan.
+func pickLeakPair(rng *rand.Rand, pairs [][2]grid.ValveID, used map[grid.ValveID]bool) ([2]grid.ValveID, bool) {
+	p := pairs[rng.Intn(len(pairs))]
+	if !used[p[0]] && !used[p[1]] {
+		return p, true
+	}
+	viable := 0
+	for _, q := range pairs {
+		if !used[q[0]] && !used[q[1]] {
+			viable++
+		}
+	}
+	if viable == 0 {
+		return [2]grid.ValveID{}, false
+	}
+	k := rng.Intn(viable)
+	for _, q := range pairs {
+		if !used[q[0]] && !used[q[1]] {
+			if k == 0 {
+				return q, true
+			}
+			k--
+		}
+	}
+	panic("sim: unreachable leak-pair draw")
+}

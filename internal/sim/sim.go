@@ -18,8 +18,8 @@ package sim
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
+	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/grid"
@@ -127,13 +127,18 @@ func (f Fault) String() string {
 }
 
 // Simulator evaluates test vectors on one array, with or without faults.
-// It precomputes the cell/port graph once; Readings is then a single BFS.
+// It precomputes the cell/port graph once; Readings is then a single
+// multi-source BFS. Steady-state evaluation reuses pooled scratch buffers,
+// so the inner loop of a campaign allocates nothing; all methods are safe
+// for concurrent use.
 type Simulator struct {
 	arr       *grid.Array
 	g         *graph.Graph
 	srcNodes  []int
 	sinkNodes []int
 	sinkNames []string
+	edgeValve []int // graph edge index -> valve ID
+	scratches sync.Pool
 }
 
 // New builds a simulator for the array. The array must Validate.
@@ -174,8 +179,39 @@ func New(a *grid.Array) (*Simulator, error) {
 			s.sinkNames = append(s.sinkNames, p.Name)
 		}
 	}
+	s.edgeValve = make([]int, g.M())
+	for e, ed := range g.Edges() {
+		s.edgeValve[e] = ed.Label
+	}
+	s.scratches.New = func() any { return s.newScratch() }
 	return s, nil
 }
+
+// scratch holds the per-evaluation working set of one goroutine: effective
+// valve states, BFS via/queue buffers, and a sink-reading buffer. Scratches
+// cycle through Simulator.scratches so steady-state evaluation is
+// allocation-free.
+type scratch struct {
+	eff     []bool
+	via     []int
+	queue   []int
+	out     []bool
+	enabled func(e int) bool
+}
+
+func (s *Simulator) newScratch() *scratch {
+	sc := &scratch{
+		eff:   make([]bool, s.arr.NumValves()),
+		via:   make([]int, s.g.N()),
+		queue: make([]int, 0, s.g.N()),
+		out:   make([]bool, len(s.sinkNodes)),
+	}
+	sc.enabled = func(e int) bool { return sc.eff[s.edgeValve[e]] }
+	return sc
+}
+
+func (s *Simulator) getScratch() *scratch   { return s.scratches.Get().(*scratch) }
+func (s *Simulator) putScratch(sc *scratch) { s.scratches.Put(sc) }
 
 // MustNew is New but panics on error.
 func MustNew(a *grid.Array) *Simulator {
@@ -192,11 +228,10 @@ func (s *Simulator) Array() *grid.Array { return s.arr }
 // SinkNames returns the pressure-meter names in reading order.
 func (s *Simulator) SinkNames() []string { return s.sinkNames }
 
-// effectiveOpen computes the physical state of every edge under a command
-// vector and a fault list.
-func (s *Simulator) effectiveOpen(vec *Vector, faults []Fault) []bool {
+// effIntoBase writes the fault-free physical state of every edge under a
+// command vector into eff (len = NumValves).
+func (s *Simulator) effIntoBase(eff []bool, vec *Vector) {
 	a := s.arr
-	eff := make([]bool, a.NumValves())
 	for id := range eff {
 		vid := grid.ValveID(id)
 		switch a.Kind(vid) {
@@ -204,14 +239,26 @@ func (s *Simulator) effectiveOpen(vec *Vector, faults []Fault) []bool {
 			eff[id] = true
 		case grid.Normal:
 			eff[id] = vec.open[id]
+		default:
+			eff[id] = false
 		}
 	}
+}
+
+// applyFaults overlays a fault list on a fault-free effective state and
+// reports whether any edge actually changed — when it didn't, the readings
+// are guaranteed to equal the fault-free ones and the BFS can be skipped.
+func (s *Simulator) applyFaults(eff []bool, vec *Vector, faults []Fault) bool {
+	changed := false
 	// Control leakage first: commanded closure propagates to the partner.
 	for _, f := range faults {
 		if f.Kind != ControlLeak {
 			continue
 		}
 		if !vec.open[f.A] || !vec.open[f.B] {
+			if eff[f.A] || eff[f.B] {
+				changed = true
+			}
 			eff[f.A] = false
 			eff[f.B] = false
 		}
@@ -222,141 +269,68 @@ func (s *Simulator) effectiveOpen(vec *Vector, faults []Fault) []bool {
 	for _, f := range faults {
 		switch f.Kind {
 		case StuckAt0:
-			if s.arr.Kind(f.A) == grid.Normal {
+			if s.arr.Kind(f.A) == grid.Normal && eff[f.A] {
 				eff[f.A] = false
+				changed = true
 			}
 		case StuckAt1:
-			if s.arr.Kind(f.A) == grid.Normal {
+			if s.arr.Kind(f.A) == grid.Normal && !eff[f.A] {
 				eff[f.A] = true
+				changed = true
 			}
 		}
 	}
-	return eff
+	return changed
+}
+
+// readingsInto runs one multi-source BFS over the effective state held in
+// sc.eff and writes per-sink pressure into out (len = number of sinks).
+func (s *Simulator) readingsInto(sc *scratch, out []bool) []bool {
+	via := s.g.BFSInto(sc.via, sc.queue, s.srcNodes, sc.enabled)
+	for i, snk := range s.sinkNodes {
+		out[i] = via[snk] != -1
+	}
+	return out
 }
 
 // Readings returns the pressure observed at each sink (order of
 // Array().Sinks()) when vec is applied under the given faults (nil for a
 // fault-free chip).
 func (s *Simulator) Readings(vec *Vector, faults []Fault) []bool {
-	eff := s.effectiveOpen(vec, faults)
-	enabled := func(e int) bool { return eff[s.g.EdgeAt(e).Label] }
-	out := make([]bool, len(s.sinkNodes))
-	for _, src := range s.srcNodes {
-		via := s.g.BFS(src, enabled)
-		for i, snk := range s.sinkNodes {
-			if via[snk] != -1 {
-				out[i] = true
-			}
-		}
-	}
-	return out
+	sc := s.getScratch()
+	defer s.putScratch(sc)
+	s.effIntoBase(sc.eff, vec)
+	s.applyFaults(sc.eff, vec, faults)
+	return s.readingsInto(sc, make([]bool, len(s.sinkNodes)))
 }
 
 // Detects reports whether the vector set distinguishes the faulty chip from
-// a fault-free one: some vector's sink readings differ.
+// a fault-free one: some vector's sink readings differ. For repeated queries
+// against one vector set, Compile once and use CompiledVectors.Detects.
 func (s *Simulator) Detects(vectors []*Vector, faults []Fault) bool {
-	for _, vec := range vectors {
-		good := s.Readings(vec, nil)
-		bad := s.Readings(vec, faults)
-		for i := range good {
-			if good[i] != bad[i] {
-				return true
-			}
-		}
-	}
-	return false
+	return s.DetectingVector(vectors, faults) >= 0
 }
 
 // DetectingVector returns the index of the first vector that exposes the
 // fault set, or -1.
 func (s *Simulator) DetectingVector(vectors []*Vector, faults []Fault) int {
+	sc := s.getScratch()
+	defer s.putScratch(sc)
+	golden := make([]bool, len(s.sinkNodes))
 	for i, vec := range vectors {
-		good := s.Readings(vec, nil)
-		bad := s.Readings(vec, faults)
-		for j := range good {
-			if good[j] != bad[j] {
+		s.effIntoBase(sc.eff, vec)
+		s.readingsInto(sc, golden)
+		if !s.applyFaults(sc.eff, vec, faults) {
+			continue // faults do not change this vector's physical state
+		}
+		s.readingsInto(sc, sc.out)
+		for j := range golden {
+			if golden[j] != sc.out[j] {
 				return i
 			}
 		}
 	}
 	return -1
-}
-
-// CampaignConfig parameterizes a random fault-injection campaign, mirroring
-// the paper's Sec. IV study (1..5 random faults, 10 000 trials per setting).
-type CampaignConfig struct {
-	Trials    int
-	NumFaults int
-	Seed      int64
-	// LeakPairs, when non-empty, lets the campaign inject ControlLeak
-	// faults drawn from these candidate pairs alongside stuck-at faults.
-	LeakPairs [][2]grid.ValveID
-}
-
-// CampaignResult summarizes a campaign.
-type CampaignResult struct {
-	Trials   int
-	Detected int
-	// Escapes holds up to 16 undetected fault sets for diagnosis.
-	Escapes [][]Fault
-}
-
-// DetectionRate returns Detected/Trials.
-func (r CampaignResult) DetectionRate() float64 {
-	if r.Trials == 0 {
-		return 0
-	}
-	return float64(r.Detected) / float64(r.Trials)
-}
-
-// RunCampaign injects cfg.NumFaults random faults per trial (stuck-at-0 or
-// stuck-at-1 on distinct Normal valves, plus control leaks if configured)
-// and counts how many trials the vector set detects.
-func (s *Simulator) RunCampaign(vectors []*Vector, cfg CampaignConfig) CampaignResult {
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	normal := s.arr.NormalValves()
-	res := CampaignResult{Trials: cfg.Trials}
-	for trial := 0; trial < cfg.Trials; trial++ {
-		faults := randomFaults(rng, normal, cfg)
-		if s.Detects(vectors, faults) {
-			res.Detected++
-		} else if len(res.Escapes) < 16 {
-			res.Escapes = append(res.Escapes, faults)
-		}
-	}
-	return res
-}
-
-// randomFaults draws cfg.NumFaults faults on distinct valves.
-func randomFaults(rng *rand.Rand, normal []grid.ValveID, cfg CampaignConfig) []Fault {
-	n := cfg.NumFaults
-	if n > len(normal) {
-		n = len(normal)
-	}
-	used := make(map[grid.ValveID]bool, 2*n)
-	faults := make([]Fault, 0, n)
-	for len(faults) < n {
-		if len(cfg.LeakPairs) > 0 && rng.Intn(5) == 0 {
-			p := cfg.LeakPairs[rng.Intn(len(cfg.LeakPairs))]
-			if used[p[0]] || used[p[1]] {
-				continue
-			}
-			used[p[0]], used[p[1]] = true, true
-			faults = append(faults, Fault{Kind: ControlLeak, A: p[0], B: p[1]})
-			continue
-		}
-		v := normal[rng.Intn(len(normal))]
-		if used[v] {
-			continue
-		}
-		used[v] = true
-		kind := StuckAt0
-		if rng.Intn(2) == 1 {
-			kind = StuckAt1
-		}
-		faults = append(faults, Fault{Kind: kind, A: v})
-	}
-	return faults
 }
 
 // AllSingleFaults enumerates every stuck-at fault on the array's Normal
@@ -371,25 +345,22 @@ func AllSingleFaults(a *grid.Array) []Fault {
 
 // VerifyPathVector checks the structural invariants of a flow-path vector:
 // the open valves form one simple source-to-sink path (no loops, no
-// branches — the paper's Fig. 5(a) condition) and pressure reaches exactly
-// the path's sink. It returns a descriptive error otherwise.
+// branches — the paper's Fig. 5(a) condition) and pressure reaches the
+// path's sink. It returns a descriptive error otherwise.
+//
+// Degree invariant: every cell touches 0 or 2 commanded-open valves. A cell
+// touching exactly 1 must be a path terminus — a port cell, or a cell of an
+// always-open transportation channel the path continues through. Anything
+// above 2 is a branch. Open valves unreachable from every source reveal a
+// detached loop or a second disjoint segment.
 func (s *Simulator) VerifyPathVector(vec *Vector) error {
 	a := s.arr
-	// Degree check on cells: each cell touches 0 or 2 open passable edges;
-	// port cells touch 1.
 	deg := make(map[grid.CellID]int)
 	openEdges := 0
 	for id := 0; id < a.NumValves(); id++ {
 		vid := grid.ValveID(id)
-		var isOpen bool
-		switch a.Kind(vid) {
-		case grid.Normal:
-			isOpen = vec.open[id]
-		default:
+		if a.Kind(vid) != grid.Normal || !vec.open[id] {
 			continue // channels are always open but not path members per se
-		}
-		if !isOpen {
-			continue
 		}
 		openEdges++
 		u, w := a.EdgeCells(vid)
@@ -402,17 +373,54 @@ func (s *Simulator) VerifyPathVector(vec *Vector) error {
 	if openEdges == 0 {
 		return fmt.Errorf("sim: path vector %q opens no valves", vec.Name)
 	}
-	good := s.Readings(vec, nil)
-	reached := false
-	for _, r := range good {
-		if r {
-			reached = true
+	// Cells where a path segment may legally end with degree 1.
+	term := make(map[grid.CellID]bool)
+	for _, p := range a.Ports() {
+		term[a.InteriorCell(p.Valve)] = true
+	}
+	for id := 0; id < a.NumValves(); id++ {
+		vid := grid.ValveID(id)
+		if a.Kind(vid) != grid.Channel {
+			continue
+		}
+		u, w := a.EdgeCells(vid)
+		for _, cell := range []grid.CellID{u, w} {
+			if cell != grid.NoCell {
+				term[cell] = true
+			}
 		}
 	}
-	if !reached {
-		return fmt.Errorf("sim: path vector %q: no sink sees pressure", vec.Name)
+	for cell, d := range deg {
+		r, c := a.CellCoords(cell)
+		if d > 2 {
+			return fmt.Errorf("sim: path vector %q branches: cell (%d,%d) touches %d open valves", vec.Name, r, c, d)
+		}
+		if d == 1 && !term[cell] {
+			return fmt.Errorf("sim: path vector %q dangles: cell (%d,%d) ends a segment away from any port or channel", vec.Name, r, c)
+		}
 	}
-	return nil
+	// One BFS answers both remaining checks: every open valve must be
+	// pressurized (no detached loops or disjoint segments), and some sink
+	// must see pressure.
+	sc := s.getScratch()
+	defer s.putScratch(sc)
+	s.effIntoBase(sc.eff, vec)
+	via := s.g.BFSInto(sc.via, sc.queue, s.srcNodes, sc.enabled)
+	for id := 0; id < a.NumValves(); id++ {
+		vid := grid.ValveID(id)
+		if a.Kind(vid) != grid.Normal || !vec.open[id] {
+			continue
+		}
+		if u, _ := a.EdgeCells(vid); via[int(u)] == -1 {
+			return fmt.Errorf("sim: path vector %q loops or is split: open valve %d is not pressurized from any source", vec.Name, id)
+		}
+	}
+	for _, snk := range s.sinkNodes {
+		if via[snk] != -1 {
+			return nil
+		}
+	}
+	return fmt.Errorf("sim: path vector %q: no sink sees pressure", vec.Name)
 }
 
 // VerifyCutVector checks that the closed valves of a cut-set vector indeed

@@ -211,6 +211,43 @@ func TestVerifyPathVector(t *testing.T) {
 	}
 }
 
+func TestVerifyPathVectorRejectsBranch(t *testing.T) {
+	a := grid.MustNewStandard(3, 3)
+	s := MustNew(a)
+	branchy := lPath(a)
+	// A third open valve at cell (0,1) makes it touch 3 open valves.
+	branchy.SetOpen(a.VValve(1, 1), true)
+	if err := s.VerifyPathVector(branchy); err == nil {
+		t.Error("branching path accepted")
+	}
+}
+
+func TestVerifyPathVectorRejectsDetachedLoop(t *testing.T) {
+	a := grid.MustNewStandard(3, 3)
+	s := MustNew(a)
+	loopy := lPath(a)
+	// A 2x1-cell loop away from the path: cells (1,0),(2,0),(1,1),(2,1).
+	loopy.SetOpen(a.HValve(1, 1), true) // (1,0)-(1,1)
+	loopy.SetOpen(a.HValve(2, 1), true) // (2,0)-(2,1)
+	loopy.SetOpen(a.VValve(2, 0), true) // (1,0)-(2,0)
+	loopy.SetOpen(a.VValve(2, 1), true) // (1,1)-(2,1)
+	if err := s.VerifyPathVector(loopy); err == nil {
+		t.Error("path plus detached loop accepted")
+	}
+}
+
+func TestVerifyPathVectorRejectsDanglingSpur(t *testing.T) {
+	a := grid.MustNewStandard(3, 3)
+	s := MustNew(a)
+	// Two disjoint segments: the valid L path plus one stray interior valve
+	// whose segment ends away from any port or channel.
+	spur := lPath(a)
+	spur.SetOpen(a.VValve(2, 0), true) // (1,0)-(2,0), both interior, deg 1
+	if err := s.VerifyPathVector(spur); err == nil {
+		t.Error("path with dangling spur accepted")
+	}
+}
+
 func TestVerifyCutVector(t *testing.T) {
 	a := grid.MustNewStandard(3, 3)
 	s := MustNew(a)
