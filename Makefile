@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check fmt vet bench bench-smoke clean
+.PHONY: all build test check fmt vet bench bench-smoke bench-json fuzz-smoke clean
 
 all: check
 
@@ -28,6 +28,17 @@ bench-smoke:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Record the whole benchmark suite as test2json lines so the repo carries
+# its own performance trajectory (see EXPERIMENTS.md).
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchmem -json . > BENCH_pr2.json
+
+# Short fuzz runs of the solver-stack fuzz targets (brute-force oracles);
+# the committed corpus under testdata/fuzz always runs as part of `go test`.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzSolve -fuzztime 10s ./internal/lp
+	$(GO) test -run '^$$' -fuzz FuzzModelSolve -fuzztime 10s ./internal/ilp
 
 clean:
 	$(GO) clean ./...

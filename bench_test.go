@@ -22,6 +22,7 @@ import (
 	"repro/internal/cutset"
 	"repro/internal/flowpath"
 	"repro/internal/grid"
+	"repro/internal/ilp"
 	"repro/internal/sim"
 )
 
@@ -209,16 +210,64 @@ func BenchmarkAblation_PathSerpentine(b *testing.B) {
 }
 
 func BenchmarkAblation_PathILPIterative(b *testing.B) {
+	benchPathILPIterative(b, 1)
+}
+
+// The warm-started branch-and-bound runs a worker pool; the returned
+// solution (status, objective, vector) is bit-identical to the serial run
+// for any worker count — only node accounting is schedule-dependent.
+func BenchmarkAblation_PathILPIterative_Parallel(b *testing.B) {
+	benchPathILPIterative(b, runtime.NumCPU())
+}
+
+func benchPathILPIterative(b *testing.B, workers int) {
 	a := grid.MustNewStandard(4, 4)
 	var res *flowpath.Result
 	var err error
 	for i := 0; i < b.N; i++ {
-		res, err = flowpath.Generate(a, flowpath.Options{Engine: flowpath.EngineILPIterative})
+		res, err = flowpath.Generate(a, flowpath.Options{
+			Engine: flowpath.EngineILPIterative,
+			ILP:    ilp.Options{Workers: workers},
+		})
 		if err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.ReportMetric(float64(len(res.Paths)), "paths")
+	b.ReportMetric(float64(res.ILP.Nodes), "bb_nodes")
+}
+
+// Ablation: the paper's monolithic model (7)-(8) — all path blocks in one
+// ILP — on a 3x3 array.
+func BenchmarkAblation_PathILPMonolithic(b *testing.B) {
+	a := grid.MustNewStandard(3, 3)
+	var res *flowpath.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = flowpath.Generate(a, flowpath.Options{Engine: flowpath.EngineILPMonolithic})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(res.Paths)), "paths")
+	b.ReportMetric(float64(res.ILP.Nodes), "bb_nodes")
+}
+
+// Ablation: cut-set generation via the paper's complementary ILP over the
+// dual graph (constraint (9) as model rows), one warm-started solve per
+// target valve.
+func BenchmarkAblation_CutILP(b *testing.B) {
+	a := grid.MustNewStandard(5, 5)
+	var res *cutset.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = cutset.Generate(a, cutset.Options{Engine: cutset.EngineILP})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(res.Cuts)), "cuts")
+	b.ReportMetric(float64(res.ILP.Nodes), "bb_nodes")
 }
 
 // Ablation: cut generation with and without the constraint-(9) repair.

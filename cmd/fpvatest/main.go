@@ -10,6 +10,9 @@
 //	fpvatest -in chip.fpva            an array in the text format
 //	fpvatest -case 5x5 -dump          also print every vector's open valves
 //	fpvatest -case 5x5 -verify        exhaustive 1- and 2-fault check
+//	fpvatest -rows 4 -cols 4 -path-engine ilp-iterative -cut-engine ilp \
+//	         -workers 8               the paper's exact ILP engines on a
+//	                                  warm-started parallel branch-and-bound
 package main
 
 import (
@@ -19,6 +22,8 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/cutset"
+	"repro/internal/flowpath"
 	"repro/internal/grid"
 )
 
@@ -33,16 +38,19 @@ func main() {
 		blockSize = flag.Int("block", 5, "hierarchical block edge length")
 		dump      = flag.Bool("dump", false, "print each vector's open valves")
 		verify    = flag.Bool("verify", false, "exhaustively verify the 1- and 2-fault guarantees")
+		workers   = flag.Int("workers", 1, "branch-and-bound workers for the ILP engines (bit-identical results)")
+		pathEng   = flag.String("path-engine", "auto", "flow-path engine: auto, serpentine, ilp-iterative, ilp-monolithic")
+		cutEng    = flag.String("cut-engine", "auto", "cut-set engine: auto, dual, ilp")
 	)
 	flag.Parse()
-	if err := run(*table1, *caseName, *rows, *cols, *inFile, *direct, *blockSize, *dump, *verify); err != nil {
+	if err := run(*table1, *caseName, *rows, *cols, *inFile, *direct, *blockSize, *dump, *verify, *workers, *pathEng, *cutEng); err != nil {
 		fmt.Fprintln(os.Stderr, "fpvatest:", err)
 		os.Exit(1)
 	}
 }
 
 func run(table1 bool, caseName string, rows, cols int, inFile string,
-	direct bool, blockSize int, dump, verify bool) error {
+	direct bool, blockSize int, dump, verify bool, workers int, pathEng, cutEng string) error {
 	if table1 {
 		out, err := bench.Table1()
 		if err != nil {
@@ -55,10 +63,15 @@ func run(table1 bool, caseName string, rows, cols int, inFile string,
 	if err != nil {
 		return err
 	}
-	ts, err := core.Generate(a, core.Config{
+	cfg := core.Config{
 		Hierarchical: !direct,
 		BlockSize:    blockSize,
-	})
+		Workers:      workers,
+	}
+	if err := parseEngines(pathEng, cutEng, &cfg); err != nil {
+		return err
+	}
+	ts, err := core.Generate(a, cfg)
 	if err != nil {
 		return err
 	}
@@ -70,6 +83,12 @@ func run(table1 bool, caseName string, rows, cols int, inFile string,
 	}
 	if len(ts.UncoveredCut) > 0 {
 		fmt.Printf("WARNING: stuck-at-1 untestable valves: %v\n", ts.UncoveredCut)
+	}
+	if n := ts.Stats.PathILPNonOptimal; n > 0 {
+		fmt.Printf("WARNING: %d flow-path ILP solve(s) hit the node budget; paths accepted are feasible, not proven optimal\n", n)
+	}
+	if n := ts.Stats.CutILPNonOptimal; n > 0 {
+		fmt.Printf("WARNING: %d cut-set ILP solve(s) hit the node budget; cuts accepted are feasible, not proven optimal\n", n)
 	}
 	if dump {
 		for _, vec := range ts.AllVectors() {
@@ -110,4 +129,32 @@ func loadArray(caseName string, rows, cols int, inFile string) (*grid.Array, err
 		return grid.NewStandard(rows, cols)
 	}
 	return nil, fmt.Errorf("specify -table1, -case, -in, or -rows/-cols (see -h)")
+}
+
+// parseEngines maps the -path-engine / -cut-engine flag values onto the
+// generator options.
+func parseEngines(pathEng, cutEng string, cfg *core.Config) error {
+	switch pathEng {
+	case "auto":
+		cfg.FlowPath.Engine = flowpath.EngineAuto
+	case "serpentine":
+		cfg.FlowPath.Engine = flowpath.EngineSerpentine
+	case "ilp-iterative":
+		cfg.FlowPath.Engine = flowpath.EngineILPIterative
+	case "ilp-monolithic":
+		cfg.FlowPath.Engine = flowpath.EngineILPMonolithic
+	default:
+		return fmt.Errorf("unknown -path-engine %q", pathEng)
+	}
+	switch cutEng {
+	case "auto":
+		cfg.CutSet.Engine = cutset.EngineAuto
+	case "dual":
+		cfg.CutSet.Engine = cutset.EngineDual
+	case "ilp":
+		cfg.CutSet.Engine = cutset.EngineILP
+	default:
+		return fmt.Errorf("unknown -cut-engine %q", cutEng)
+	}
+	return nil
 }

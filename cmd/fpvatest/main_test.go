@@ -57,7 +57,7 @@ func TestLoadArrayErrors(t *testing.T) {
 
 func TestRunVerifySmall(t *testing.T) {
 	// End-to-end: generate + exhaustive verification on the smallest case.
-	if err := run(false, "5x5", 0, 0, "", false, 5, false, true); err != nil {
+	if err := run(false, "5x5", 0, 0, "", false, 5, false, true, 2, "auto", "auto"); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,0 +1,15 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// TestMainSmoke builds and runs the example in-process and asserts it
+// produces output (the examples log.Fatal on any internal error).
+func TestMainSmoke(t *testing.T) {
+	if out := testutil.CaptureMain(t, main); len(out) == 0 {
+		t.Fatal("example produced no output")
+	}
+}

@@ -35,6 +35,10 @@ type Config struct {
 	// SkipLeakage omits the control-layer leakage vectors (the paper's
 	// optional nl family).
 	SkipLeakage bool
+	// Workers sets the branch-and-bound worker pool for the ILP engines
+	// (results are bit-identical for any value); it fills in the
+	// FlowPath.ILP / CutSet.ILP knobs when those are zero. <= 1 is serial.
+	Workers int
 }
 
 // Stats summarizes a generated test set in the shape of a Table I row.
@@ -44,6 +48,10 @@ type Stats struct {
 	N          int           // total vectors
 	TP, TC, TL time.Duration // generation times per family
 	T          time.Duration // total generation time
+	// PathILPNonOptimal / CutILPNonOptimal count ILP solves that hit the
+	// node budget: the accepted paths/cuts are feasible but not proven
+	// optimal. Zero when the exact engines finished (or were not used).
+	PathILPNonOptimal, CutILPNonOptimal int
 }
 
 func (s Stats) String() string {
@@ -92,6 +100,15 @@ func Generate(a *grid.Array, cfg Config) (*TestSet, error) {
 		}
 		fpOpt.StripRows, fpOpt.StripCols = bs, bs
 	}
+	csOpt := cfg.CutSet
+	if cfg.Workers > 1 {
+		if fpOpt.ILP.Workers == 0 {
+			fpOpt.ILP.Workers = cfg.Workers
+		}
+		if csOpt.ILP.Workers == 0 {
+			csOpt.ILP.Workers = cfg.Workers
+		}
+	}
 	ts := &TestSet{Array: a}
 	ts.Stats.NV = a.NumNormal()
 
@@ -104,9 +121,10 @@ func Generate(a *grid.Array, cfg Config) (*TestSet, error) {
 	ts.Paths = fp.Paths
 	ts.PathVectors = fp.Vectors(a)
 	ts.UncoveredPath = fp.Uncovered
+	ts.Stats.PathILPNonOptimal = fp.ILP.NonOptimal
 
 	t0 = time.Now()
-	cs, err := cutset.Generate(a, cfg.CutSet)
+	cs, err := cutset.Generate(a, csOpt)
 	if err != nil {
 		return nil, fmt.Errorf("core: cut-sets: %w", err)
 	}
@@ -114,6 +132,7 @@ func Generate(a *grid.Array, cfg Config) (*TestSet, error) {
 	ts.Cuts = cs.Cuts
 	ts.CutVectors = cs.Vectors(a)
 	ts.UncoveredCut = cs.Uncovered
+	ts.Stats.CutILPNonOptimal = cs.ILP.NonOptimal
 
 	if !cfg.SkipLeakage {
 		t0 = time.Now()

@@ -41,6 +41,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/grid"
+	"repro/internal/ilp"
 	"repro/internal/sim"
 )
 
@@ -71,6 +72,11 @@ type Result struct {
 	Cuts []*Cut
 	// Uncovered lists Normal valves no valid cut could test.
 	Uncovered []grid.ValveID
+	// ILP summarizes the solver work behind EngineILP (zero otherwise). A
+	// non-zero NonOptimal count means some cuts came from early-stopped
+	// solves and are feasible but not proven optimal — callers should
+	// surface a warning.
+	ILP ilp.Stats
 }
 
 // Vectors converts all cuts to test vectors named cut0, cut1, ...

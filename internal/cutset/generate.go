@@ -105,9 +105,15 @@ func Generate(a *grid.Array, opt Options) (*Result, error) {
 			}
 		}
 	case EngineILP:
+		ilpOpt := opt.ILP
 		for len(uncovered) > 0 {
 			target := minValve(uncovered)
-			c, err := d.ilpCut(target, uncovered, opt.ILP)
+			c, sol, err := d.ilpCut(target, uncovered, ilpOpt)
+			res.ILP.Observe(sol)
+			// Every cut model shares one shape; reuse the root basis.
+			if sol.WarmStart != nil {
+				ilpOpt.WarmStart = sol.WarmStart
+			}
 			if err != nil || c == nil || !accept(c) {
 				// Fall back to the combinatorial construction before
 				// declaring the valve uncoverable.

@@ -21,9 +21,13 @@ import (
 // newly covered valves (coverage flavour of (2)).
 
 // ilpCut builds one cut forced through target, maximizing newly covered
-// valves, with constraint (9) enforced inside the model.
+// valves, with constraint (9) enforced inside the model. The target is
+// forced via a bound fix rather than an equality row, so the row structure
+// is identical for every target and the solver can warm-start each cut from
+// the previous one's root basis. The solution is returned alongside the cut
+// for status accounting and warm-start threading.
 func (d *dual) ilpCut(target grid.ValveID, uncovered map[grid.ValveID]bool,
-	opts ilp.Options) (*Cut, error) {
+	opts ilp.Options) (*Cut, ilp.Solution, error) {
 	g := d.g
 	var m ilp.Model
 	bigM := float64(g.N() + 1)
@@ -92,7 +96,10 @@ func (d *dual) ilpCut(target grid.ValveID, uncovered map[grid.ValveID]bool,
 	// Constraint (9): if both corners of a Normal valve are on the curve,
 	// the valve must be in the cut. Only interior corners are modelled; the
 	// repair pass handles boundary-adjacent instances after extraction.
-	for vid, e := range edgeByValve {
+	// Rows are emitted in dual-edge order (not map order) so the model — and
+	// with it the branch-and-bound trajectory — is identical run to run.
+	for e := 0; e < g.M(); e++ {
+		vid := grid.ValveID(g.EdgeAt(e).Label)
 		if d.a.Kind(vid) != grid.Normal {
 			continue
 		}
@@ -106,13 +113,13 @@ func (d *dual) ilpCut(target grid.ValveID, uncovered map[grid.ValveID]bool,
 	}
 	te, ok := edgeByValve[target]
 	if !ok {
-		return nil, fmt.Errorf("cutset: target valve %d not in dual", target)
+		return nil, ilp.Solution{}, fmt.Errorf("cutset: target valve %d not in dual", target)
 	}
-	m.AddCons([]ilp.VarID{v[te]}, []float64{1}, lp.EQ, 1)
+	m.FixVar(v[te], 1)
 
 	sol := m.Solve(opts)
 	if sol.Status != ilp.Optimal && sol.Status != ilp.Feasible {
-		return nil, fmt.Errorf("cutset: dual-path ILP %v", sol.Status)
+		return nil, sol, fmt.Errorf("cutset: dual-path ILP %v", sol.Status)
 	}
 	var edges []int
 	for e := 0; e < g.M(); e++ {
@@ -120,5 +127,5 @@ func (d *dual) ilpCut(target grid.ValveID, uncovered map[grid.ValveID]bool,
 			edges = append(edges, e)
 		}
 	}
-	return d.cutFromDualEdges(edges), nil
+	return d.cutFromDualEdges(edges), sol, nil
 }

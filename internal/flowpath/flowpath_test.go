@@ -258,7 +258,7 @@ func TestILPSinglePathForced(t *testing.T) {
 	a := grid.MustNewStandard(3, 3)
 	uncovered := map[grid.ValveID]bool{}
 	target := a.VValve(1, 0)
-	p, _, err := ilpSinglePath(a, uncovered, target, ilp.Options{})
+	p, _, _, err := ilpSinglePath(a, uncovered, target, ilp.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -63,18 +63,19 @@ func Generate(a *grid.Array, opt Options) (*Result, error) {
 		return nil, err
 	}
 	var paths []*Path
+	var stats ilp.Stats
 	var err error
 	switch opt.Engine {
 	case EngineAuto, EngineSerpentine:
 		paths, err = serpentinePaths(a, opt.StripRows, opt.StripCols)
 	case EngineILPIterative:
-		paths, err = ilpIterativePaths(a, opt.ILP)
+		paths, stats, err = ilpIterativePaths(a, opt.ILP)
 	case EngineILPMonolithic:
 		maxPaths := opt.MonolithicMaxPaths
 		if maxPaths <= 0 {
 			maxPaths = 8
 		}
-		paths, err = ilpMonolithicPaths(a, 1, maxPaths, opt.ILP)
+		paths, stats, err = ilpMonolithicPaths(a, 1, maxPaths, opt.ILP)
 	default:
 		return nil, fmt.Errorf("flowpath: unknown engine %v", opt.Engine)
 	}
@@ -85,7 +86,7 @@ func Generate(a *grid.Array, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Paths: paths}
+	res := &Result{Paths: paths, ILP: stats}
 	missing := uncoveredAfter(a, paths, s)
 	if len(missing) > 0 && !opt.NoPatch {
 		srcs, sinks := a.Sources(), a.Sinks()

@@ -25,15 +25,36 @@ import (
 //     with used-path indicators and minimizes their count — constraints
 //     (6)-(8) — exactly as written in the paper.
 
-// pathModel is the per-path variable block over one array.
+// pathModel is the per-path variable block over one array. Variables and
+// constraint rows are always emitted in the deterministic edge/port/cell
+// orders below (never map order), so two builds of the same model are
+// identical and the whole generation pipeline is reproducible run to run.
 type pathModel struct {
 	a     *grid.Array
 	m     *ilp.Model
+	edges []grid.ValveID             // interior passable edges, ascending
 	v     map[grid.ValveID]ilp.VarID // interior passable edges
 	c     map[grid.CellID]ilp.VarID
 	entry map[grid.ValveID]ilp.VarID // source port edges
 	exit  map[grid.ValveID]ilp.VarID // sink port edges
 	bigM  float64
+}
+
+// entryVars / exitVars list the terminal indicator variables in port order.
+func (pm *pathModel) entryVars() []ilp.VarID {
+	out := make([]ilp.VarID, 0, len(pm.entry))
+	for _, p := range pm.a.Sources() {
+		out = append(out, pm.entry[p.Valve])
+	}
+	return out
+}
+
+func (pm *pathModel) exitVars() []ilp.VarID {
+	out := make([]ilp.VarID, 0, len(pm.exit))
+	for _, p := range pm.a.Sinks() {
+		out = append(out, pm.exit[p.Valve])
+	}
+	return out
 }
 
 // interiorPassable lists interior edges fluid can traverse (Normal or
@@ -78,13 +99,14 @@ func fluidCells(a *grid.Array) []grid.CellID {
 func addPathBlock(m *ilp.Model, a *grid.Array, tag string, edgeObj func(grid.ValveID) float64) *pathModel {
 	pm := &pathModel{
 		a: a, m: m,
+		edges: interiorPassable(a),
 		v:     make(map[grid.ValveID]ilp.VarID),
 		c:     make(map[grid.CellID]ilp.VarID),
 		entry: make(map[grid.ValveID]ilp.VarID),
 		exit:  make(map[grid.ValveID]ilp.VarID),
 		bigM:  float64(a.NumCells() + 1),
 	}
-	edges := interiorPassable(a)
+	edges := pm.edges
 	cells := fluidCells(a)
 	f := make(map[grid.ValveID]ilp.VarID, len(edges))
 	for _, e := range edges {
@@ -108,8 +130,8 @@ func addPathBlock(m *ilp.Model, a *grid.Array, tag string, edgeObj func(grid.Val
 		m.AddCons([]ilp.VarID{f[e], pm.v[e]}, []float64{1, -pm.bigM}, lp.LE, 0)
 		m.AddCons([]ilp.VarID{f[e], pm.v[e]}, []float64{1, pm.bigM}, lp.GE, 0)
 	}
-	for pv, entryVar := range pm.entry {
-		m.AddCons([]ilp.VarID{fin[pv], entryVar}, []float64{1, -pm.bigM}, lp.LE, 0)
+	for _, p := range a.Sources() {
+		m.AddCons([]ilp.VarID{fin[p.Valve], pm.entry[p.Valve]}, []float64{1, -pm.bigM}, lp.LE, 0)
 	}
 
 	// Per-cell degree (constraint (1)) and flow conservation (constraint
@@ -236,8 +258,9 @@ func (pm *pathModel) extract(x []float64) (*Path, error) {
 
 // ilpSinglePath solves for one path maximizing newly covered valves.
 // forced must be covered; nil uncovered means all Normal valves count.
+// The returned solution carries the solver status and warm-start handle.
 func ilpSinglePath(a *grid.Array, uncovered map[grid.ValveID]bool,
-	forced grid.ValveID, opts ilp.Options) (*Path, int, error) {
+	forced grid.ValveID, opts ilp.Options) (*Path, int, ilp.Solution, error) {
 	var m ilp.Model
 	// Objective: -100 per newly covered valve, +1 per edge (shorter ties).
 	pm := addPathBlock(&m, a, "", func(e grid.ValveID) float64 {
@@ -246,30 +269,25 @@ func ilpSinglePath(a *grid.Array, uncovered map[grid.ValveID]bool,
 		}
 		return 1
 	})
-	var entries, exits []ilp.VarID
-	for _, id := range pm.entry {
-		entries = append(entries, id)
-	}
-	for _, id := range pm.exit {
-		exits = append(exits, id)
-	}
-	sumEquals(&m, entries, 1)
-	sumEquals(&m, exits, 1)
+	sumEquals(&m, pm.entryVars(), 1)
+	sumEquals(&m, pm.exitVars(), 1)
 
 	if forced != grid.NoValve {
 		id, ok := pm.v[forced]
 		if !ok {
-			return nil, 0, fmt.Errorf("flowpath: forced valve %d not modelled", forced)
+			return nil, 0, ilp.Solution{}, fmt.Errorf("flowpath: forced valve %d not modelled", forced)
 		}
-		m.AddCons([]ilp.VarID{id}, []float64{1}, lp.EQ, 1)
+		// A bound fix, not an equality row: the row structure stays
+		// identical across solves, which keeps warm starts applicable.
+		m.FixVar(id, 1)
 	}
 	sol := m.Solve(opts)
 	if sol.Status != ilp.Optimal && sol.Status != ilp.Feasible {
-		return nil, 0, fmt.Errorf("flowpath: single-path ILP %v", sol.Status)
+		return nil, 0, sol, fmt.Errorf("flowpath: single-path ILP %v", sol.Status)
 	}
 	p, err := pm.extract(sol.X)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, sol, err
 	}
 	newCov := 0
 	for _, e := range p.CoveredNormal(a) {
@@ -277,21 +295,26 @@ func ilpSinglePath(a *grid.Array, uncovered map[grid.ValveID]bool,
 			newCov++
 		}
 	}
-	return p, newCov, nil
+	return p, newCov, sol, nil
 }
 
-// ilpIterativePaths covers all Normal valves path by path.
-func ilpIterativePaths(a *grid.Array, opts ilp.Options) ([]*Path, error) {
+// ilpIterativePaths covers all Normal valves path by path. Each round's
+// model has the same shape (only the coverage objective changes), so every
+// round after the first warm-starts from the previous root basis.
+func ilpIterativePaths(a *grid.Array, opts ilp.Options) ([]*Path, ilp.Stats, error) {
 	uncovered := make(map[grid.ValveID]bool)
 	for _, e := range a.NormalValves() {
 		uncovered[e] = true
 	}
 	var paths []*Path
+	var stats ilp.Stats
 	for len(uncovered) > 0 {
-		p, newCov, err := ilpSinglePath(a, uncovered, grid.NoValve, opts)
+		p, newCov, sol, err := ilpSinglePath(a, uncovered, grid.NoValve, opts)
+		stats.Observe(sol)
 		if err != nil {
-			return paths, err
+			return paths, stats, err
 		}
+		opts.WarmStart = sol.WarmStart
 		if newCov == 0 {
 			break // remaining valves unreachable by any path
 		}
@@ -300,7 +323,7 @@ func ilpIterativePaths(a *grid.Array, opts ilp.Options) ([]*Path, error) {
 			delete(uncovered, e)
 		}
 	}
-	return paths, nil
+	return paths, stats, nil
 }
 
 // ilpMonolithicPaths implements the paper's objective (7) subject to (8):
@@ -308,20 +331,22 @@ func ilpIterativePaths(a *grid.Array, opts ilp.Options) ([]*Path, error) {
 // (6), minimizing the number of used paths. It increases np until feasible,
 // exactly as Sec. III-B-3 prescribes, starting from lower and stopping at
 // upper.
-func ilpMonolithicPaths(a *grid.Array, lower, upper int, opts ilp.Options) ([]*Path, error) {
+func ilpMonolithicPaths(a *grid.Array, lower, upper int, opts ilp.Options) ([]*Path, ilp.Stats, error) {
 	if lower < 1 {
 		lower = 1
 	}
+	var stats ilp.Stats
 	for np := lower; np <= upper; np++ {
-		paths, err := tryMonolithic(a, np, opts)
+		paths, sol, err := tryMonolithic(a, np, opts)
+		stats.Observe(sol)
 		if err == nil {
-			return paths, nil
+			return paths, stats, nil
 		}
 	}
-	return nil, fmt.Errorf("flowpath: no covering set with at most %d paths", upper)
+	return nil, stats, fmt.Errorf("flowpath: no covering set with at most %d paths", upper)
 }
 
-func tryMonolithic(a *grid.Array, np int, opts ilp.Options) ([]*Path, error) {
+func tryMonolithic(a *grid.Array, np int, opts ilp.Options) ([]*Path, ilp.Solution, error) {
 	var m ilp.Model
 	blocks := make([]*pathModel, np)
 	used := make([]ilp.VarID, np)
@@ -331,13 +356,7 @@ func tryMonolithic(a *grid.Array, np int, opts ilp.Options) ([]*Path, error) {
 		blocks[i] = addPathBlock(&m, a, fmt.Sprintf("p%d", i),
 			func(grid.ValveID) float64 { return 1 })
 		used[i] = m.AddBinary(1000, fmt.Sprintf("used%d", i)) // objective (7)
-		var entries, exits []ilp.VarID
-		for _, id := range blocks[i].entry {
-			entries = append(entries, id)
-		}
-		for _, id := range blocks[i].exit {
-			exits = append(exits, id)
-		}
+		entries, exits := blocks[i].entryVars(), blocks[i].exitVars()
 		// An unused path has no terminals and, via constraint (1)'s
 		// chaining, no cells or edges.
 		coef := make([]float64, len(entries))
@@ -351,8 +370,8 @@ func tryMonolithic(a *grid.Array, np int, opts ilp.Options) ([]*Path, error) {
 		}
 		m.AddCons(append(exits, used[i]), append(coef2, -1), lp.EQ, 0)
 		// Constraint (6) in tight per-edge form: v <= used.
-		for _, id := range blocks[i].v {
-			m.AddCons([]ilp.VarID{id, used[i]}, []float64{1, -1}, lp.LE, 0)
+		for _, e := range blocks[i].edges {
+			m.AddCons([]ilp.VarID{blocks[i].v[e], used[i]}, []float64{1, -1}, lp.LE, 0)
 		}
 	}
 	// Symmetry breaking: used paths first.
@@ -368,7 +387,7 @@ func tryMonolithic(a *grid.Array, np int, opts ilp.Options) ([]*Path, error) {
 			}
 		}
 		if len(idx) == 0 {
-			return nil, fmt.Errorf("flowpath: valve %d unreachable by any path", e)
+			return nil, ilp.Solution{}, fmt.Errorf("flowpath: valve %d unreachable by any path", e)
 		}
 		coef := make([]float64, len(idx))
 		for k := range coef {
@@ -378,7 +397,7 @@ func tryMonolithic(a *grid.Array, np int, opts ilp.Options) ([]*Path, error) {
 	}
 	sol := m.Solve(opts)
 	if sol.Status != ilp.Optimal && sol.Status != ilp.Feasible {
-		return nil, fmt.Errorf("flowpath: monolithic ILP with np=%d: %v", np, sol.Status)
+		return nil, sol, fmt.Errorf("flowpath: monolithic ILP with np=%d: %v", np, sol.Status)
 	}
 	var paths []*Path
 	for i := 0; i < np; i++ {
@@ -387,12 +406,12 @@ func tryMonolithic(a *grid.Array, np int, opts ilp.Options) ([]*Path, error) {
 		}
 		p, err := blocks[i].extract(sol.X)
 		if err != nil {
-			return nil, err
+			return nil, sol, err
 		}
 		paths = append(paths, p)
 	}
 	if len(uncoveredAfter(a, paths, nil)) > 0 {
-		return nil, fmt.Errorf("flowpath: monolithic solution leaves valves uncovered")
+		return nil, sol, fmt.Errorf("flowpath: monolithic solution leaves valves uncovered")
 	}
-	return paths, nil
+	return paths, sol, nil
 }

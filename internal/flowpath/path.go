@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"repro/internal/grid"
+	"repro/internal/ilp"
 	"repro/internal/sim"
 )
 
@@ -139,6 +140,11 @@ type Result struct {
 	// Uncovered lists Normal valves no generated path covers. Empty on the
 	// benchmark arrays; may be non-empty if obstacles isolate a valve.
 	Uncovered []grid.ValveID
+	// ILP summarizes the solver work behind the ILP engines (zero for the
+	// serpentine engine). A non-zero NonOptimal count means some paths were
+	// accepted from early-stopped solves and are feasible but not proven
+	// optimal — callers should surface a warning.
+	ILP ilp.Stats
 }
 
 // Vectors converts all paths to test vectors named path0, path1, ...

@@ -1,13 +1,13 @@
 // Package ilp provides a small integer linear programming solver: a model
-// layer with named, bounded, optionally-integer variables, compiled per
-// branch-and-bound node onto the two-phase simplex in package lp.
+// layer with named, bounded, optionally-integer variables, compiled once
+// onto the bounded-variable simplex in package lp and explored by a
+// warm-started, optionally parallel best-bound branch-and-bound.
 //
 // The paper formulates flow-path construction, cut-set construction and
 // control-leakage coverage as 0-1 ILPs (constraints (1)-(9)) and hands them
 // to a commercial solver; this package is the self-contained substitute.
 // Instances arising from 5x5 hierarchical subblocks stay in the range of a
-// few hundred variables, which this solver handles in milliseconds to
-// seconds.
+// few hundred variables, which this solver handles in milliseconds.
 package ilp
 
 import (
@@ -90,6 +90,24 @@ func (m *Model) AddBinary(obj float64, name string) VarID {
 	return m.AddVar(0, 1, obj, true, name)
 }
 
+// SetVarBounds replaces the bounds of variable v. Bound changes are handled
+// natively by the solver (no constraint rows), so models that differ only
+// in bounds share their row structure — the precondition for warm starts.
+func (m *Model) SetVarBounds(v VarID, lb, ub float64) {
+	if lb > ub {
+		panic(fmt.Sprintf("ilp: var %q has lb %v > ub %v", m.vars[v].name, lb, ub))
+	}
+	m.vars[v].lb, m.vars[v].ub = lb, ub
+}
+
+// FixVar pins variable v to val via its bounds. Model builders should
+// prefer this over a singleton equality row: the solver folds bound fixes
+// into the tableau for free, and the row structure stays identical across
+// solves that fix different variables (enabling warm starts).
+func (m *Model) FixVar(v VarID, val float64) {
+	m.vars[v].lb, m.vars[v].ub = val, val
+}
+
 // NumVars returns the variable count.
 func (m *Model) NumVars() int { return len(m.vars) }
 
@@ -115,22 +133,6 @@ func (m *Model) AddCons(idx []VarID, coef []float64, sense lp.Sense, rhs float64
 		coef:  append([]float64(nil), coef...),
 		sense: sense, rhs: rhs,
 	})
-}
-
-// Solution is the result of Solve.
-type Solution struct {
-	Status Status
-	X      []float64 // valid for Optimal and Feasible
-	Obj    float64
-	Nodes  int
-}
-
-// Options tunes the branch-and-bound search.
-type Options struct {
-	// MaxNodes bounds the number of explored nodes; <= 0 means 200000.
-	MaxNodes int
-	// MaxLPIters bounds simplex iterations per node; <= 0 means automatic.
-	MaxLPIters int
 }
 
 const intTol = 1e-6
@@ -182,103 +184,8 @@ func (m *Model) Objective(x []float64) float64 {
 	return obj
 }
 
-// node is one branch-and-bound node: bound overrides relative to the model.
-type node struct {
-	lb, ub []float64
-}
-
-// Solve runs branch-and-bound and returns the best integer solution.
-func (m *Model) Solve(opt Options) Solution {
-	if len(m.vars) == 0 {
-		return Solution{Status: Optimal, X: nil, Obj: 0}
-	}
-	maxNodes := opt.MaxNodes
-	if maxNodes <= 0 {
-		maxNodes = 200000
-	}
-	objIntegral := m.objectiveIntegral()
-
-	root := node{lb: make([]float64, len(m.vars)), ub: make([]float64, len(m.vars))}
-	for j, v := range m.vars {
-		root.lb[j], root.ub[j] = v.lb, v.ub
-	}
-	stack := []node{root}
-	var best []float64
-	bestObj := math.Inf(1)
-	nodes := 0
-
-	for len(stack) > 0 && nodes < maxNodes {
-		nd := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		nodes++
-
-		x, obj, st := m.solveRelaxation(nd, opt.MaxLPIters)
-		switch st {
-		case lp.Infeasible:
-			continue
-		case lp.Unbounded:
-			if nodes == 1 {
-				return Solution{Status: Unbounded, Nodes: nodes}
-			}
-			continue
-		case lp.IterLimit:
-			continue // treat as unexplorable; conservative
-		}
-		bound := obj
-		if objIntegral {
-			bound = math.Ceil(obj - 1e-7)
-		}
-		if bound >= bestObj-1e-9 {
-			continue
-		}
-		branch := m.pickFractional(x)
-		if branch == -1 {
-			// Integer feasible.
-			if obj < bestObj-1e-9 {
-				bestObj = obj
-				best = append([]float64(nil), x...)
-				m.roundInPlace(best)
-			}
-			continue
-		}
-		// Rounding heuristic: cheap incumbent attempt at shallow depth.
-		if best == nil {
-			if cand := m.tryRound(x); cand != nil {
-				if o := m.Objective(cand); o < bestObj-1e-9 {
-					bestObj = o
-					best = cand
-				}
-			}
-		}
-		f := x[branch]
-		down := nd.clone()
-		down.ub[branch] = math.Floor(f)
-		up := nd.clone()
-		up.lb[branch] = math.Ceil(f)
-		// Explore the side nearer the fractional value first (pushed last).
-		if f-math.Floor(f) < 0.5 {
-			stack = append(stack, up, down)
-		} else {
-			stack = append(stack, down, up)
-		}
-	}
-
-	switch {
-	case best != nil && len(stack) == 0:
-		return Solution{Status: Optimal, X: best, Obj: bestObj, Nodes: nodes}
-	case best != nil:
-		return Solution{Status: Feasible, X: best, Obj: bestObj, Nodes: nodes}
-	case len(stack) == 0:
-		return Solution{Status: Infeasible, Nodes: nodes}
-	default:
-		return Solution{Status: Limit, Nodes: nodes}
-	}
-}
-
-func (n node) clone() node {
-	return node{lb: append([]float64(nil), n.lb...), ub: append([]float64(nil), n.ub...)}
-}
-
+// objectiveIntegral reports whether every attainable objective value is an
+// integer, which lets branch-and-bound round node bounds up.
 func (m *Model) objectiveIntegral() bool {
 	for _, v := range m.vars {
 		if v.obj != math.Trunc(v.obj) {
@@ -325,113 +232,24 @@ func (m *Model) tryRound(x []float64) []float64 {
 	return cand
 }
 
-// solveRelaxation compiles the node's LP (bound substitution: fixed vars are
-// folded out, lower bounds are shifted, upper bounds become rows, free vars
-// are split) and solves it. It returns x in model-variable space.
-func (m *Model) solveRelaxation(nd node, maxLPIters int) ([]float64, float64, lp.Status) {
-	type mapping struct {
-		kind  int // 0 fixed, 1 shifted, 2 split
-		col   int // primary LP column (for split: positive part; negative is col+1)
-		shift float64
-	}
-	maps := make([]mapping, len(m.vars))
-	ncols := 0
-	objConst := 0.0
-	for j := range m.vars {
-		lb, ub := nd.lb[j], nd.ub[j]
-		if lb > ub+1e-12 {
-			return nil, 0, lp.Infeasible
-		}
-		switch {
-		case lb == ub || ub-lb < 1e-12:
-			maps[j] = mapping{kind: 0, shift: lb}
-			objConst += m.vars[j].obj * lb
-		case math.IsInf(lb, -1):
-			maps[j] = mapping{kind: 2, col: ncols}
-			ncols += 2
-		default:
-			maps[j] = mapping{kind: 1, col: ncols, shift: lb}
-			objConst += m.vars[j].obj * lb
-			ncols++
-		}
-	}
-	if ncols == 0 {
-		// Everything fixed: verify constraints directly.
-		x := make([]float64, len(m.vars))
-		for j := range x {
-			x[j] = maps[j].shift
-		}
-		if m.Check(x) != nil {
-			return nil, 0, lp.Infeasible
-		}
-		return x, objConst, lp.Optimal
-	}
-	p := lp.NewProblem(ncols)
+// compileLP builds the shared LP relaxation: variables map 1:1 onto LP
+// columns with native bounds, constraints onto rows. Branch-and-bound nodes
+// differ only in the bound vectors they pass to the solver.
+func (m *Model) compileLP() *lp.Problem {
+	p := lp.NewProblem(len(m.vars))
 	for j, v := range m.vars {
-		switch maps[j].kind {
-		case 1:
-			p.SetObj(maps[j].col, v.obj)
-			if !math.IsInf(nd.ub[j], 1) {
-				p.AddSparseRow([]int{maps[j].col}, []float64{1}, lp.LE, nd.ub[j]-nd.lb[j])
-			}
-		case 2:
-			p.SetObj(maps[j].col, v.obj)
-			p.SetObj(maps[j].col+1, -v.obj)
-			if !math.IsInf(nd.ub[j], 1) {
-				p.AddSparseRow([]int{maps[j].col, maps[j].col + 1}, []float64{1, -1}, lp.LE, nd.ub[j])
-			}
+		if v.obj != 0 {
+			p.SetObj(j, v.obj)
 		}
+		p.SetBounds(j, v.lb, v.ub)
 	}
+	var idx []int
 	for _, c := range m.cons {
-		var idx []int
-		var coef []float64
-		rhs := c.rhs
-		for k, v := range c.idx {
-			mp := maps[v]
-			switch mp.kind {
-			case 0:
-				rhs -= c.coef[k] * mp.shift
-			case 1:
-				idx = append(idx, mp.col)
-				coef = append(coef, c.coef[k])
-				rhs -= c.coef[k] * mp.shift
-			case 2:
-				idx = append(idx, mp.col, mp.col+1)
-				coef = append(coef, c.coef[k], -c.coef[k])
-			}
+		idx = idx[:0]
+		for _, v := range c.idx {
+			idx = append(idx, int(v))
 		}
-		if len(idx) == 0 {
-			// Constant row: check satisfaction.
-			ok := true
-			switch c.sense {
-			case lp.LE:
-				ok = 0 <= rhs+1e-9
-			case lp.GE:
-				ok = 0 >= rhs-1e-9
-			case lp.EQ:
-				ok = math.Abs(rhs) <= 1e-9
-			}
-			if !ok {
-				return nil, 0, lp.Infeasible
-			}
-			continue
-		}
-		p.AddSparseRow(idx, coef, c.sense, rhs)
+		p.AddSparseRow(idx, c.coef, c.sense, c.rhs)
 	}
-	sol := p.Solve(maxLPIters)
-	if sol.Status != lp.Optimal {
-		return nil, 0, sol.Status
-	}
-	x := make([]float64, len(m.vars))
-	for j := range m.vars {
-		switch maps[j].kind {
-		case 0:
-			x[j] = maps[j].shift
-		case 1:
-			x[j] = sol.X[maps[j].col] + maps[j].shift
-		case 2:
-			x[j] = sol.X[maps[j].col] - sol.X[maps[j].col+1]
-		}
-	}
-	return x, sol.Obj + objConst, lp.Optimal
+	return p
 }

@@ -1,0 +1,414 @@
+package ilp
+
+import (
+	"bytes"
+	"container/heap"
+	"math"
+	"sync"
+
+	"repro/internal/lp"
+)
+
+// Solution is the result of Solve.
+type Solution struct {
+	Status Status
+	X      []float64 // valid for Optimal and Feasible
+	Obj    float64
+	Nodes  int
+	// WarmStart is a reusable handle for solving another model of the same
+	// shape (same variable and constraint counts — e.g. the next round of an
+	// iterative set-cover with a different objective, or the same cut model
+	// with a different target fixed). Pass it back via Options.WarmStart.
+	WarmStart *WarmStart
+}
+
+// Options tunes the branch-and-bound search.
+type Options struct {
+	// MaxNodes bounds the number of explored nodes; <= 0 means 200000.
+	MaxNodes int
+	// MaxLPIters bounds simplex iterations per node; <= 0 means automatic.
+	MaxLPIters int
+	// Workers sets the size of the branch-and-bound worker pool; <= 1 means
+	// serial. Status, Obj and X are bit-identical for any worker count
+	// whenever the search completes (Status Optimal, Infeasible or
+	// Unbounded); Nodes is schedule-dependent accounting, and only
+	// budget-exhausted (Feasible/Limit) results may depend on scheduling.
+	Workers int
+	// WarmStart seeds the root relaxation with a basis from a previous
+	// solve of a same-shape model; ignored when the shape differs.
+	WarmStart *WarmStart
+}
+
+// WarmStart carries an optimal root basis between solves of same-shape
+// models.
+type WarmStart struct {
+	nvars, ncons int
+	basis        *lp.Basis
+}
+
+// Stats accumulates solve-level accounting across a sequence of Solve
+// calls; the generator packages embed it in their Results.
+type Stats struct {
+	Solves     int // ILP solves performed
+	Nodes      int // branch-and-bound nodes across all solves
+	NonOptimal int // solves that stopped early: feasible, not proven optimal
+}
+
+// Observe folds one solve into the stats. Zero-node solutions (error paths
+// that never reached the solver) are not counted.
+func (s *Stats) Observe(sol Solution) {
+	if sol.Nodes == 0 {
+		return
+	}
+	s.Solves++
+	s.Nodes += sol.Nodes
+	if sol.Status == Feasible {
+		s.NonOptimal++
+	}
+}
+
+const objTol = 1e-9
+
+// bbNode is one branch-and-bound node. Its relaxation is a pure function of
+// (model, lb, ub, warm): warm is always the parent's optimal basis, so the
+// LP result never depends on which worker processes the node or when.
+type bbNode struct {
+	lb, ub []float64
+	warm   *lp.Basis // parent's optimal basis (nil at the root)
+	bound  float64   // parent relaxation bound (objective lower bound)
+	uChain float64   // best incumbent objective found along the ancestor chain
+	path   []byte    // tree position; lexicographic order is the deterministic "seq"
+}
+
+// pathLess orders tree positions: the deterministic tie-break for equal
+// objectives ("seq-ordered" incumbent selection).
+func pathLess(a, b []byte) bool { return bytes.Compare(a, b) < 0 }
+
+type nodePQ []*bbNode
+
+func (q nodePQ) Len() int { return len(q) }
+func (q nodePQ) Less(i, j int) bool {
+	if q[i].bound != q[j].bound {
+		return q[i].bound < q[j].bound
+	}
+	return pathLess(q[i].path, q[j].path)
+}
+func (q nodePQ) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *nodePQ) Push(x any)   { *q = append(*q, x.(*bbNode)) }
+func (q *nodePQ) Pop() any {
+	old := *q
+	n := len(old)
+	nd := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return nd
+}
+
+type candidate struct {
+	x    []float64
+	obj  float64
+	path []byte
+}
+
+type nodeResult struct {
+	children  []*bbNode
+	leaf      *candidate // integer-feasible LP optimum at this node
+	heur      *candidate // rounding-heuristic incumbent (prune bound only)
+	rootBasis *lp.Basis
+	unbounded bool
+	// lpLimited marks a node dropped because its relaxation could not be
+	// solved within MaxLPIters: the search is no longer exhaustive, so the
+	// final status must not claim Optimal or Infeasible.
+	lpLimited bool
+}
+
+// searcher is the shared state of one branch-and-bound run.
+type searcher struct {
+	m      *Model
+	opt    Options
+	objInt bool
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	pq        nodePQ
+	inflight  int
+	nodes     int
+	maxNodes  int
+	exhausted bool
+	lpLimited bool
+	unbounded bool
+	// leaf incumbents decide the returned solution: every leaf with an
+	// objective within tolerance of the optimum lives in a node whose bound
+	// is at most optimum+tol, and such nodes are explored under every
+	// schedule (pruning is strict), so the (obj, path)-minimal leaf is the
+	// same for any worker count.
+	leafX    []float64
+	leafObj  float64
+	leafPath []byte
+	// heuristic incumbents only sharpen the pruning bound (and serve as a
+	// fallback when the node budget runs out before any leaf is reached).
+	heurX     []float64
+	heurObj   float64
+	rootBasis *lp.Basis
+}
+
+// Solve runs branch-and-bound and returns the best integer solution. The
+// exploration order is best-bound; nodes re-solve from their parent's
+// simplex basis via the dual simplex instead of a cold start.
+func (m *Model) Solve(opt Options) Solution {
+	if len(m.vars) == 0 {
+		return Solution{Status: Optimal, X: nil, Obj: 0}
+	}
+	prob := m.compileLP()
+	s := &searcher{
+		m:        m,
+		opt:      opt,
+		objInt:   m.objectiveIntegral(),
+		maxNodes: opt.MaxNodes,
+		leafObj:  math.Inf(1),
+		heurObj:  math.Inf(1),
+	}
+	if s.maxNodes <= 0 {
+		s.maxNodes = 200000
+	}
+	s.cond = sync.NewCond(&s.mu)
+
+	root := &bbNode{
+		lb:     make([]float64, len(m.vars)),
+		ub:     make([]float64, len(m.vars)),
+		bound:  math.Inf(-1),
+		uChain: math.Inf(1),
+		path:   []byte{},
+	}
+	for j, v := range m.vars {
+		root.lb[j], root.ub[j] = v.lb, v.ub
+	}
+	if ws := opt.WarmStart; ws != nil && ws.nvars == len(m.vars) && ws.ncons == len(m.cons) {
+		root.warm = ws.basis
+	}
+	heap.Push(&s.pq, root)
+
+	workers := opt.Workers
+	if workers <= 1 {
+		s.work(lp.NewSolver(prob))
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				s.work(lp.NewSolver(prob))
+			}()
+		}
+		wg.Wait()
+	}
+	return s.assemble()
+}
+
+// work is one worker's loop: pop the best node, solve its relaxation, and
+// commit incumbents and children under the lock.
+func (s *searcher) work(sv *lp.Solver) {
+	for {
+		s.mu.Lock()
+		var nd *bbNode
+		for {
+			if s.unbounded || (len(s.pq) == 0 && s.inflight == 0) {
+				s.cond.Broadcast()
+				s.mu.Unlock()
+				return
+			}
+			if len(s.pq) > 0 {
+				if s.nodes >= s.maxNodes {
+					s.exhausted = true
+					s.cond.Broadcast()
+					s.mu.Unlock()
+					return
+				}
+				nd = heap.Pop(&s.pq).(*bbNode)
+				s.nodes++
+				s.inflight++
+				break
+			}
+			s.cond.Wait()
+		}
+		gub := math.Min(s.leafObj, s.heurObj)
+		s.mu.Unlock()
+
+		res := s.process(sv, nd, gub)
+
+		s.mu.Lock()
+		s.commit(res)
+		s.inflight--
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+}
+
+// process solves one node. Everything here is a pure function of the node
+// (gub only prunes strictly-worse subtrees, which never contribute to the
+// returned solution), so results are schedule-independent.
+func (s *searcher) process(sv *lp.Solver, nd *bbNode, gub float64) nodeResult {
+	if nd.bound > gub+objTol || nd.bound > nd.uChain+objTol {
+		return nodeResult{}
+	}
+	sol := sv.Solve(nd.lb, nd.ub, nd.warm, s.opt.MaxLPIters)
+	if sol.Status == lp.IterLimit && nd.warm != nil {
+		// Deterministic cold retry: the warm basis may be a poor start.
+		sol = sv.Solve(nd.lb, nd.ub, nil, s.opt.MaxLPIters)
+	}
+	var res nodeResult
+	switch sol.Status {
+	case lp.Infeasible:
+		return res
+	case lp.Unbounded:
+		// A non-root unbounded relaxation is numerically impossible (the
+		// parent solved to a bounded optimum over a superset region); treat
+		// it like an unexplorable node rather than trusting it.
+		if len(nd.path) == 0 {
+			res.unbounded = true
+		} else {
+			res.lpLimited = true
+		}
+		return res
+	case lp.IterLimit:
+		res.lpLimited = true // unexplorable within MaxLPIters
+		return res
+	}
+	if len(nd.path) == 0 {
+		res.rootBasis = sol.Basis
+	}
+	bound := sol.Obj
+	if s.objInt {
+		bound = math.Ceil(bound - 1e-7)
+	}
+	if bound > gub+objTol || bound > nd.uChain+objTol {
+		return res
+	}
+	branch := s.m.pickFractional(sol.X)
+	if branch == -1 {
+		x := append([]float64(nil), sol.X...)
+		s.m.roundInPlace(x)
+		res.leaf = &candidate{x: x, obj: s.m.Objective(x), path: nd.path}
+		return res
+	}
+	uChain := nd.uChain
+	if x := s.m.tryRound(sol.X); x != nil {
+		obj := s.m.Objective(x)
+		res.heur = &candidate{x: x, obj: obj}
+		if obj < uChain {
+			uChain = obj
+		}
+	}
+	childLB := append([]float64(nil), nd.lb...)
+	childUB := append([]float64(nil), nd.ub...)
+	s.tightenByReducedCost(nd, &sol, uChain, childLB, childUB)
+	f := sol.X[branch]
+	down := &bbNode{lb: childLB, ub: append([]float64(nil), childUB...),
+		warm: sol.Basis, bound: bound, uChain: uChain}
+	down.ub[branch] = math.Floor(f)
+	up := &bbNode{lb: append([]float64(nil), childLB...), ub: childUB,
+		warm: sol.Basis, bound: bound, uChain: uChain}
+	up.lb[branch] = math.Ceil(f)
+	// The side nearer the fractional value is the preferred child: it gets
+	// the smaller tree position (and thus pops first among equal bounds).
+	first, second := up, down
+	if f-math.Floor(f) < 0.5 {
+		first, second = down, up
+	}
+	first.path = append(append([]byte(nil), nd.path...), 0)
+	second.path = append(append([]byte(nil), nd.path...), 1)
+	res.children = []*bbNode{first, second}
+	return res
+}
+
+// tightenByReducedCost shrinks integer bounds in both children: moving a
+// nonbasic variable off its bound costs |reduced cost| per unit, and any
+// move pushing the node bound past the chain incumbent cannot contain a
+// solution worth returning. Only the deterministic chain incumbent uChain
+// is used, never the schedule-dependent global one, so the tree shape stays
+// identical for any worker count.
+func (s *searcher) tightenByReducedCost(nd *bbNode, sol *lp.Solution, uChain float64, lb, ub []float64) {
+	if math.IsInf(uChain, 1) || sol.R == nil {
+		return
+	}
+	budget := uChain + objTol - sol.Obj
+	if budget < 0 {
+		return
+	}
+	for j, v := range s.m.vars {
+		if !v.integer {
+			continue
+		}
+		rj := sol.R[j]
+		switch {
+		case rj > objTol && sol.X[j] <= nd.lb[j]+intTol:
+			if nu := nd.lb[j] + math.Floor(budget/rj+1e-9); nu < ub[j] {
+				ub[j] = nu
+			}
+		case rj < -objTol && sol.X[j] >= nd.ub[j]-intTol:
+			if nl := nd.ub[j] - math.Floor(budget/(-rj)+1e-9); nl > lb[j] {
+				lb[j] = nl
+			}
+		}
+	}
+}
+
+// commit merges one node's results into the shared state. Incumbent
+// selection is a commutative minimum over (objective, tree position), so
+// arrival order cannot change the outcome.
+func (s *searcher) commit(res nodeResult) {
+	if res.unbounded {
+		s.unbounded = true
+	}
+	if res.lpLimited {
+		s.lpLimited = true
+	}
+	if res.rootBasis != nil {
+		s.rootBasis = res.rootBasis
+	}
+	// Exact lexicographic (obj, path) comparison: a total order, so this is
+	// a commutative minimum — arrival order cannot change the outcome even
+	// when distinct objectives differ by less than the pruning tolerance.
+	if c := res.leaf; c != nil {
+		if s.leafX == nil || c.obj < s.leafObj ||
+			(c.obj == s.leafObj && pathLess(c.path, s.leafPath)) {
+			s.leafX, s.leafObj, s.leafPath = c.x, c.obj, c.path
+		}
+	}
+	if c := res.heur; c != nil && c.obj < s.heurObj {
+		s.heurX, s.heurObj = c.x, c.obj
+	}
+	for _, child := range res.children {
+		heap.Push(&s.pq, child)
+	}
+}
+
+func (s *searcher) assemble() Solution {
+	sol := Solution{Nodes: s.nodes}
+	if s.rootBasis != nil {
+		sol.WarmStart = &WarmStart{nvars: len(s.m.vars), ncons: len(s.m.cons), basis: s.rootBasis}
+	}
+	if s.unbounded {
+		sol.Status = Unbounded
+		return sol
+	}
+	x, obj := s.leafX, s.leafObj
+	if x == nil || (s.heurX != nil && s.heurObj < obj) {
+		// Only reachable when the search stopped before the best leaf.
+		x, obj = s.heurX, s.heurObj
+	}
+	// A node dropped on its LP iteration budget means the search was not
+	// exhaustive: never claim Optimal or Infeasible past one.
+	incomplete := s.exhausted || s.lpLimited
+	switch {
+	case x == nil && incomplete:
+		sol.Status = Limit
+	case x == nil:
+		sol.Status = Infeasible
+	case incomplete:
+		sol.Status, sol.X, sol.Obj = Feasible, x, obj
+	default:
+		sol.Status, sol.X, sol.Obj = Optimal, x, obj
+	}
+	return sol
+}

@@ -1,0 +1,190 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+// decodeFuzzLP turns a byte stream into a small LP: up to 3 variables with
+// small integer bounds and objective, up to 4 rows with coefficients in
+// [-2, 2]. Returns nil when the stream is too short.
+func decodeFuzzLP(data []byte) *Problem {
+	next := func() (byte, bool) {
+		if len(data) == 0 {
+			return 0, false
+		}
+		b := data[0]
+		data = data[1:]
+		return b, true
+	}
+	b, ok := next()
+	if !ok {
+		return nil
+	}
+	n := 1 + int(b)%3
+	b, ok = next()
+	if !ok {
+		return nil
+	}
+	m := int(b) % 4
+	p := NewProblem(n)
+	for j := 0; j < n; j++ {
+		ob, ok1 := next()
+		lbB, ok2 := next()
+		wB, ok3 := next()
+		if !ok1 || !ok2 || !ok3 {
+			return nil
+		}
+		p.SetObj(j, float64(int(ob)%5-2))
+		lb := float64(int(lbB)%4 - 2) // -2..1
+		switch int(wB) % 5 {
+		case 4:
+			p.SetBounds(j, lb, math.Inf(1))
+		default:
+			p.SetBounds(j, lb, lb+float64(int(wB)%5))
+		}
+	}
+	for i := 0; i < m; i++ {
+		row := make([]float64, n)
+		for j := 0; j < n; j++ {
+			cb, ok := next()
+			if !ok {
+				return nil
+			}
+			row[j] = float64(int(cb)%5 - 2)
+		}
+		sB, ok1 := next()
+		rB, ok2 := next()
+		if !ok1 || !ok2 {
+			return nil
+		}
+		p.AddRow(row, Sense(int(sB)%3), float64(int(rB)%9-4))
+	}
+	return p
+}
+
+// gridPoints enumerates small integer points within the variable bounds —
+// a brute-force feasibility and optimality oracle.
+func gridPoints(p *Problem, visit func(x []float64)) {
+	n := p.N()
+	x := make([]float64, n)
+	var rec func(j int)
+	rec = func(j int) {
+		if j == n {
+			visit(x)
+			return
+		}
+		lb, ub := p.Bounds(j)
+		for v := -2.0; v <= 4; v++ {
+			if v < lb || v > ub {
+				continue
+			}
+			x[j] = v
+			rec(j + 1)
+		}
+	}
+	rec(0)
+}
+
+func feasiblePoint(p *Problem, x []float64) bool {
+	for i := 0; i < p.M(); i++ {
+		dot := 0.0
+		for j := 0; j < p.N(); j++ {
+			dot += p.rows[i][j] * x[j]
+		}
+		switch p.senses[i] {
+		case LE:
+			if dot > p.b[i]+1e-9 {
+				return false
+			}
+		case GE:
+			if dot < p.b[i]-1e-9 {
+				return false
+			}
+		case EQ:
+			if math.Abs(dot-p.b[i]) > 1e-9 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FuzzSolve cross-checks the simplex against brute-force enumeration of
+// integer grid points: an Optimal answer must be feasible and at least as
+// good as every feasible grid point; an Infeasible answer is refuted by any
+// feasible grid point. A warm re-solve from the optimal basis must
+// reproduce the optimum.
+func FuzzSolve(f *testing.F) {
+	f.Add([]byte{2, 1, 3, 1, 2, 0, 2, 3, 1, 2, 1, 6})
+	f.Add([]byte{1, 2, 4, 0, 1, 3, 1, 0, 2, 7, 4, 1, 0})
+	f.Add([]byte{3, 3, 1, 1, 4, 2, 0, 2, 0, 3, 3, 1, 2, 0, 1, 4, 2, 1, 0, 2, 2, 8})
+	f.Add([]byte{0, 0, 4, 3, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := decodeFuzzLP(data)
+		if p == nil {
+			return
+		}
+		sol := p.Solve(0)
+		switch sol.Status {
+		case Optimal:
+			for j := 0; j < p.N(); j++ {
+				lb, ub := p.Bounds(j)
+				if sol.X[j] < lb-1e-6 || sol.X[j] > ub+1e-6 {
+					t.Fatalf("x[%d]=%v outside [%v,%v]", j, sol.X[j], lb, ub)
+				}
+			}
+			if !feasiblePointTol(p, sol.X) {
+				t.Fatalf("optimal point infeasible: %v", sol.X)
+			}
+			gridPoints(p, func(x []float64) {
+				if !feasiblePoint(p, x) {
+					return
+				}
+				obj := 0.0
+				for j := range x {
+					obj += p.c[j] * x[j]
+				}
+				if obj < sol.Obj-1e-6 {
+					t.Fatalf("grid point %v has obj %v < claimed optimum %v", x, obj, sol.Obj)
+				}
+			})
+			warm := NewSolver(p).Solve(nil, nil, sol.Basis, 0)
+			if warm.Status != Optimal || math.Abs(warm.Obj-sol.Obj) > 1e-6 {
+				t.Fatalf("warm re-solve: %v obj %v, cold optimum %v", warm.Status, warm.Obj, sol.Obj)
+			}
+		case Infeasible:
+			gridPoints(p, func(x []float64) {
+				if feasiblePoint(p, x) {
+					t.Fatalf("claimed infeasible but %v is feasible", x)
+				}
+			})
+		}
+	})
+}
+
+// feasiblePointTol is feasiblePoint with simplex-scale tolerances, for
+// checking computed (non-integer) solutions.
+func feasiblePointTol(p *Problem, x []float64) bool {
+	for i := 0; i < p.M(); i++ {
+		dot := 0.0
+		for j := 0; j < p.N(); j++ {
+			dot += p.rows[i][j] * x[j]
+		}
+		switch p.senses[i] {
+		case LE:
+			if dot > p.b[i]+1e-5 {
+				return false
+			}
+		case GE:
+			if dot < p.b[i]-1e-5 {
+				return false
+			}
+		case EQ:
+			if math.Abs(dot-p.b[i]) > 1e-5 {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,20 +1,29 @@
-// Package lp implements a dense two-phase primal simplex solver for linear
+// Package lp implements a dense bounded-variable simplex solver for linear
 // programs in the form
 //
 //	minimize    c·x
 //	subject to  A_i·x  {<=, =, >=}  b_i      for each row i
-//	            x >= 0
+//	            lb_j <= x_j <= ub_j          (default [0, +Inf))
 //
 // The paper solves its test-generation models with a commercial ILP solver;
-// this package (together with package ilp, which adds branch-and-bound and
-// variable bounds) is the from-scratch, stdlib-only substitute. Instances
-// produced by the flow-path and cut-set formulations are small — a few
-// hundred rows and columns per 5x5 subblock — which a dense tableau handles
-// comfortably.
+// this package (together with package ilp, which adds branch-and-bound) is
+// the from-scratch, stdlib-only substitute. Instances produced by the
+// flow-path and cut-set formulations are small — a few hundred rows and
+// columns per 5x5 subblock — which a dense tableau handles comfortably.
 //
-// The pivot rule is Dantzig's (most negative reduced cost) with an automatic
-// switch to Bland's rule after a stall threshold, guaranteeing termination
-// on degenerate instances.
+// Variable bounds are handled natively by the simplex (nonbasic variables
+// rest at either bound and can flip without a basis change), so 0-1 models
+// need no explicit bound rows. A Solver owns reusable scratch state and
+// accepts a warm-start Basis: it refactorizes the tableau for that basis
+// under new bounds and repairs feasibility with a bounded dual simplex,
+// which is how branch-and-bound children re-solve in a handful of pivots
+// instead of a cold two-phase start.
+//
+// The primal pivot rule is Dantzig's (most negative reduced cost) with an
+// automatic switch to Bland's rule after a stall threshold; the dual rule is
+// max-violation row selection with a lowest-index tie break on the ratio
+// test. All tie breaks are deterministic, so a solve is a pure function of
+// (problem, bounds, warm basis).
 package lp
 
 import (
@@ -72,23 +81,37 @@ func (s Status) String() string {
 	}
 }
 
+// Inf is the bound value meaning "unbounded in that direction".
+var Inf = math.Inf(1)
+
 // Problem is a linear program under construction. Create with NewProblem,
-// then add rows; the problem may be solved repeatedly.
+// then add rows; the problem may be solved repeatedly. Adding rows after a
+// Solver has been constructed on the problem is not supported.
 type Problem struct {
 	n      int // structural variables
 	c      []float64
+	lb, ub []float64
 	rows   [][]float64
 	senses []Sense
 	b      []float64
 }
 
-// NewProblem creates a problem with n structural variables (all >= 0) and a
-// zero objective.
+// NewProblem creates a problem with n structural variables (all in
+// [0, +Inf)) and a zero objective.
 func NewProblem(n int) *Problem {
 	if n < 1 {
 		panic(fmt.Sprintf("lp: variable count %d out of range", n))
 	}
-	return &Problem{n: n, c: make([]float64, n)}
+	p := &Problem{
+		n:  n,
+		c:  make([]float64, n),
+		lb: make([]float64, n),
+		ub: make([]float64, n),
+	}
+	for j := range p.ub {
+		p.ub[j] = Inf
+	}
+	return p
 }
 
 // N returns the structural variable count.
@@ -101,6 +124,18 @@ func (p *Problem) M() int { return len(p.rows) }
 func (p *Problem) SetObj(j int, v float64) {
 	p.c[j] = v
 }
+
+// SetBounds sets the bounds of variable j. Use -Inf / Inf for unbounded
+// directions; lb == ub fixes the variable.
+func (p *Problem) SetBounds(j int, lb, ub float64) {
+	if lb > ub || math.IsInf(lb, 1) || math.IsInf(ub, -1) {
+		panic(fmt.Sprintf("lp: var %d bounds [%v,%v] invalid", j, lb, ub))
+	}
+	p.lb[j], p.ub[j] = lb, ub
+}
+
+// Bounds returns the bounds of variable j.
+func (p *Problem) Bounds(j int) (lb, ub float64) { return p.lb[j], p.ub[j] }
 
 // AddRow appends a constraint given as a dense coefficient slice of length
 // N(). The slice is copied.
@@ -138,6 +173,14 @@ type Solution struct {
 	X      []float64 // length N(); valid when Status == Optimal
 	Obj    float64
 	Iters  int
+	// R holds the structural reduced costs at the optimum (length N());
+	// valid when Status == Optimal. Nonbasic-at-lower variables have R >= 0,
+	// nonbasic-at-upper have R <= 0. Used for reduced-cost bound tightening.
+	R []float64
+	// Basis is a snapshot of the optimal basis, reusable as a warm start for
+	// a re-solve of the same problem shape under different bounds or
+	// objective; valid when Status == Optimal.
+	Basis *Basis
 }
 
 const (
@@ -145,280 +188,9 @@ const (
 	feasEps = 1e-7
 )
 
-// Solve runs the two-phase simplex. maxIters <= 0 selects an automatic
-// budget proportional to the problem size.
+// Solve runs the simplex cold (phase 1 feasibility repair, then the true
+// objective). maxIters <= 0 selects an automatic budget proportional to the
+// problem size.
 func (p *Problem) Solve(maxIters int) Solution {
-	m := len(p.rows)
-	if maxIters <= 0 {
-		maxIters = 200 * (m + p.n + 10)
-	}
-	// Column layout: structural | one slack or surplus per inequality row |
-	// one artificial per GE/EQ row.
-	nSlack := 0
-	for _, s := range p.senses {
-		if s != EQ {
-			nSlack++
-		}
-	}
-	nArt := 0
-	for i, s := range p.senses {
-		needArt := s == EQ || s == GE
-		// Rows with negative rhs flip sense during normalization; decide
-		// after normalization instead. Count pessimistically here.
-		_ = i
-		if needArt {
-			nArt++
-		} else {
-			nArt++ // LE with negative rhs flips to GE; reserve space
-		}
-	}
-	total := p.n + nSlack + nArt
-	t := newTableau(m, total)
-
-	slackAt := p.n
-	artAt := p.n + nSlack
-	artCols := make([]int, 0, nArt)
-	for i := 0; i < m; i++ {
-		row := t.a[i]
-		sign := 1.0
-		sense := p.senses[i]
-		rhs := p.b[i]
-		if rhs < 0 {
-			sign = -1
-			rhs = -rhs
-			switch sense {
-			case LE:
-				sense = GE
-			case GE:
-				sense = LE
-			}
-		}
-		for j := 0; j < p.n; j++ {
-			row[j] = sign * p.rows[i][j]
-		}
-		t.b[i] = rhs
-		switch sense {
-		case LE:
-			row[slackAt] = 1
-			t.basis[i] = slackAt
-			slackAt++
-		case GE:
-			row[slackAt] = -1
-			slackAt++
-			row[artAt] = 1
-			t.basis[i] = artAt
-			artCols = append(artCols, artAt)
-			artAt++
-		case EQ:
-			// An EQ row on a problem built with an inequality consumed no
-			// slack; keep layout consistent by skipping.
-			row[artAt] = 1
-			t.basis[i] = artAt
-			artCols = append(artCols, artAt)
-			artAt++
-		}
-	}
-	t.cols = artAt // trim unused reserved artificial space
-	banned := make([]bool, total)
-
-	iters := 0
-	// Phase 1: minimize the sum of artificials.
-	if len(artCols) > 0 {
-		cost := make([]float64, total)
-		for _, j := range artCols {
-			cost[j] = 1
-		}
-		t.setObjective(cost)
-		st, used := t.iterate(maxIters, banned)
-		iters += used
-		if st == IterLimit {
-			return Solution{Status: IterLimit, Iters: iters}
-		}
-		if t.objVal() > feasEps {
-			return Solution{Status: Infeasible, Iters: iters}
-		}
-		// Drive remaining artificials out of the basis where possible and
-		// ban them from re-entering.
-		isArt := make([]bool, total)
-		for _, j := range artCols {
-			isArt[j] = true
-			banned[j] = true
-		}
-		for i := 0; i < m; i++ {
-			if !isArt[t.basis[i]] {
-				continue
-			}
-			pivoted := false
-			for j := 0; j < t.cols && !pivoted; j++ {
-				if !isArt[j] && math.Abs(t.a[i][j]) > eps {
-					t.pivot(i, j)
-					pivoted = true
-				}
-			}
-			// If no pivot exists the row is redundant; the artificial stays
-			// basic at value zero, which is harmless since it is banned.
-		}
-	}
-
-	// Phase 2: true objective.
-	cost := make([]float64, total)
-	copy(cost, p.c)
-	t.setObjective(cost)
-	st, used := t.iterate(maxIters-iters, banned)
-	iters += used
-	if st != Optimal {
-		return Solution{Status: st, Iters: iters}
-	}
-	x := make([]float64, p.n)
-	for i := 0; i < m; i++ {
-		if t.basis[i] < p.n {
-			x[t.basis[i]] = t.b[i]
-		}
-	}
-	return Solution{Status: Optimal, X: x, Obj: t.objVal(), Iters: iters}
-}
-
-// tableau is the dense simplex working state.
-type tableau struct {
-	m, cols int
-	a       [][]float64 // m x cols
-	b       []float64   // m
-	basis   []int       // m, column basic in each row
-	r       []float64   // cols, reduced costs
-	z       float64     // negative objective value accumulator
-	cost    []float64
-}
-
-func newTableau(m, cols int) *tableau {
-	t := &tableau{m: m, cols: cols, b: make([]float64, m), basis: make([]int, m)}
-	t.a = make([][]float64, m)
-	buf := make([]float64, m*cols)
-	for i := range t.a {
-		t.a[i], buf = buf[:cols:cols], buf[cols:]
-	}
-	return t
-}
-
-func (t *tableau) objVal() float64 { return -t.z }
-
-// setObjective installs cost and prices out the current basis so that the
-// reduced-cost row is consistent.
-func (t *tableau) setObjective(cost []float64) {
-	t.cost = cost
-	t.r = make([]float64, t.cols)
-	copy(t.r, cost[:t.cols])
-	t.z = 0
-	for i := 0; i < t.m; i++ {
-		cb := cost[t.basis[i]]
-		if cb == 0 {
-			continue
-		}
-		row := t.a[i]
-		for j := 0; j < t.cols; j++ {
-			t.r[j] -= cb * row[j]
-		}
-		t.z -= cb * t.b[i]
-	}
-}
-
-// iterate runs simplex pivots until optimality, unboundedness, or the
-// budget runs out. Banned columns never enter the basis.
-func (t *tableau) iterate(budget int, banned []bool) (Status, int) {
-	if budget < 0 {
-		budget = 0
-	}
-	stall := 0
-	bland := false
-	for it := 0; ; it++ {
-		// Entering column.
-		enter := -1
-		if bland {
-			for j := 0; j < t.cols; j++ {
-				if !banned[j] && t.r[j] < -eps {
-					enter = j
-					break
-				}
-			}
-		} else {
-			best := -eps
-			for j := 0; j < t.cols; j++ {
-				if !banned[j] && t.r[j] < best {
-					best = t.r[j]
-					enter = j
-				}
-			}
-		}
-		if enter == -1 {
-			return Optimal, it
-		}
-		if it >= budget {
-			return IterLimit, it
-		}
-		// Ratio test.
-		leave := -1
-		var bestRatio float64
-		for i := 0; i < t.m; i++ {
-			aij := t.a[i][enter]
-			if aij <= eps {
-				continue
-			}
-			ratio := t.b[i] / aij
-			if leave == -1 || ratio < bestRatio-eps ||
-				(math.Abs(ratio-bestRatio) <= eps && bland && t.basis[i] < t.basis[leave]) {
-				leave = i
-				bestRatio = ratio
-			}
-		}
-		if leave == -1 {
-			return Unbounded, it
-		}
-		if bestRatio <= eps {
-			stall++
-			if stall > 2*(t.m+t.cols) {
-				bland = true
-			}
-		} else {
-			stall = 0
-		}
-		t.pivot(leave, enter)
-	}
-}
-
-// pivot makes column enter basic in row leave.
-func (t *tableau) pivot(leave, enter int) {
-	prow := t.a[leave]
-	pv := prow[enter]
-	inv := 1 / pv
-	for j := 0; j < t.cols; j++ {
-		prow[j] *= inv
-	}
-	t.b[leave] *= inv
-	prow[enter] = 1 // fight rounding
-	for i := 0; i < t.m; i++ {
-		if i == leave {
-			continue
-		}
-		f := t.a[i][enter]
-		if f == 0 {
-			continue
-		}
-		row := t.a[i]
-		for j := 0; j < t.cols; j++ {
-			row[j] -= f * prow[j]
-		}
-		row[enter] = 0
-		t.b[i] -= f * t.b[leave]
-		if t.b[i] < 0 && t.b[i] > -eps {
-			t.b[i] = 0
-		}
-	}
-	f := t.r[enter]
-	if f != 0 {
-		for j := 0; j < t.cols; j++ {
-			t.r[j] -= f * prow[j]
-		}
-		t.r[enter] = 0
-		t.z -= f * t.b[leave]
-	}
-	t.basis[leave] = enter
+	return NewSolver(p).Solve(nil, nil, nil, maxIters)
 }

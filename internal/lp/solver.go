@@ -1,0 +1,657 @@
+package lp
+
+import "math"
+
+// Nonbasic/basic column states. A fixed variable (lb == ub) is held
+// nonbasic at its lower bound and never enters the basis.
+const (
+	nbLower int8 = iota // nonbasic at lower bound
+	nbUpper             // nonbasic at upper bound
+	nbFree              // nonbasic free variable, resting at 0
+	inBasis
+)
+
+// Basis is a compact snapshot of a simplex basis: one state per column
+// (structural variables first, then one slack per row). It is the
+// warm-start handle: a Solver can refactorize the tableau for this basis
+// under new bounds and repair feasibility with the dual simplex.
+type Basis struct {
+	status []int8
+}
+
+// Clone returns an independent copy.
+func (bs *Basis) Clone() *Basis {
+	if bs == nil {
+		return nil
+	}
+	return &Basis{status: append([]int8(nil), bs.status...)}
+}
+
+// Solver owns the dense simplex scratch state for one Problem shape. It is
+// reusable across solves (bounds and objective may differ per call) and is
+// not safe for concurrent use; give each worker its own Solver.
+type Solver struct {
+	p    *Problem
+	m    int // rows
+	n    int // structural columns
+	cols int // n + m (slacks)
+
+	a      [][]float64 // m x cols working tableau, B^-1 [A I]
+	abuf   []float64
+	xB     []float64 // value of the basic variable of each row
+	basis  []int     // column basic in each row
+	status []int8    // per-column state
+	lb, ub []float64 // per-column bounds for the current solve
+	cost   []float64 // per-column objective for the current phase
+	r      []float64 // reduced costs
+	z      float64   // current objective value
+}
+
+// NewSolver creates a solver for the problem's current shape. Rows must not
+// be added to the problem afterwards.
+func NewSolver(p *Problem) *Solver {
+	m := len(p.rows)
+	cols := p.n + m
+	s := &Solver{
+		p: p, m: m, n: p.n, cols: cols,
+		abuf:   make([]float64, m*cols),
+		xB:     make([]float64, m),
+		basis:  make([]int, m),
+		status: make([]int8, cols),
+		lb:     make([]float64, cols),
+		ub:     make([]float64, cols),
+		cost:   make([]float64, cols),
+		r:      make([]float64, cols),
+	}
+	s.a = make([][]float64, m)
+	buf := s.abuf
+	for i := range s.a {
+		s.a[i], buf = buf[:cols:cols], buf[cols:]
+	}
+	return s
+}
+
+// val returns the current value of nonbasic column j.
+func (s *Solver) val(j int) float64 {
+	switch s.status[j] {
+	case nbLower:
+		return s.lb[j]
+	case nbUpper:
+		return s.ub[j]
+	default:
+		return 0
+	}
+}
+
+func (s *Solver) fixed(j int) bool { return s.lb[j] == s.ub[j] }
+
+// Solve runs the simplex. lb/ub override the problem's structural bounds
+// when non-nil (length N()); warm, when non-nil, is refactorized as the
+// starting basis. maxIters <= 0 selects an automatic budget. The solve is
+// deterministic: a pure function of (problem, bounds, warm, maxIters).
+func (s *Solver) Solve(lb, ub []float64, warm *Basis, maxIters int) Solution {
+	if maxIters <= 0 {
+		maxIters = 200 * (s.m + s.n + 10)
+	}
+	if s.m != len(s.p.rows) {
+		panic("lp: rows added to problem after NewSolver")
+	}
+	// Install column bounds: structural from the override (or problem), one
+	// slack per row from its sense.
+	for j := 0; j < s.n; j++ {
+		l, u := s.p.lb[j], s.p.ub[j]
+		if lb != nil {
+			l = lb[j]
+		}
+		if ub != nil {
+			u = ub[j]
+		}
+		if l > u {
+			return Solution{Status: Infeasible}
+		}
+		s.lb[j], s.ub[j] = l, u
+	}
+	for i := 0; i < s.m; i++ {
+		j := s.n + i
+		switch s.p.senses[i] {
+		case LE:
+			s.lb[j], s.ub[j] = 0, math.Inf(1)
+		case GE:
+			s.lb[j], s.ub[j] = math.Inf(-1), 0
+		case EQ:
+			s.lb[j], s.ub[j] = 0, 0
+		}
+	}
+
+	iters := 0
+	if warm == nil || !s.refactorize(warm) {
+		s.coldBasis()
+	}
+
+	if !s.primalFeasible() {
+		// Repair primal feasibility with the bounded dual simplex. With the
+		// true objective this is the warm-start fast path (bound changes
+		// preserve dual feasibility); otherwise fall back to a zero
+		// objective, which is trivially dual feasible — the bounded
+		// equivalent of a phase-1.
+		s.setCost(true)
+		if !s.dualFeasible() {
+			s.setCost(false)
+		}
+		st, used := s.dualIterate(maxIters - iters)
+		iters += used
+		if st != Optimal {
+			return Solution{Status: st, Iters: iters}
+		}
+	}
+
+	// Phase 2: the true objective, primal simplex.
+	s.setCost(true)
+	st, used := s.primalIterate(maxIters - iters)
+	iters += used
+	if st != Optimal {
+		return Solution{Status: st, Iters: iters}
+	}
+	return s.extract(iters)
+}
+
+// coldBasis installs the all-slack basis with nonbasic structural columns
+// at their bound nearest a finite value.
+func (s *Solver) coldBasis() {
+	for i := 0; i < s.m; i++ {
+		row := s.a[i]
+		clear(row)
+		copy(row, s.p.rows[i])
+		row[s.n+i] = 1
+		s.basis[i] = s.n + i
+		s.status[s.n+i] = inBasis
+	}
+	for j := 0; j < s.n; j++ {
+		s.status[j] = s.defaultStatus(j)
+	}
+	for i := 0; i < s.m; i++ {
+		v := s.p.b[i]
+		row := s.p.rows[i]
+		for j := 0; j < s.n; j++ {
+			if row[j] != 0 {
+				v -= row[j] * s.val(j)
+			}
+		}
+		s.xB[i] = v
+	}
+}
+
+func (s *Solver) defaultStatus(j int) int8 {
+	switch {
+	case !math.IsInf(s.lb[j], -1):
+		return nbLower
+	case !math.IsInf(s.ub[j], 1):
+		return nbUpper
+	default:
+		return nbFree
+	}
+}
+
+// refactorize rebuilds the tableau for the warm basis under the current
+// bounds via Gauss-Jordan elimination with partial pivoting. Returns false
+// (leaving the solver in need of coldBasis) when the snapshot does not
+// match the problem shape or the basis matrix is numerically singular.
+func (s *Solver) refactorize(warm *Basis) bool {
+	if len(warm.status) != s.cols {
+		return false
+	}
+	nb := 0
+	for _, st := range warm.status {
+		if st == inBasis {
+			nb++
+		}
+	}
+	if nb != s.m {
+		return false
+	}
+	copy(s.status, warm.status)
+	// Sanitize nonbasic states against the current bounds.
+	for j := 0; j < s.cols; j++ {
+		switch s.status[j] {
+		case nbLower:
+			if math.IsInf(s.lb[j], -1) {
+				s.status[j] = s.defaultStatus(j)
+			}
+		case nbUpper:
+			if math.IsInf(s.ub[j], 1) {
+				s.status[j] = s.defaultStatus(j)
+			}
+		case nbFree:
+			if !math.IsInf(s.lb[j], -1) || !math.IsInf(s.ub[j], 1) {
+				s.status[j] = s.defaultStatus(j)
+			}
+		}
+	}
+	for i := 0; i < s.m; i++ {
+		row := s.a[i]
+		clear(row)
+		copy(row, s.p.rows[i])
+		row[s.n+i] = 1
+		v := s.p.b[i]
+		for j := 0; j < s.cols; j++ {
+			if s.status[j] != inBasis && row[j] != 0 {
+				v -= row[j] * s.val(j)
+			}
+		}
+		s.xB[i] = v
+	}
+	// Pivot each basic column into its own row, ascending column order with
+	// max-|pivot| row selection — deterministic.
+	done := 0
+	for j := 0; j < s.cols; j++ {
+		if s.status[j] != inBasis {
+			continue
+		}
+		piv, pv := -1, 1e-9
+		for i := done; i < s.m; i++ {
+			if av := math.Abs(s.a[i][j]); av > pv {
+				piv, pv = i, av
+			}
+		}
+		if piv == -1 {
+			return false // singular under this bound set
+		}
+		s.a[piv], s.a[done] = s.a[done], s.a[piv]
+		s.xB[piv], s.xB[done] = s.xB[done], s.xB[piv]
+		prow := s.a[done]
+		inv := 1 / prow[j]
+		for k := 0; k < s.cols; k++ {
+			prow[k] *= inv
+		}
+		prow[j] = 1
+		s.xB[done] *= inv
+		for i := 0; i < s.m; i++ {
+			if i == done {
+				continue
+			}
+			f := s.a[i][j]
+			if f == 0 {
+				continue
+			}
+			row := s.a[i]
+			for k := 0; k < s.cols; k++ {
+				row[k] -= f * prow[k]
+			}
+			row[j] = 0
+			s.xB[i] -= f * s.xB[done]
+		}
+		s.basis[done] = j
+		done++
+	}
+	return true
+}
+
+// setCost installs the phase objective (true problem cost or all-zero) and
+// prices out the current basis.
+func (s *Solver) setCost(true_ bool) {
+	clear(s.cost)
+	if true_ {
+		copy(s.cost, s.p.c)
+	}
+	copy(s.r, s.cost)
+	s.z = 0
+	for i := 0; i < s.m; i++ {
+		cb := s.cost[s.basis[i]]
+		if cb == 0 {
+			continue
+		}
+		row := s.a[i]
+		for j := 0; j < s.cols; j++ {
+			s.r[j] -= cb * row[j]
+		}
+	}
+	for i := 0; i < s.m; i++ {
+		s.r[s.basis[i]] = 0
+		s.z += s.cost[s.basis[i]] * s.xB[i]
+	}
+	for j := 0; j < s.cols; j++ {
+		if s.status[j] != inBasis && s.cost[j] != 0 {
+			s.z += s.cost[j] * s.val(j)
+		}
+	}
+}
+
+func (s *Solver) primalFeasible() bool {
+	for i := 0; i < s.m; i++ {
+		k := s.basis[i]
+		if s.xB[i] < s.lb[k]-feasEps || s.xB[i] > s.ub[k]+feasEps {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Solver) dualFeasible() bool {
+	for j := 0; j < s.cols; j++ {
+		if s.status[j] == inBasis || s.fixed(j) {
+			continue
+		}
+		switch s.status[j] {
+		case nbLower:
+			if s.r[j] < -eps {
+				return false
+			}
+		case nbUpper:
+			if s.r[j] > eps {
+				return false
+			}
+		default:
+			if math.Abs(s.r[j]) > eps {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// pivot makes column enter basic in row leave, updating the tableau and the
+// reduced-cost row (value bookkeeping is done by the callers).
+func (s *Solver) pivot(leave, enter int) {
+	prow := s.a[leave]
+	inv := 1 / prow[enter]
+	for j := 0; j < s.cols; j++ {
+		prow[j] *= inv
+	}
+	prow[enter] = 1 // fight rounding
+	for i := 0; i < s.m; i++ {
+		if i == leave {
+			continue
+		}
+		f := s.a[i][enter]
+		if f == 0 {
+			continue
+		}
+		row := s.a[i]
+		for j := 0; j < s.cols; j++ {
+			row[j] -= f * prow[j]
+		}
+		row[enter] = 0
+	}
+	if f := s.r[enter]; f != 0 {
+		for j := 0; j < s.cols; j++ {
+			s.r[j] -= f * prow[j]
+		}
+		s.r[enter] = 0
+	}
+}
+
+// primalIterate runs the bounded primal simplex until optimality,
+// unboundedness, or the budget runs out.
+func (s *Solver) primalIterate(budget int) (Status, int) {
+	if budget < 0 {
+		budget = 0
+	}
+	stall := 0
+	bland := false
+	for it := 0; ; it++ {
+		// Entering column and movement direction.
+		enter, dir := -1, 1.0
+		if bland {
+			for j := 0; j < s.cols && enter == -1; j++ {
+				if s.status[j] == inBasis || s.fixed(j) {
+					continue
+				}
+				switch s.status[j] {
+				case nbLower:
+					if s.r[j] < -eps {
+						enter, dir = j, 1
+					}
+				case nbUpper:
+					if s.r[j] > eps {
+						enter, dir = j, -1
+					}
+				default:
+					if s.r[j] < -eps {
+						enter, dir = j, 1
+					} else if s.r[j] > eps {
+						enter, dir = j, -1
+					}
+				}
+			}
+		} else {
+			best := eps
+			for j := 0; j < s.cols; j++ {
+				if s.status[j] == inBasis || s.fixed(j) {
+					continue
+				}
+				var viol, d float64
+				switch s.status[j] {
+				case nbLower:
+					viol, d = -s.r[j], 1
+				case nbUpper:
+					viol, d = s.r[j], -1
+				default:
+					if s.r[j] < 0 {
+						viol, d = -s.r[j], 1
+					} else {
+						viol, d = s.r[j], -1
+					}
+				}
+				if viol > best {
+					best, enter, dir = viol, j, d
+				}
+			}
+		}
+		if enter == -1 {
+			return Optimal, it
+		}
+		if it >= budget {
+			return IterLimit, it
+		}
+		// Ratio test: entering moves by dir*t; basic i changes by
+		// -dir*t*a[i][enter]; the entering column itself flips at its range.
+		tmax := math.Inf(1)
+		if !math.IsInf(s.lb[enter], -1) && !math.IsInf(s.ub[enter], 1) {
+			tmax = s.ub[enter] - s.lb[enter]
+		}
+		leave, tmin := -1, tmax
+		for i := 0; i < s.m; i++ {
+			step := dir * s.a[i][enter]
+			k := s.basis[i]
+			var t float64
+			switch {
+			case step > eps: // basic value decreases
+				if math.IsInf(s.lb[k], -1) {
+					continue
+				}
+				t = (s.xB[i] - s.lb[k]) / step
+			case step < -eps: // basic value increases
+				if math.IsInf(s.ub[k], 1) {
+					continue
+				}
+				t = (s.ub[k] - s.xB[i]) / (-step)
+			default:
+				continue
+			}
+			if t < 0 {
+				t = 0
+			}
+			if leave == -1 && t < tmin-eps {
+				leave, tmin = i, t
+			} else if leave != -1 && (t < tmin-eps ||
+				(t <= tmin+eps && bland && s.basis[i] < s.basis[leave])) {
+				leave, tmin = i, math.Min(t, tmin)
+			}
+		}
+		if math.IsInf(tmin, 1) {
+			return Unbounded, it
+		}
+		if tmin <= eps {
+			stall++
+			if stall > 2*(s.m+s.cols) {
+				bland = true
+			}
+		} else {
+			stall = 0
+		}
+		s.z += s.r[enter] * dir * tmin
+		if leave == -1 {
+			// Bound flip: no basis change.
+			for i := 0; i < s.m; i++ {
+				if a := s.a[i][enter]; a != 0 {
+					s.xB[i] -= dir * tmin * a
+				}
+			}
+			if s.status[enter] == nbLower {
+				s.status[enter] = nbUpper
+			} else {
+				s.status[enter] = nbLower
+			}
+			continue
+		}
+		newVal := s.val(enter) + dir*tmin
+		for i := 0; i < s.m; i++ {
+			if i == leave {
+				continue
+			}
+			if a := s.a[i][enter]; a != 0 {
+				s.xB[i] -= dir * tmin * a
+			}
+		}
+		k := s.basis[leave]
+		leaveStatus := nbUpper
+		if dir*s.a[leave][enter] > 0 { // basic value decreased to its lower bound
+			leaveStatus = nbLower
+		}
+		s.pivot(leave, enter)
+		s.xB[leave] = newVal
+		s.basis[leave] = enter
+		s.status[enter] = inBasis
+		s.status[k] = leaveStatus
+	}
+}
+
+// dualIterate runs the bounded dual simplex until primal feasibility
+// ("Optimal" here means feasible for the current cost, which the caller
+// re-prices), infeasibility, or the budget runs out. Requires dual
+// feasibility on entry, which bound changes preserve.
+func (s *Solver) dualIterate(budget int) (Status, int) {
+	if budget < 0 {
+		budget = 0
+	}
+	stall := 0
+	bland := false
+	for it := 0; ; it++ {
+		// Leaving row: the worst bound violation (Bland mode: the first).
+		leave, below := -1, false
+		worst := feasEps
+		for i := 0; i < s.m; i++ {
+			k := s.basis[i]
+			if v := s.lb[k] - s.xB[i]; v > worst {
+				leave, below, worst = i, true, v
+			} else if v := s.xB[i] - s.ub[k]; v > worst {
+				leave, below, worst = i, false, v
+			}
+			if bland && leave != -1 {
+				break
+			}
+		}
+		if leave == -1 {
+			return Optimal, it
+		}
+		if it >= budget {
+			return IterLimit, it
+		}
+		row := s.a[leave]
+		// Entering column: among columns whose movement raises (below) or
+		// lowers (above) the leaving value, the minimal dual ratio
+		// |r_j|/|a_j| preserves dual feasibility; ties break to the lowest
+		// index.
+		enter := -1
+		var bestRatio float64
+		for j := 0; j < s.cols; j++ {
+			if s.status[j] == inBasis || s.fixed(j) {
+				continue
+			}
+			aj := row[j]
+			var ok bool
+			switch s.status[j] {
+			case nbLower: // can only increase
+				ok = (below && aj < -eps) || (!below && aj > eps)
+			case nbUpper: // can only decrease
+				ok = (below && aj > eps) || (!below && aj < -eps)
+			default: // free: either direction
+				ok = aj > eps || aj < -eps
+			}
+			if !ok {
+				continue
+			}
+			ratio := math.Abs(s.r[j]) / math.Abs(aj)
+			if enter == -1 || ratio < bestRatio-eps {
+				enter, bestRatio = j, ratio
+			}
+		}
+		if enter == -1 {
+			return Infeasible, it
+		}
+		k := s.basis[leave]
+		target := s.ub[k]
+		leaveStatus := nbUpper
+		if below {
+			target = s.lb[k]
+			leaveStatus = nbLower
+		}
+		// Note: the step is not capped at the entering column's own opposite
+		// bound. The entering variable may become basic outside its range,
+		// which the next iterations repair — deliberately so: in-place bound
+		// flips with degenerate reduced costs can cycle across rows without
+		// touching the stall/Bland safeguards (observed under fuzzing), while
+		// the uncapped pivot is the plain terminating dual method.
+		delta := (s.xB[leave] - target) / row[enter]
+		if math.Abs(delta) <= eps {
+			stall++
+			if stall > 2*(s.m+s.cols) {
+				bland = true
+			}
+		} else {
+			stall = 0
+		}
+		newVal := s.val(enter) + delta
+		for i := 0; i < s.m; i++ {
+			if i == leave {
+				continue
+			}
+			if a := s.a[i][enter]; a != 0 {
+				s.xB[i] -= a * delta
+			}
+		}
+		s.z += s.r[enter] * delta
+		s.pivot(leave, enter)
+		s.xB[leave] = newVal
+		s.basis[leave] = enter
+		s.status[enter] = inBasis
+		s.status[k] = leaveStatus
+	}
+}
+
+// extract assembles the Optimal solution.
+func (s *Solver) extract(iters int) Solution {
+	x := make([]float64, s.n)
+	for j := 0; j < s.n; j++ {
+		if s.status[j] != inBasis {
+			x[j] = s.val(j)
+		}
+	}
+	for i := 0; i < s.m; i++ {
+		if s.basis[i] < s.n {
+			x[s.basis[i]] = s.xB[i]
+		}
+	}
+	obj := 0.0
+	for j := 0; j < s.n; j++ {
+		obj += s.p.c[j] * x[j]
+	}
+	return Solution{
+		Status: Optimal,
+		X:      x,
+		Obj:    obj,
+		Iters:  iters,
+		R:      append([]float64(nil), s.r[:s.n]...),
+		Basis:  &Basis{status: append([]int8(nil), s.status...)},
+	}
+}

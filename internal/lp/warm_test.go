@@ -1,0 +1,194 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNativeBounds(t *testing.T) {
+	// min -x - 2y  s.t. x + y <= 3, x in [0,2], y in [0,2]  ->  x=1, y=2.
+	p := NewProblem(2)
+	p.SetObj(0, -1)
+	p.SetObj(1, -2)
+	p.SetBounds(0, 0, 2)
+	p.SetBounds(1, 0, 2)
+	p.AddRow([]float64{1, 1}, LE, 3)
+	s := p.Solve(0)
+	if s.Status != Optimal || !approx(s.Obj, -5) {
+		t.Fatalf("status %v obj %v, want -5", s.Status, s.Obj)
+	}
+	if !approx(s.X[0], 1) || !approx(s.X[1], 2) {
+		t.Errorf("x=%v", s.X)
+	}
+}
+
+func TestNegativeLowerBound(t *testing.T) {
+	// min x  with x in [-4, 7]: rests at the lower bound.
+	p := NewProblem(1)
+	p.SetObj(0, 1)
+	p.SetBounds(0, -4, 7)
+	s := p.Solve(0)
+	if s.Status != Optimal || !approx(s.X[0], -4) {
+		t.Fatalf("status %v x %v", s.Status, s.X)
+	}
+}
+
+func TestFixedVariableBounds(t *testing.T) {
+	// x fixed at 2 via bounds participates in rows but never pivots.
+	p := NewProblem(2)
+	p.SetObj(1, 1)
+	p.SetBounds(0, 2, 2)
+	p.AddRow([]float64{1, 1}, GE, 5)
+	s := p.Solve(0)
+	if s.Status != Optimal || !approx(s.X[0], 2) || !approx(s.X[1], 3) {
+		t.Fatalf("status %v x %v", s.Status, s.X)
+	}
+}
+
+func TestInfeasibleBounds(t *testing.T) {
+	p := NewProblem(1)
+	p.SetBounds(0, 0, 1)
+	p.AddRow([]float64{1}, GE, 2)
+	if s := p.Solve(0); s.Status != Infeasible {
+		t.Fatalf("status %v, want infeasible", s.Status)
+	}
+}
+
+func TestSetBoundsPanics(t *testing.T) {
+	p := NewProblem(1)
+	mustPanic(t, func() { p.SetBounds(0, 2, 1) })
+	mustPanic(t, func() { p.SetBounds(0, Inf, Inf) })
+}
+
+// TestWarmStartAfterBoundChange is the branch-and-bound re-solve pattern:
+// tighten one variable's bounds and re-solve from the parent's basis. The
+// warm solve must agree with a cold solve and take fewer iterations.
+func TestWarmStartAfterBoundChange(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(4)
+		mrows := 2 + rng.Intn(5)
+		p := NewProblem(n)
+		for j := 0; j < n; j++ {
+			p.SetObj(j, float64(rng.Intn(9)-4))
+			p.SetBounds(j, 0, float64(1+rng.Intn(4)))
+		}
+		for i := 0; i < mrows; i++ {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = float64(rng.Intn(5) - 2)
+			}
+			p.AddRow(row, Sense(rng.Intn(3)), float64(rng.Intn(9)-2))
+		}
+		sv := NewSolver(p)
+		root := sv.Solve(nil, nil, nil, 0)
+		if root.Status != Optimal {
+			continue
+		}
+		// Tighten a random variable to a sub-range, child-node style.
+		lb := make([]float64, n)
+		ub := make([]float64, n)
+		for j := 0; j < n; j++ {
+			lb[j], ub[j] = p.Bounds(j)
+		}
+		j := rng.Intn(n)
+		ub[j] = math.Floor(root.X[j])
+		if ub[j] < lb[j] {
+			continue
+		}
+		cold := NewSolver(p).Solve(lb, ub, nil, 0)
+		warm := sv.Solve(lb, ub, root.Basis, 0)
+		if cold.Status != warm.Status {
+			t.Fatalf("trial %d: cold %v vs warm %v", trial, cold.Status, warm.Status)
+		}
+		if cold.Status == Optimal {
+			if !approx(cold.Obj, warm.Obj) {
+				t.Fatalf("trial %d: cold obj %v vs warm obj %v", trial, cold.Obj, warm.Obj)
+			}
+			if warm.Iters > cold.Iters {
+				t.Errorf("trial %d: warm start used %d iters, cold %d", trial, warm.Iters, cold.Iters)
+			}
+		}
+	}
+}
+
+// TestWarmStartAfterObjectiveChange is the iterative set-cover pattern: the
+// same rows and bounds, a new objective, warm-started from the old basis.
+func TestWarmStartAfterObjectiveChange(t *testing.T) {
+	p := NewProblem(4)
+	for j := 0; j < 4; j++ {
+		p.SetObj(j, -1)
+		p.SetBounds(j, 0, 1)
+	}
+	p.AddRow([]float64{1, 1, 1, 1}, LE, 2)
+	sv := NewSolver(p)
+	first := sv.Solve(nil, nil, nil, 0)
+	if first.Status != Optimal || !approx(first.Obj, -2) {
+		t.Fatalf("first: %v obj %v", first.Status, first.Obj)
+	}
+	p.SetObj(0, -5)
+	p.SetObj(1, 3)
+	warm := sv.Solve(nil, nil, first.Basis, 0)
+	if warm.Status != Optimal || !approx(warm.Obj, -6) {
+		t.Fatalf("warm after objective change: %v obj %v, want -6", warm.Status, warm.Obj)
+	}
+}
+
+// TestSolveDeterministic: a solve is a pure function of its inputs.
+func TestSolveDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(4)
+		p := NewProblem(n)
+		for j := 0; j < n; j++ {
+			p.SetObj(j, float64(rng.Intn(7)-3))
+			p.SetBounds(j, 0, float64(1+rng.Intn(3)))
+		}
+		for i := 0; i < 3; i++ {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = float64(rng.Intn(5) - 2)
+			}
+			p.AddRow(row, Sense(rng.Intn(3)), float64(rng.Intn(7)-2))
+		}
+		a := p.Solve(0)
+		b := NewSolver(p).Solve(nil, nil, nil, 0)
+		if a.Status != b.Status || a.Obj != b.Obj || a.Iters != b.Iters {
+			t.Fatalf("trial %d: solves differ: %+v vs %+v", trial, a, b)
+		}
+		for j := range a.X {
+			if a.X[j] != b.X[j] {
+				t.Fatalf("trial %d: X[%d] %v vs %v", trial, j, a.X[j], b.X[j])
+			}
+		}
+	}
+}
+
+func TestReducedCostsSigns(t *testing.T) {
+	// min -x - y over the unit box with x + y <= 1: at the optimum every
+	// nonbasic-at-lower column must have R >= 0 and at-upper R <= 0.
+	p := NewProblem(3)
+	p.SetObj(0, -2)
+	p.SetObj(1, -1)
+	p.SetObj(2, 5)
+	for j := 0; j < 3; j++ {
+		p.SetBounds(j, 0, 1)
+	}
+	p.AddRow([]float64{1, 1, 1}, LE, 1)
+	s := p.Solve(0)
+	if s.Status != Optimal {
+		t.Fatalf("status %v", s.Status)
+	}
+	if s.R == nil {
+		t.Fatal("no reduced costs")
+	}
+	for j, x := range s.X {
+		switch {
+		case approx(x, 0) && s.R[j] < -1e-6:
+			t.Errorf("var %d at lower with R=%v", j, s.R[j])
+		case approx(x, 1) && s.R[j] > 1e-6:
+			t.Errorf("var %d at upper with R=%v", j, s.R[j])
+		}
+	}
+}

@@ -1,0 +1,33 @@
+// Package testutil holds small helpers shared by tests, in particular the
+// stdout-capture harness the examples' smoke tests run main() under.
+package testutil
+
+import (
+	"io"
+	"os"
+	"testing"
+)
+
+// CaptureMain redirects os.Stdout, runs fn (an example's main), and returns
+// everything it printed. os.Stdout is restored even if fn panics.
+func CaptureMain(t *testing.T, fn func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	defer func() {
+		os.Stdout = old
+	}()
+	fn()
+	w.Close()
+	os.Stdout = old
+	return <-done
+}
