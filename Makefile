@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check fmt vet bench bench-smoke bench-json fuzz-smoke clean
+.PHONY: all build test check check-imports fmt vet bench bench-smoke bench-json fuzz-smoke clean
 
 all: check
 
@@ -19,9 +19,14 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# Full local gate: formatting, static checks, tests, and a one-shot campaign
-# benchmark smoke so the Sec. IV engine is exercised end to end.
-check: fmt vet test bench-smoke
+# The public-API boundary: cmd/ and examples/ must import only repro/fpva.
+check-imports:
+	./scripts/check-imports.sh
+
+# Full local gate: formatting, static checks, the API boundary, tests, and
+# a one-shot campaign benchmark smoke so the Sec. IV engine is exercised
+# end to end.
+check: fmt vet check-imports test bench-smoke
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench Campaign -benchtime 1x .

@@ -14,6 +14,7 @@ package repro
 // numbers the paper reports appear directly in the benchmark output.
 
 import (
+	"context"
 	"runtime"
 	"testing"
 
@@ -33,7 +34,7 @@ func benchTable1(b *testing.B, name string) {
 	}
 	var ts *core.TestSet
 	for i := 0; i < b.N; i++ {
-		ts, err = bench.Row(c)
+		ts, err = bench.Row(context.Background(), c)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -56,7 +57,7 @@ func benchFig8(b *testing.B, stripR, stripC int, paperPaths float64) {
 	var res *flowpath.Result
 	var err error
 	for i := 0; i < b.N; i++ {
-		res, err = flowpath.Generate(a, flowpath.Options{StripRows: stripR, StripCols: stripC})
+		res, err = flowpath.Generate(context.Background(), a, flowpath.Options{StripRows: stripR, StripCols: stripC})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -84,7 +85,7 @@ func BenchmarkFig9_Paths20x20(b *testing.B) {
 	}
 	var res *flowpath.Result
 	for i := 0; i < b.N; i++ {
-		res, err = flowpath.Generate(a, flowpath.Options{StripRows: 5, StripCols: 5})
+		res, err = flowpath.Generate(context.Background(), a, flowpath.Options{StripRows: 5, StripCols: 5})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -99,7 +100,7 @@ func benchCampaign(b *testing.B, faults, workers int) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	ts, err := bench.Row(c)
+	ts, err := bench.Row(context.Background(), c)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -108,9 +109,12 @@ func benchCampaign(b *testing.B, faults, workers int) {
 	var res sim.CampaignResult
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res = s.RunCampaign(vecs, sim.CampaignConfig{
+		res, err = s.RunCampaign(context.Background(), vecs, sim.CampaignConfig{
 			Trials: 10000, NumFaults: faults, Seed: int64(faults), Workers: workers,
 		})
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(res.DetectionRate(), "detection_rate")
 }
@@ -137,7 +141,7 @@ func BenchmarkCampaign_5Faults_Compiled(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	ts, err := bench.Row(c)
+	ts, err := bench.Row(context.Background(), c)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -145,7 +149,10 @@ func BenchmarkCampaign_5Faults_Compiled(b *testing.B) {
 	var res sim.CampaignResult
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res = cv.RunCampaign(sim.CampaignConfig{Trials: 10000, NumFaults: 5, Seed: 5})
+		res, err = cv.RunCampaign(context.Background(), sim.CampaignConfig{Trials: 10000, NumFaults: 5, Seed: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(res.DetectionRate(), "detection_rate")
 }
@@ -178,13 +185,13 @@ func BenchmarkBaseline_10x10(b *testing.B) { benchBaseline(b, "10x10") }
 // a 4x4 array (paper: any two faults are guaranteed detected).
 func BenchmarkTwoFaultExhaustive(b *testing.B) {
 	a := grid.MustNewStandard(4, 4)
-	ts, err := core.Generate(a, core.Config{})
+	ts, err := core.Generate(context.Background(), a, core.Config{})
 	if err != nil {
 		b.Fatal(err)
 	}
 	var escapes [][2]sim.Fault
 	for i := 0; i < b.N; i++ {
-		escapes, err = ts.VerifyDoubleFaults(0)
+		escapes, err = ts.VerifyDoubleFaults(context.Background(), 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -201,7 +208,7 @@ func BenchmarkAblation_PathSerpentine(b *testing.B) {
 	var res *flowpath.Result
 	var err error
 	for i := 0; i < b.N; i++ {
-		res, err = flowpath.Generate(a, flowpath.Options{Engine: flowpath.EngineSerpentine})
+		res, err = flowpath.Generate(context.Background(), a, flowpath.Options{Engine: flowpath.EngineSerpentine})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -225,7 +232,7 @@ func benchPathILPIterative(b *testing.B, workers int) {
 	var res *flowpath.Result
 	var err error
 	for i := 0; i < b.N; i++ {
-		res, err = flowpath.Generate(a, flowpath.Options{
+		res, err = flowpath.Generate(context.Background(), a, flowpath.Options{
 			Engine: flowpath.EngineILPIterative,
 			ILP:    ilp.Options{Workers: workers},
 		})
@@ -244,7 +251,7 @@ func BenchmarkAblation_PathILPMonolithic(b *testing.B) {
 	var res *flowpath.Result
 	var err error
 	for i := 0; i < b.N; i++ {
-		res, err = flowpath.Generate(a, flowpath.Options{Engine: flowpath.EngineILPMonolithic})
+		res, err = flowpath.Generate(context.Background(), a, flowpath.Options{Engine: flowpath.EngineILPMonolithic})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -261,7 +268,7 @@ func BenchmarkAblation_CutILP(b *testing.B) {
 	var res *cutset.Result
 	var err error
 	for i := 0; i < b.N; i++ {
-		res, err = cutset.Generate(a, cutset.Options{Engine: cutset.EngineILP})
+		res, err = cutset.Generate(context.Background(), a, cutset.Options{Engine: cutset.EngineILP})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -284,7 +291,7 @@ func benchCutRepair(b *testing.B, noRepair bool) {
 	var res *cutset.Result
 	var err error
 	for i := 0; i < b.N; i++ {
-		res, err = cutset.Generate(a, cutset.Options{NoRepair: noRepair})
+		res, err = cutset.Generate(context.Background(), a, cutset.Options{NoRepair: noRepair})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,4 +1,5 @@
-// Command fpvafig regenerates the paper's figures as ASCII diagrams:
+// Command fpvafig regenerates the paper's figures as ASCII diagrams, using
+// only the public fpva package:
 //
 //	fpvafig -fig 8     direct vs hierarchical flow paths on a full 10x10
 //	fpvafig -fig 9     the flow paths of the 20x20 array with channels
@@ -7,15 +8,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
-	"repro/internal/bench"
-	"repro/internal/cutset"
-	"repro/internal/flowpath"
-	"repro/internal/grid"
-	"repro/internal/render"
+	"repro/fpva"
 )
 
 func main() {
@@ -24,82 +23,97 @@ func main() {
 		cuts = flag.String("cuts", "", "render the cut-sets of a Table I array")
 	)
 	flag.Parse()
-	if err := run(*fig, *cuts); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, *fig, *cuts); err != nil {
 		fmt.Fprintln(os.Stderr, "fpvafig:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig int, cuts string) error {
+func run(ctx context.Context, fig int, cuts string) error {
 	switch {
 	case fig == 8:
-		return fig8()
+		return fig8(ctx)
 	case fig == 9:
-		return fig9()
+		return fig9(ctx)
 	case cuts != "":
-		return renderCuts(cuts)
+		return renderCuts(ctx, cuts)
 	}
 	return fmt.Errorf("specify -fig 8, -fig 9, or -cuts <case>")
 }
 
-func fig8() error {
-	a, err := grid.NewStandard(10, 10)
+// pathPlan generates flow paths only (leakage skipped: the figures draw the
+// stuck-at-0 family).
+func pathPlan(ctx context.Context, a *fpva.Array, opts ...fpva.GenOption) (*fpva.Plan, error) {
+	return fpva.Generate(ctx, a, append(opts, fpva.WithoutLeakage())...)
+}
+
+func fig8(ctx context.Context) error {
+	a, err := fpva.NewArray(10, 10)
 	if err != nil {
 		return err
 	}
-	direct, err := flowpath.Generate(a, flowpath.Options{})
+	direct, err := pathPlan(ctx, a, fpva.WithDirectModel())
 	if err != nil {
 		return err
 	}
-	fmt.Printf("Fig. 8(a) — direct model: %d flow paths on the full 10x10\n\n", len(direct.Paths))
-	fmt.Println(render.Paths(a, direct.Paths))
-	hier, err := flowpath.Generate(a, flowpath.Options{StripRows: 5, StripCols: 5})
+	out, err := direct.RenderPaths()
 	if err != nil {
 		return err
 	}
-	fmt.Printf("Fig. 8(b) — hierarchical model (5x5 blocks): %d flow paths\n\n", len(hier.Paths))
-	fmt.Println(render.Paths(a, hier.Paths))
-	fmt.Println(render.Legend())
+	fmt.Printf("Fig. 8(a) — direct model: %d flow paths on the full 10x10\n\n", direct.Stats().NP)
+	fmt.Println(out)
+	hier, err := pathPlan(ctx, a)
+	if err != nil {
+		return err
+	}
+	if out, err = hier.RenderPaths(); err != nil {
+		return err
+	}
+	fmt.Printf("Fig. 8(b) — hierarchical model (5x5 blocks): %d flow paths\n\n", hier.Stats().NP)
+	fmt.Println(out)
+	fmt.Println(fpva.RenderLegend())
 	return nil
 }
 
-func fig9() error {
-	c, err := bench.FindCase("20x20")
+func fig9(ctx context.Context) error {
+	a, err := fpva.BenchmarkArray("20x20")
 	if err != nil {
 		return err
 	}
-	a, err := c.Build()
+	plan, err := pathPlan(ctx, a)
 	if err != nil {
 		return err
 	}
-	res, err := flowpath.Generate(a, flowpath.Options{StripRows: 5, StripCols: 5})
+	out, err := plan.RenderPaths()
 	if err != nil {
 		return err
 	}
 	fmt.Printf("Fig. 9 — %d flow paths covering the 20x20 array (%d valves) with channels and obstacles\n\n",
-		len(res.Paths), a.NumNormal())
-	fmt.Println(render.Paths(a, res.Paths))
-	fmt.Println(render.Legend())
+		plan.Stats().NP, a.NumValves())
+	fmt.Println(out)
+	fmt.Println(fpva.RenderLegend())
 	return nil
 }
 
-func renderCuts(name string) error {
-	c, err := bench.FindCase(name)
+func renderCuts(ctx context.Context, name string) error {
+	a, err := fpva.BenchmarkArray(name)
 	if err != nil {
 		return err
 	}
-	a, err := c.Build()
+	plan, err := pathPlan(ctx, a)
 	if err != nil {
 		return err
 	}
-	res, err := cutset.Generate(a, cutset.Options{})
-	if err != nil {
-		return err
+	fmt.Printf("%d cut-sets for %v\n\n", plan.NumCuts(), a)
+	for i := 0; i < plan.NumCuts(); i++ {
+		diagram, err := plan.RenderCut(i)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("cut %d (%d valves):\n%s\n", i, len(plan.Cut(i)), diagram)
 	}
-	fmt.Printf("%d cut-sets for %v\n\n", len(res.Cuts), a)
-	for i, cut := range res.Cuts {
-		fmt.Printf("cut %d (%d valves):\n%s\n", i, len(cut.Valves), render.Cut(a, cut))
-	}
-	fmt.Println(render.Legend())
+	fmt.Println(fpva.RenderLegend())
 	return nil
 }

@@ -1,18 +1,22 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestRunFigureSelection(t *testing.T) {
-	if err := run(0, ""); err == nil {
+	ctx := context.Background()
+	if err := run(ctx, 0, ""); err == nil {
 		t.Error("no selection: want error")
 	}
-	if err := run(8, ""); err != nil {
+	if err := run(ctx, 8, ""); err != nil {
 		t.Errorf("fig 8: %v", err)
 	}
-	if err := run(0, "5x5"); err != nil {
+	if err := run(ctx, 0, "5x5"); err != nil {
 		t.Errorf("cuts: %v", err)
 	}
-	if err := run(0, "unknown"); err == nil {
+	if err := run(ctx, 0, "unknown"); err == nil {
 		t.Error("unknown case: want error")
 	}
 }

@@ -1,96 +1,169 @@
 // Command fpvasim reproduces the paper's Sec. IV fault-injection study: it
-// generates the test set for a benchmark array, injects k = 1..maxFaults
-// random faults per trial, and reports the detection rate per k.
+// takes a test plan — generated in-process or loaded from fpvatest -o
+// output — injects k = 1..maxFaults random faults per trial, and reports
+// the detection rate per k. It is a thin shell over the public fpva
+// package.
 //
 // Usage:
 //
 //	fpvasim -case 10x10 -trials 10000             the paper's experiment
+//	fpvasim -rows 8 -cols 8                       a full custom array
+//	fpvasim -plan plan.json -trials 100000        replay a serialized plan
 //	fpvasim -case 5x5 -trials 1000 -faults 3      shorter run
 //	fpvasim -case 5x5 -leaks                      include control-leak faults
 //	fpvasim -case 5x5 -baseline                   use the 2*nv baseline set
+//
+// Exactly one of -case, -rows/-cols and -plan must be given; -baseline
+// requires in-process generation and is incompatible with -plan.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"time"
 
-	"repro/internal/bench"
-	"repro/internal/core"
-	"repro/internal/grid"
-	"repro/internal/sim"
+	"repro/fpva"
 )
 
+type options struct {
+	caseName   string
+	rows       int
+	cols       int
+	planFile   string
+	trials     int
+	maxFaults  int
+	seed       int64
+	workers    int
+	maxEscapes int
+	leaks      bool
+	baseline   bool
+	progress   bool
+}
+
 func main() {
-	var (
-		caseName  = flag.String("case", "5x5", "Table I array name")
-		trials    = flag.Int("trials", 10000, "injections per fault count")
-		maxFaults = flag.Int("faults", 5, "maximum number of simultaneous faults")
-		seed      = flag.Int64("seed", 2017, "campaign RNG seed")
-		workers   = flag.Int("workers", 0, "campaign worker goroutines (0 = all CPUs)")
-		leaks     = flag.Bool("leaks", false, "also inject control-leakage faults")
-		baseline  = flag.Bool("baseline", false, "evaluate the one-valve-at-a-time baseline instead")
-	)
+	var opt options
+	flag.StringVar(&opt.caseName, "case", "", "Table I array name (5x5, 10x10, 15x15, 20x20, 30x30)")
+	flag.IntVar(&opt.rows, "rows", 0, "custom full array rows")
+	flag.IntVar(&opt.cols, "cols", 0, "custom full array columns")
+	flag.StringVar(&opt.planFile, "plan", "", "replay a plan serialized by fpvatest -o")
+	flag.IntVar(&opt.trials, "trials", 10000, "injections per fault count")
+	flag.IntVar(&opt.maxFaults, "faults", 5, "maximum number of simultaneous faults")
+	flag.Int64Var(&opt.seed, "seed", 2017, "campaign RNG seed")
+	flag.IntVar(&opt.workers, "workers", 0, "campaign worker goroutines (0 = all CPUs)")
+	flag.IntVar(&opt.maxEscapes, "max-escapes", 0, "cap on recorded undetected fault sets (0 = default 16)")
+	flag.BoolVar(&opt.leaks, "leaks", false, "also inject control-leakage faults")
+	flag.BoolVar(&opt.baseline, "baseline", false, "evaluate the one-valve-at-a-time baseline instead")
+	flag.BoolVar(&opt.progress, "progress", false, "report campaign trial progress on stderr")
 	flag.Parse()
-	if err := run(os.Stdout, *caseName, *trials, *maxFaults, *seed, *workers, *leaks, *baseline); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Stdout, opt); err != nil {
 		fmt.Fprintln(os.Stderr, "fpvasim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, caseName string, trials, maxFaults int, seed int64, workers int, leaks, baseline bool) error {
-	c, err := bench.FindCase(caseName)
-	if err != nil {
-		return err
+// validateSelectors enforces that exactly one plan source is chosen.
+func validateSelectors(opt options) error {
+	n := 0
+	if opt.caseName != "" {
+		n++
 	}
-	a, err := c.Build()
-	if err != nil {
-		return err
-	}
-	var vectors []*sim.Vector
-	var label string
-	t0 := time.Now()
-	var ts *core.TestSet
-	if baseline {
-		vectors, err = bench.BaselineVectors(a)
-		if err != nil {
-			return err
+	if opt.rows != 0 || opt.cols != 0 {
+		if opt.rows <= 0 || opt.cols <= 0 {
+			return fmt.Errorf("-rows and -cols must both be positive (got %d, %d)", opt.rows, opt.cols)
 		}
-		label = "baseline"
-	} else {
-		ts, err = core.Generate(a, core.Config{Hierarchical: true})
-		if err != nil {
-			return err
-		}
-		vectors = ts.AllVectors()
-		label = "proposed"
+		n++
 	}
-	fmt.Fprintf(w, "%s on %v: %d vectors (generated in %v)\n",
-		label, a, len(vectors), time.Since(t0).Round(time.Millisecond))
+	if opt.planFile != "" {
+		if opt.baseline {
+			return fmt.Errorf("-baseline regenerates vectors and cannot be combined with -plan")
+		}
+		n++
+	}
+	switch n {
+	case 0:
+		return fmt.Errorf("specify exactly one of -case, -rows/-cols, or -plan (see -h)")
+	case 1:
+		return nil
+	}
+	return fmt.Errorf("-case, -rows/-cols and -plan are mutually exclusive; pick one")
+}
 
-	var leakPairs [][2]grid.ValveID
-	if leaks && ts != nil {
-		for _, p := range ts.LeakPairs {
-			leakPairs = append(leakPairs, [2]grid.ValveID{p[0], p[1]})
-		}
+func run(ctx context.Context, w io.Writer, opt options) error {
+	if err := validateSelectors(opt); err != nil {
+		return err
 	}
-	s, err := sim.New(a)
+	plan, label, err := loadPlan(ctx, opt)
 	if err != nil {
 		return err
 	}
-	cv := s.Compile(vectors)
+	fmt.Fprintf(w, "%s on %v: %d vectors\n", label, plan.Array(), plan.NumVectors())
+	campOpts := []fpva.CampaignOption{
+		fpva.WithTrials(opt.trials),
+		fpva.WithCampaignWorkers(opt.workers),
+		fpva.WithMaxEscapes(opt.maxEscapes),
+	}
+	if opt.leaks {
+		campOpts = append(campOpts, fpva.WithLeakFaults())
+	}
+	if opt.progress {
+		campOpts = append(campOpts, fpva.WithCampaignProgress(func(e fpva.Event) {
+			fmt.Fprintf(os.Stderr, "fpvasim: %v\n", e)
+		}))
+	}
 	fmt.Fprintf(w, "%-8s %-10s %-10s %-10s\n", "faults", "trials", "detected", "rate")
-	for k := 1; k <= maxFaults; k++ {
-		res := cv.RunCampaign(sim.CampaignConfig{
-			Trials: trials, NumFaults: k, Seed: seed + int64(k),
-			Workers: workers, LeakPairs: leakPairs,
-		})
+	for k := 1; k <= opt.maxFaults; k++ {
+		res, err := plan.Campaign(ctx, append(campOpts,
+			fpva.WithNumFaults(k), fpva.WithSeed(opt.seed+int64(k)))...)
+		if err != nil {
+			return err
+		}
 		fmt.Fprintf(w, "%-8d %-10d %-10d %.4f\n", k, res.Trials, res.Detected, res.DetectionRate())
 		for _, esc := range res.Escapes {
 			fmt.Fprintf(w, "  escape: %v\n", esc)
 		}
 	}
 	return nil
+}
+
+// loadPlan resolves the plan source: a serialized file, or in-process
+// generation (proposed flow or baseline) for the selected array.
+func loadPlan(ctx context.Context, opt options) (*fpva.Plan, string, error) {
+	if opt.planFile != "" {
+		f, err := os.Open(opt.planFile)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		plan, err := fpva.DecodePlan(f)
+		if err != nil {
+			return nil, "", err
+		}
+		return plan, "plan " + opt.planFile, nil
+	}
+	var a *fpva.Array
+	var err error
+	if opt.caseName != "" {
+		a, err = fpva.BenchmarkArray(opt.caseName)
+	} else {
+		a, err = fpva.NewArray(opt.rows, opt.cols)
+	}
+	if err != nil {
+		return nil, "", err
+	}
+	if opt.baseline {
+		plan, err := fpva.BaselinePlan(a)
+		return plan, "baseline", err
+	}
+	t0 := time.Now()
+	plan, err := fpva.Generate(ctx, a)
+	if err != nil {
+		return nil, "", err
+	}
+	return plan, fmt.Sprintf("proposed (generated in %v)", time.Since(t0).Round(time.Millisecond)), nil
 }

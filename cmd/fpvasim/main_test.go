@@ -1,13 +1,42 @@
 package main
 
 import (
+	"context"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/fpva"
 )
+
+func TestValidateSelectors(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opt  options
+		ok   bool
+	}{
+		{"none", options{}, false},
+		{"case", options{caseName: "5x5"}, true},
+		{"dims", options{rows: 4, cols: 4}, true},
+		{"rows only", options{rows: 4}, false},
+		{"plan", options{planFile: "p.json"}, true},
+		{"case and plan", options{caseName: "5x5", planFile: "p.json"}, false},
+		{"case and dims", options{caseName: "5x5", rows: 4, cols: 4}, false},
+		{"plan and baseline", options{planFile: "p.json", baseline: true}, false},
+	} {
+		err := validateSelectors(tc.opt)
+		if (err == nil) != tc.ok {
+			t.Errorf("%s: err=%v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
 
 func TestRunSmallCampaign(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "5x5", 100, 2, 1, 0, false, false); err != nil {
+	err := run(context.Background(), &b, options{caseName: "5x5",
+		trials: 100, maxFaults: 2, seed: 1})
+	if err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -20,7 +49,9 @@ func TestRunSmallCampaign(t *testing.T) {
 
 func TestRunWithLeaks(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "5x5", 50, 3, 7, 2, true, false); err != nil {
+	err := run(context.Background(), &b, options{caseName: "5x5",
+		trials: 50, maxFaults: 3, seed: 7, workers: 2, leaks: true})
+	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "proposed") {
@@ -30,7 +61,9 @@ func TestRunWithLeaks(t *testing.T) {
 
 func TestRunBaseline(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "5x5", 50, 1, 1, 1, false, true); err != nil {
+	err := run(context.Background(), &b, options{caseName: "5x5",
+		trials: 50, maxFaults: 1, seed: 1, workers: 1, baseline: true})
+	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "baseline") {
@@ -38,18 +71,77 @@ func TestRunBaseline(t *testing.T) {
 	}
 }
 
+func TestRunCustomDims(t *testing.T) {
+	var b strings.Builder
+	err := run(context.Background(), &b, options{rows: 4, cols: 4,
+		trials: 50, maxFaults: 1, seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "FPVA 4x4") {
+		t.Errorf("output:\n%s", b.String())
+	}
+}
+
+// TestRunPlanFileMatchesInProcess is the wire-format acceptance check: a
+// plan serialized by the fpvatest flow and replayed via -plan must produce
+// the same campaign table as the in-process path for the same seed.
+func TestRunPlanFileMatchesInProcess(t *testing.T) {
+	a, err := fpva.BenchmarkArray("5x5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := fpva.Generate(context.Background(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "plan.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fpva.EncodePlan(f, plan); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var inproc, replay strings.Builder
+	if err := run(context.Background(), &inproc, options{caseName: "5x5",
+		trials: 300, maxFaults: 3, seed: 42}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), &replay, options{planFile: path,
+		trials: 300, maxFaults: 3, seed: 42}); err != nil {
+		t.Fatal(err)
+	}
+	trim := func(s string) string {
+		// Drop the first line: it carries the plan source label and
+		// generation wall-clock time.
+		if i := strings.IndexByte(s, '\n'); i >= 0 {
+			return s[i+1:]
+		}
+		return s
+	}
+	if trim(inproc.String()) != trim(replay.String()) {
+		t.Errorf("plan replay diverges from in-process run:\n-- in-process --\n%s-- replay --\n%s",
+			inproc.String(), replay.String())
+	}
+}
+
 func TestRunWorkerCountsAgree(t *testing.T) {
 	// The campaign must print identical detection tables no matter how many
 	// workers shard the trials.
 	var seq, par strings.Builder
-	if err := run(&seq, "5x5", 200, 3, 42, 1, false, false); err != nil {
+	if err := run(context.Background(), &seq, options{caseName: "5x5",
+		trials: 200, maxFaults: 3, seed: 42, workers: 1}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&par, "5x5", 200, 3, 42, 8, false, false); err != nil {
+	if err := run(context.Background(), &par, options{caseName: "5x5",
+		trials: 200, maxFaults: 3, seed: 42, workers: 8}); err != nil {
 		t.Fatal(err)
 	}
 	trim := func(s string) string {
-		// Drop the first line: it carries generation wall-clock time.
 		if i := strings.IndexByte(s, '\n'); i >= 0 {
 			return s[i+1:]
 		}
@@ -63,7 +155,9 @@ func TestRunWorkerCountsAgree(t *testing.T) {
 
 func TestRunUnknownCase(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "7x7", 10, 1, 1, 1, false, false); err == nil {
+	err := run(context.Background(), &b, options{caseName: "7x7",
+		trials: 10, maxFaults: 1, seed: 1})
+	if err == nil {
 		t.Error("unknown case accepted")
 	}
 }

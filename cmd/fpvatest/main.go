@@ -1,6 +1,7 @@
 // Command fpvatest generates a compact test set for an FPVA: flow-path
 // vectors (stuck-at-0), cut-set vectors (stuck-at-1) and control-leakage
-// vectors, in the hierarchical flow of the paper's evaluation.
+// vectors, in the hierarchical flow of the paper's evaluation. It is a thin
+// shell over the public fpva package.
 //
 // Usage:
 //
@@ -8,153 +9,225 @@
 //	fpvatest -case 20x20              one Table I array, stats + vectors
 //	fpvatest -rows 8 -cols 8          a full custom array
 //	fpvatest -in chip.fpva            an array in the text format
+//	fpvatest -case 10x10 -o plan.json serialize the plan for fpvasim -plan
 //	fpvatest -case 5x5 -dump          also print every vector's open valves
 //	fpvatest -case 5x5 -verify        exhaustive 1- and 2-fault check
 //	fpvatest -rows 4 -cols 4 -path-engine ilp-iterative -cut-engine ilp \
 //	         -workers 8               the paper's exact ILP engines on a
 //	                                  warm-started parallel branch-and-bound
+//
+// Exactly one of -table1, -case, -rows/-cols and -in must be given.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 
-	"repro/internal/bench"
-	"repro/internal/core"
-	"repro/internal/cutset"
-	"repro/internal/flowpath"
-	"repro/internal/grid"
+	"repro/fpva"
 )
 
+type options struct {
+	table1    bool
+	caseName  string
+	rows      int
+	cols      int
+	inFile    string
+	outFile   string
+	direct    bool
+	blockSize int
+	dump      bool
+	verify    bool
+	workers   int
+	pathEng   string
+	cutEng    string
+	progress  bool
+}
+
 func main() {
-	var (
-		table1    = flag.Bool("table1", false, "reproduce Table I across all benchmark arrays")
-		caseName  = flag.String("case", "", "one Table I array (5x5, 10x10, 15x15, 20x20, 30x30)")
-		rows      = flag.Int("rows", 0, "custom full array rows")
-		cols      = flag.Int("cols", 0, "custom full array columns")
-		inFile    = flag.String("in", "", "read an array in the text format")
-		direct    = flag.Bool("direct", false, "disable the hierarchical 5x5 decomposition")
-		blockSize = flag.Int("block", 5, "hierarchical block edge length")
-		dump      = flag.Bool("dump", false, "print each vector's open valves")
-		verify    = flag.Bool("verify", false, "exhaustively verify the 1- and 2-fault guarantees")
-		workers   = flag.Int("workers", 1, "branch-and-bound workers for the ILP engines (bit-identical results)")
-		pathEng   = flag.String("path-engine", "auto", "flow-path engine: auto, serpentine, ilp-iterative, ilp-monolithic")
-		cutEng    = flag.String("cut-engine", "auto", "cut-set engine: auto, dual, ilp")
-	)
+	var opt options
+	flag.BoolVar(&opt.table1, "table1", false, "reproduce Table I across all benchmark arrays")
+	flag.StringVar(&opt.caseName, "case", "", "one Table I array (5x5, 10x10, 15x15, 20x20, 30x30)")
+	flag.IntVar(&opt.rows, "rows", 0, "custom full array rows")
+	flag.IntVar(&opt.cols, "cols", 0, "custom full array columns")
+	flag.StringVar(&opt.inFile, "in", "", "read an array in the text format")
+	flag.StringVar(&opt.outFile, "o", "", "write the generated plan as JSON (for fpvasim -plan)")
+	flag.BoolVar(&opt.direct, "direct", false, "disable the hierarchical 5x5 decomposition")
+	flag.IntVar(&opt.blockSize, "block", 5, "hierarchical block edge length")
+	flag.BoolVar(&opt.dump, "dump", false, "print each vector's open valves")
+	flag.BoolVar(&opt.verify, "verify", false, "exhaustively verify the 1- and 2-fault guarantees")
+	flag.IntVar(&opt.workers, "workers", 1, "branch-and-bound workers for the ILP engines (bit-identical results)")
+	flag.StringVar(&opt.pathEng, "path-engine", "auto", "flow-path engine: auto, serpentine, ilp-iterative, ilp-monolithic")
+	flag.StringVar(&opt.cutEng, "cut-engine", "auto", "cut-set engine: auto, dual, ilp")
+	flag.BoolVar(&opt.progress, "progress", false, "report generation phases on stderr")
 	flag.Parse()
-	if err := run(*table1, *caseName, *rows, *cols, *inFile, *direct, *blockSize, *dump, *verify, *workers, *pathEng, *cutEng); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Stdout, opt); err != nil {
 		fmt.Fprintln(os.Stderr, "fpvatest:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table1 bool, caseName string, rows, cols int, inFile string,
-	direct bool, blockSize int, dump, verify bool, workers int, pathEng, cutEng string) error {
-	if table1 {
-		out, err := bench.Table1()
-		if err != nil {
-			return err
+// validateSelectors enforces that exactly one array source is chosen.
+func validateSelectors(opt options) error {
+	n := 0
+	if opt.table1 {
+		n++
+	}
+	if opt.caseName != "" {
+		n++
+	}
+	if opt.rows != 0 || opt.cols != 0 {
+		if opt.rows <= 0 || opt.cols <= 0 {
+			return fmt.Errorf("-rows and -cols must both be positive (got %d, %d)", opt.rows, opt.cols)
 		}
-		fmt.Print(out)
+		n++
+	}
+	if opt.inFile != "" {
+		n++
+	}
+	switch n {
+	case 0:
+		return fmt.Errorf("specify exactly one of -table1, -case, -rows/-cols, or -in (see -h)")
+	case 1:
 		return nil
 	}
-	a, err := loadArray(caseName, rows, cols, inFile)
-	if err != nil {
+	return fmt.Errorf("-table1, -case, -rows/-cols and -in are mutually exclusive; pick one")
+}
+
+func run(ctx context.Context, w io.Writer, opt options) error {
+	if err := validateSelectors(opt); err != nil {
 		return err
 	}
-	cfg := core.Config{
-		Hierarchical: !direct,
-		BlockSize:    blockSize,
-		Workers:      workers,
-	}
-	if err := parseEngines(pathEng, cutEng, &cfg); err != nil {
-		return err
-	}
-	ts, err := core.Generate(a, cfg)
-	if err != nil {
-		return err
-	}
-	fmt.Println(a)
-	fmt.Println(ts.Stats)
-	fmt.Printf("baseline (one valve at a time) would need %d vectors\n", bench.BaselineCount(a))
-	if len(ts.UncoveredPath) > 0 {
-		fmt.Printf("WARNING: stuck-at-0 untestable valves: %v\n", ts.UncoveredPath)
-	}
-	if len(ts.UncoveredCut) > 0 {
-		fmt.Printf("WARNING: stuck-at-1 untestable valves: %v\n", ts.UncoveredCut)
-	}
-	if n := ts.Stats.PathILPNonOptimal; n > 0 {
-		fmt.Printf("WARNING: %d flow-path ILP solve(s) hit the node budget; paths accepted are feasible, not proven optimal\n", n)
-	}
-	if n := ts.Stats.CutILPNonOptimal; n > 0 {
-		fmt.Printf("WARNING: %d cut-set ILP solve(s) hit the node budget; cuts accepted are feasible, not proven optimal\n", n)
-	}
-	if dump {
-		for _, vec := range ts.AllVectors() {
-			fmt.Printf("%-10s (%v): open %v\n", vec.Name, vec.Kind, vec.OpenValves())
+	if opt.table1 {
+		if opt.outFile != "" {
+			return fmt.Errorf("-o needs a single array; it cannot be combined with -table1")
 		}
-	}
-	if verify {
-		singles, err := ts.VerifySingleFaults()
+		out, err := fpva.Table1(ctx)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("single-fault check: %d escapes\n", len(singles))
-		pairs, err := ts.VerifyDoubleFaults(0)
+		fmt.Fprint(w, out)
+		return nil
+	}
+	a, err := loadArray(opt)
+	if err != nil {
+		return err
+	}
+	genOpts := []fpva.GenOption{
+		fpva.WithBlockSize(opt.blockSize),
+		fpva.WithSolverWorkers(opt.workers),
+	}
+	if opt.direct {
+		genOpts = append(genOpts, fpva.WithDirectModel())
+	}
+	if opt.progress {
+		genOpts = append(genOpts, fpva.WithProgress(func(e fpva.Event) {
+			fmt.Fprintf(os.Stderr, "fpvatest: %v\n", e)
+		}))
+	}
+	genOpts, err = appendEngines(genOpts, opt.pathEng, opt.cutEng)
+	if err != nil {
+		return err
+	}
+	plan, err := fpva.Generate(ctx, a, genOpts...)
+	if err != nil {
+		return err
+	}
+	s := plan.Stats()
+	fmt.Fprintln(w, a)
+	fmt.Fprintln(w, s)
+	fmt.Fprintf(w, "baseline (one valve at a time) would need %d vectors\n", a.BaselineCount())
+	if uncov := plan.UncoveredPath(); len(uncov) > 0 {
+		fmt.Fprintf(w, "WARNING: stuck-at-0 untestable valves: %v\n", uncov)
+	}
+	if uncov := plan.UncoveredCut(); len(uncov) > 0 {
+		fmt.Fprintf(w, "WARNING: stuck-at-1 untestable valves: %v\n", uncov)
+	}
+	if n := s.PathILPNonOptimal; n > 0 {
+		fmt.Fprintf(w, "WARNING: %d flow-path ILP solve(s) hit the node budget; paths accepted are feasible, not proven optimal\n", n)
+	}
+	if n := s.CutILPNonOptimal; n > 0 {
+		fmt.Fprintf(w, "WARNING: %d cut-set ILP solve(s) hit the node budget; cuts accepted are feasible, not proven optimal\n", n)
+	}
+	if opt.outFile != "" {
+		f, err := os.Create(opt.outFile)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("double-fault check: %d escapes\n", len(pairs))
+		if err := fpva.EncodePlan(f, plan); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "plan written to %s\n", opt.outFile)
+	}
+	if opt.dump {
+		for _, vec := range plan.Vectors() {
+			fmt.Fprintf(w, "%-10s (%s): open %v\n", vec.Name, vec.Kind, vec.Open)
+		}
+	}
+	if opt.verify {
+		singles, err := plan.VerifySingleFaults(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "single-fault check: %d escapes\n", len(singles))
+		pairs, err := plan.VerifyDoubleFaults(ctx, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "double-fault check: %d escapes\n", len(pairs))
 	}
 	return nil
 }
 
-func loadArray(caseName string, rows, cols int, inFile string) (*grid.Array, error) {
+func loadArray(opt options) (*fpva.Array, error) {
 	switch {
-	case caseName != "":
-		c, err := bench.FindCase(caseName)
-		if err != nil {
-			return nil, err
-		}
-		return c.Build()
-	case inFile != "":
-		f, err := os.Open(inFile)
+	case opt.caseName != "":
+		return fpva.BenchmarkArray(opt.caseName)
+	case opt.inFile != "":
+		f, err := os.Open(opt.inFile)
 		if err != nil {
 			return nil, err
 		}
 		defer f.Close()
-		return grid.Parse(f)
-	case rows > 0 && cols > 0:
-		return grid.NewStandard(rows, cols)
+		return fpva.ParseArrayText(f)
+	default:
+		return fpva.NewArray(opt.rows, opt.cols)
 	}
-	return nil, fmt.Errorf("specify -table1, -case, -in, or -rows/-cols (see -h)")
 }
 
-// parseEngines maps the -path-engine / -cut-engine flag values onto the
+// appendEngines maps the -path-engine / -cut-engine flag values onto the
 // generator options.
-func parseEngines(pathEng, cutEng string, cfg *core.Config) error {
+func appendEngines(opts []fpva.GenOption, pathEng, cutEng string) ([]fpva.GenOption, error) {
 	switch pathEng {
 	case "auto":
-		cfg.FlowPath.Engine = flowpath.EngineAuto
+		opts = append(opts, fpva.WithPathEngine(fpva.PathEngineAuto))
 	case "serpentine":
-		cfg.FlowPath.Engine = flowpath.EngineSerpentine
+		opts = append(opts, fpva.WithPathEngine(fpva.PathEngineSerpentine))
 	case "ilp-iterative":
-		cfg.FlowPath.Engine = flowpath.EngineILPIterative
+		opts = append(opts, fpva.WithPathEngine(fpva.PathEngineILPIterative))
 	case "ilp-monolithic":
-		cfg.FlowPath.Engine = flowpath.EngineILPMonolithic
+		opts = append(opts, fpva.WithPathEngine(fpva.PathEngineILPMonolithic))
 	default:
-		return fmt.Errorf("unknown -path-engine %q", pathEng)
+		return nil, fmt.Errorf("unknown -path-engine %q", pathEng)
 	}
 	switch cutEng {
 	case "auto":
-		cfg.CutSet.Engine = cutset.EngineAuto
+		opts = append(opts, fpva.WithCutEngine(fpva.CutEngineAuto))
 	case "dual":
-		cfg.CutSet.Engine = cutset.EngineDual
+		opts = append(opts, fpva.WithCutEngine(fpva.CutEngineDual))
 	case "ilp":
-		cfg.CutSet.Engine = cutset.EngineILP
+		opts = append(opts, fpva.WithCutEngine(fpva.CutEngineILP))
 	default:
-		return fmt.Errorf("unknown -cut-engine %q", cutEng)
+		return nil, fmt.Errorf("unknown -cut-engine %q", cutEng)
 	}
-	return nil
+	return opts, nil
 }

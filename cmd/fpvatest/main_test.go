@@ -1,63 +1,129 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
-	"repro/internal/grid"
+	"repro/fpva"
 )
 
 func TestLoadArrayCase(t *testing.T) {
-	a, err := loadArray("5x5", 0, 0, "")
+	a, err := loadArray(options{caseName: "5x5"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a.NumNormal() != 39 {
-		t.Errorf("nv=%d", a.NumNormal())
+	if a.NumValves() != 39 {
+		t.Errorf("nv=%d", a.NumValves())
 	}
 }
 
 func TestLoadArrayDims(t *testing.T) {
-	a, err := loadArray("", 4, 6, "")
+	a, err := loadArray(options{rows: 4, cols: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a.NR() != 4 || a.NC() != 6 {
-		t.Errorf("dims %dx%d", a.NR(), a.NC())
+	if a.Rows() != 4 || a.Cols() != 6 {
+		t.Errorf("dims %dx%d", a.Rows(), a.Cols())
 	}
 }
 
 func TestLoadArrayFile(t *testing.T) {
-	src := grid.MustNewStandard(3, 3)
-	path := filepath.Join(t.TempDir(), "chip.fpva")
-	if err := os.WriteFile(path, []byte(grid.Marshal(src)), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	a, err := loadArray("", 0, 0, path)
+	src, err := fpva.NewArray(3, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a.NumNormal() != src.NumNormal() {
+	path := filepath.Join(t.TempDir(), "chip.fpva")
+	if err := os.WriteFile(path, []byte(src.Text()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a, err := loadArray(options{inFile: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumValves() != src.NumValves() {
 		t.Error("file round trip lost valves")
 	}
 }
 
-func TestLoadArrayErrors(t *testing.T) {
-	if _, err := loadArray("", 0, 0, ""); err == nil {
-		t.Error("no selector: want error")
+func TestValidateSelectors(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opt  options
+		ok   bool
+	}{
+		{"none", options{}, false},
+		{"case", options{caseName: "5x5"}, true},
+		{"dims", options{rows: 3, cols: 3}, true},
+		{"rows only", options{rows: 3}, false},
+		{"cols negative", options{rows: 3, cols: -1}, false},
+		{"case and dims", options{caseName: "5x5", rows: 3, cols: 3}, false},
+		{"case and in", options{caseName: "5x5", inFile: "x.fpva"}, false},
+		{"table1 and case", options{table1: true, caseName: "5x5"}, false},
+		{"table1", options{table1: true}, true},
+		{"in", options{inFile: "x.fpva"}, true},
+	} {
+		err := validateSelectors(tc.opt)
+		if (err == nil) != tc.ok {
+			t.Errorf("%s: err=%v, want ok=%v", tc.name, err, tc.ok)
+		}
 	}
-	if _, err := loadArray("9x9", 0, 0, ""); err == nil {
-		t.Error("unknown case: want error")
+}
+
+func TestRunRejectsAmbiguousFlags(t *testing.T) {
+	var b strings.Builder
+	err := run(context.Background(), &b, options{caseName: "5x5", rows: 3, cols: 3,
+		blockSize: 5, pathEng: "auto", cutEng: "auto"})
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Errorf("ambiguous selectors accepted: %v", err)
 	}
-	if _, err := loadArray("", 0, 0, "/does/not/exist"); err == nil {
-		t.Error("missing file: want error")
+}
+
+func TestRunUnknownEngine(t *testing.T) {
+	var b strings.Builder
+	err := run(context.Background(), &b, options{caseName: "5x5",
+		blockSize: 5, pathEng: "nope", cutEng: "auto"})
+	if err == nil || !strings.Contains(err.Error(), "path-engine") {
+		t.Errorf("unknown engine accepted: %v", err)
 	}
 }
 
 func TestRunVerifySmall(t *testing.T) {
-	// End-to-end: generate + exhaustive verification on the smallest case.
-	if err := run(false, "5x5", 0, 0, "", false, 5, false, true, 2, "auto", "auto"); err != nil {
+	// End-to-end: generate + exhaustive verification on the smallest case,
+	// with a parallel solver pool.
+	var b strings.Builder
+	err := run(context.Background(), &b, options{caseName: "5x5",
+		blockSize: 5, verify: true, workers: 2, pathEng: "auto", cutEng: "auto"})
+	if err != nil {
 		t.Fatal(err)
+	}
+	for _, want := range []string{"single-fault check: 0 escapes", "double-fault check: 0 escapes"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+func TestRunWritesPlan(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plan.json")
+	var b strings.Builder
+	err := run(context.Background(), &b, options{rows: 4, cols: 4,
+		blockSize: 5, outFile: path, pathEng: "auto", cutEng: "auto"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	plan, err := fpva.DecodePlan(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumVectors() == 0 {
+		t.Error("written plan has no vectors")
 	}
 }

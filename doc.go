@@ -2,12 +2,21 @@
 // Fully Programmable Valve Arrays (FPVAs)" (Liu, Li, Bhattacharya,
 // Chakrabarty, Ho, Schlichtmann — DATE 2017, arXiv:1705.04996).
 //
-// The library lives under internal/: the FPVA array model (grid), a graph
-// library (graph), an LP/ILP solver stack (lp, ilp), the flow-path, cut-set
-// and control-leakage test generators (flowpath, cutset, leakage), the
-// pressure-propagation fault simulator (sim), the top-level API (core), the
-// benchmark harness (bench) and ASCII figure rendering (render). See
-// README.md, DESIGN.md and EXPERIMENTS.md.
+// The public API is the top-level fpva package (repro/fpva): array
+// modelling with functional options, context-aware test-set generation
+// returning a Plan, fault-injection campaigns and exhaustive guarantee
+// verification with progress callbacks, and a versioned JSON wire format
+// that decouples generation from simulation. The commands (cmd/fpvatest,
+// cmd/fpvasim, cmd/fpvafig) and all examples/ programs consume only that
+// surface.
+//
+// The implementation lives under internal/ and may change without notice:
+// the FPVA array model (grid), a graph library (graph), an LP/ILP solver
+// stack (lp, ilp), the flow-path, cut-set and control-leakage test
+// generators (flowpath, cutset, leakage), the pressure-propagation fault
+// simulator (sim), the pipeline orchestration (core), the benchmark
+// harness (bench) and ASCII figure rendering (render). See README.md,
+// DESIGN.md and EXPERIMENTS.md.
 //
 // The benchmarks in bench_test.go regenerate every table and figure of the
 // paper's evaluation section.

@@ -1,37 +1,45 @@
 // Faultcampaign: the paper's Sec. IV fault-injection study on the 5x5 and
 // 10x10 benchmark arrays — k = 1..5 random faults, 10 000 trials each,
-// including control-leakage faults.
+// including control-leakage faults — with live progress ticks from the
+// campaign workers.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
 
-	"repro/internal/bench"
-	"repro/internal/grid"
-	"repro/internal/sim"
+	"repro/fpva"
 )
 
 func main() {
+	ctx := context.Background()
 	for _, name := range []string{"5x5", "10x10"} {
-		c, err := bench.FindCase(name)
+		a, err := fpva.BenchmarkArray(name)
 		if err != nil {
 			log.Fatal(err)
 		}
-		ts, err := bench.Row(c)
+		plan, err := fpva.Generate(ctx, a)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%s (%d valves, %d vectors):\n", name, ts.Stats.NV, ts.Stats.N)
-		var pairs [][2]grid.ValveID
-		for _, p := range ts.LeakPairs {
-			pairs = append(pairs, [2]grid.ValveID{p[0], p[1]})
-		}
-		s := sim.MustNew(ts.Array)
+		s := plan.Stats()
+		fmt.Printf("%s (%d valves, %d vectors):\n", name, s.NV, s.N)
 		for k := 1; k <= 5; k++ {
-			res := s.RunCampaign(ts.AllVectors(), sim.CampaignConfig{
-				Trials: 10000, NumFaults: k, Seed: int64(100 + k), LeakPairs: pairs,
-			})
+			res, err := plan.Campaign(ctx,
+				fpva.WithTrials(10000),
+				fpva.WithNumFaults(k),
+				fpva.WithSeed(int64(100+k)),
+				fpva.WithLeakFaults(),
+				fpva.WithCampaignProgress(func(e fpva.Event) {
+					if e.TrialsDone == e.TrialsTotal {
+						fmt.Fprintf(os.Stderr, "  [%s k=%d] %v\n", name, k, e)
+					}
+				}))
+			if err != nil {
+				log.Fatal(err)
+			}
 			fmt.Printf("  %d fault(s): %5d/%5d detected (%.4f)\n",
 				k, res.Detected, res.Trials, res.DetectionRate())
 		}

@@ -1,43 +1,61 @@
 // Irregular: test generation for the paper's hardest layout — the 20x20
 // array of Table I / Fig. 9 with three transportation channels and two
-// obstacle areas — and a comparison against the one-valve-at-a-time
-// baseline.
+// obstacle areas — plus a comparison against the one-valve-at-a-time
+// baseline and a round trip through the JSON wire format.
 package main
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/bench"
-	"repro/internal/core"
-	"repro/internal/flowpath"
-	"repro/internal/render"
+	"repro/fpva"
 )
 
 func main() {
-	c, err := bench.FindCase("20x20")
-	if err != nil {
-		log.Fatal(err)
-	}
-	a, err := c.Build()
+	ctx := context.Background()
+	a, err := fpva.BenchmarkArray("20x20")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(a)
 
-	ts, err := core.Generate(a, core.Config{Hierarchical: true})
+	plan, err := fpva.Generate(ctx, a)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("proposed:", ts.Stats)
-	fmt.Printf("baseline: %d vectors (one valve at a time)\n", bench.BaselineCount(a))
+	fmt.Println("proposed:", plan.Stats())
+	fmt.Printf("baseline: %d vectors (one valve at a time)\n", a.BaselineCount())
 
 	// Fig. 9: the flow paths drawn over the irregular array.
-	fp, err := flowpath.Generate(a, flowpath.Options{StripRows: 5, StripCols: 5})
+	paths, err := plan.RenderPaths()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\n%d flow paths over the irregular 20x20:\n\n", len(fp.Paths))
-	fmt.Println(render.Paths(a, fp.Paths))
-	fmt.Println(render.Legend())
+	fmt.Printf("\n%d flow paths over the irregular 20x20:\n\n", plan.Stats().NP)
+	fmt.Println(paths)
+	fmt.Println(fpva.RenderLegend())
+
+	// The same plan survives the wire: a serialized and reloaded plan
+	// reproduces the campaign bit for bit.
+	var wire bytes.Buffer
+	if err := fpva.EncodePlan(&wire, plan); err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := fpva.DecodePlan(&wire)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run := func(p *fpva.Plan) int {
+		res, err := p.Campaign(ctx,
+			fpva.WithTrials(1000), fpva.WithNumFaults(2), fpva.WithSeed(9))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res.Detected
+	}
+	inproc := run(plan)
+	fmt.Printf("campaign detected %d in-process; reloaded plan agrees: %v\n",
+		inproc, inproc == run(loaded))
 }

@@ -5,58 +5,69 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/grid"
-	"repro/internal/render"
-	"repro/internal/sim"
+	"repro/fpva"
 )
 
 func main() {
-	a := grid.MustNewStandard(8, 8)
-	s := sim.MustNew(a)
+	ctx := context.Background()
+	a, err := fpva.NewArray(8, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := a.NewSimulator()
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// The 4x2 and 2x4 dynamic mixers of Fig. 2(b)/(c), sharing chip area as
 	// in Fig. 2(d) — they can occupy overlapping cells because only one is
 	// configured at a time.
-	for _, spec := range []grid.MixerSpec{
+	for _, spec := range []fpva.MixerSpec{
 		{R: 1, C: 1, Height: 4, Width: 2},
 		{R: 1, C: 1, Height: 2, Width: 4},
 	} {
-		ring, boundary, err := a.MixerValves(spec)
+		ring, seal, err := a.MixerValves(spec)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%dx%d mixer at (%d,%d): %d loop valves (8 act as pump valves), %d sealing valves\n",
-			spec.Height, spec.Width, spec.R, spec.C, len(ring), len(boundary))
+			spec.Height, spec.Width, spec.R, spec.C, len(ring), len(seal))
 
 		// Configure the mixer: loop open, seal closed, rest closed.
-		vec := sim.NewVector(a, sim.Custom, "mixer")
-		for _, v := range ring {
-			if a.Kind(v) == grid.Normal {
-				vec.SetOpen(v, true)
+		vec := a.NewVector("mixer")
+		for _, e := range ring {
+			if err := vec.SetOpen(e, true); err != nil {
+				log.Fatal(err)
 			}
 		}
 		// A sealed mixing loop must not leak pressure to the meter.
-		if got := s.Readings(vec, nil); got[0] {
+		got, err := s.Readings(vec, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if got[0] {
 			log.Fatal("mixer loop leaks to the chip meter")
 		}
 	}
 
 	// Before running an assay, screen the chip. A stuck-at-1 on a sealing
 	// valve would contaminate the mix; the generated test set catches it.
-	ts, err := core.Generate(a, core.Config{Hierarchical: true})
+	plan, err := fpva.Generate(ctx, a)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("screening test set:", ts.Stats)
+	fmt.Println("screening test set:", plan.Stats())
 
-	bad := []sim.Fault{{Kind: sim.StuckAt1, A: a.VValve(1, 2)}}
-	fmt.Println("stuck-open sealing valve detected:",
-		sim.MustNew(a).Detects(ts.AllVectors(), bad))
+	detected, err := plan.Detects([]fpva.Fault{{Kind: fpva.StuckAt1, A: fpva.V(1, 2)}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("stuck-open sealing valve detected:", detected)
 
 	fmt.Println()
-	fmt.Println(render.Array(a))
+	fmt.Println(a.Render())
 }

@@ -1,32 +1,37 @@
 // Quickstart: generate a compact test set for a 10x10 FPVA, verify the
-// single-fault guarantee, and run a small fault-injection campaign.
+// single-fault guarantee, and run a small fault-injection campaign — all
+// through the public fpva package.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/grid"
-	"repro/internal/sim"
+	"repro/fpva"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// A full 10x10 valve array with the standard corner ports: pressure
 	// source top-left, pressure meter bottom-right.
-	a := grid.MustNewStandard(10, 10)
+	a, err := fpva.NewArray(10, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Generate flow paths (stuck-at-0), cut-sets (stuck-at-1) and
 	// control-leakage vectors using the paper's hierarchical 5x5 flow.
-	ts, err := core.Generate(a, core.Config{Hierarchical: true})
+	plan, err := fpva.Generate(ctx, a)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(a)
-	fmt.Println(ts.Stats)
+	fmt.Println(plan.Stats())
 
 	// Every single stuck-at fault must be detected.
-	escaped, err := ts.VerifySingleFaults()
+	escaped, err := plan.VerifySingleFaults(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -34,7 +39,8 @@ func main() {
 
 	// The paper's Sec. IV experiment in miniature: 1000 random 3-fault
 	// injections.
-	res, err := ts.Campaign(sim.CampaignConfig{Trials: 1000, NumFaults: 3, Seed: 42})
+	res, err := plan.Campaign(ctx,
+		fpva.WithTrials(1000), fpva.WithNumFaults(3), fpva.WithSeed(42))
 	if err != nil {
 		log.Fatal(err)
 	}

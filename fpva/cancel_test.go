@@ -1,0 +1,120 @@
+package fpva_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/fpva"
+)
+
+// waitGoroutines polls until the goroutine count drops back to at most
+// want, failing the test after the deadline. Campaign and solver workers
+// must not outlive a cancelled call.
+func waitGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= want {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d still running, want <= %d", runtime.NumGoroutine(), want)
+}
+
+// TestCancelMidBranchAndBound cancels a context while the ILP engines are
+// deep in the branch-and-bound node loop. Generate must return
+// context.Canceled well before the solve could have finished, with no
+// worker goroutines left behind.
+func TestCancelMidBranchAndBound(t *testing.T) {
+	a, err := fpva.NewArray(10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = fpva.Generate(ctx, a,
+		fpva.WithDirectModel(),
+		fpva.WithPathEngine(fpva.PathEngineILPIterative),
+		fpva.WithSolverWorkers(4))
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v (after %v), want context.Canceled", err, elapsed)
+	}
+	// Prompt: node-level granularity, far below a full 10x10 direct solve.
+	if elapsed > 10*time.Second {
+		t.Errorf("cancellation took %v", elapsed)
+	}
+	waitGoroutines(t, before)
+	cancel()
+}
+
+// TestCancelMidCampaign cancels a context while campaign workers are
+// churning through a deliberately huge trial budget.
+func TestCancelMidCampaign(t *testing.T) {
+	a, err := fpva.BenchmarkArray("10x10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := fpva.Generate(context.Background(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := plan.Campaign(ctx,
+		fpva.WithTrials(50_000_000), fpva.WithNumFaults(5), fpva.WithSeed(1))
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v (after %v), want context.Canceled", err, elapsed)
+	}
+	if elapsed > 10*time.Second {
+		t.Errorf("cancellation took %v", elapsed)
+	}
+	if res.Trials >= 50_000_000 {
+		t.Errorf("partial result claims all %d trials ran", res.Trials)
+	}
+	waitGoroutines(t, before)
+	cancel()
+}
+
+// TestCancelBeforeStart: an already-cancelled context fails fast on every
+// entry point.
+func TestCancelBeforeStart(t *testing.T) {
+	a, err := fpva.NewArray(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := fpva.Generate(ctx, a); !errors.Is(err, context.Canceled) {
+		t.Errorf("Generate: %v", err)
+	}
+	plan, err := fpva.Generate(context.Background(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plan.Campaign(ctx, fpva.WithTrials(100)); !errors.Is(err, context.Canceled) {
+		t.Errorf("Campaign: %v", err)
+	}
+	if _, err := plan.VerifySingleFaults(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("VerifySingleFaults: %v", err)
+	}
+	if _, err := plan.VerifyDoubleFaults(ctx, 0); !errors.Is(err, context.Canceled) {
+		t.Errorf("VerifyDoubleFaults: %v", err)
+	}
+}

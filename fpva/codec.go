@@ -1,0 +1,300 @@
+package fpva
+
+// This file is the versioned JSON wire format. Arrays and plans serialize
+// to self-describing envelopes ({"format": ..., "version": ...}) so
+// generation and simulation can run as separate processes and a stored plan
+// keeps working across releases.
+//
+// Versioning policy (see DESIGN.md): decoders accept exactly the versions
+// they know; any incompatible change to the payload bumps the version and
+// keeps the old decoder path alive for at least one release. Unknown JSON
+// fields are ignored on decode, so additive changes do not need a bump.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/leakage"
+	"repro/internal/sim"
+)
+
+// duration converts wire nanoseconds back to a time.Duration.
+func duration(ns int64) time.Duration { return time.Duration(ns) }
+
+const (
+	// ArrayFormat names the array envelope.
+	ArrayFormat = "fpva.array"
+	// PlanFormat names the plan envelope.
+	PlanFormat = "fpva.plan"
+	// CodecVersion is the current wire-format version written by the
+	// encoders.
+	CodecVersion = 1
+)
+
+// arrayEnvelope is the array wire format: the canonical text format wrapped
+// in a versioned JSON envelope. Reusing the text format keeps one source of
+// truth for array geometry and makes the JSON human-auditable.
+type arrayEnvelope struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+	Text    string `json:"text"`
+}
+
+// MarshalJSON renders the array in the versioned JSON wire format.
+func (a *Array) MarshalJSON() ([]byte, error) {
+	return json.Marshal(arrayEnvelope{Format: ArrayFormat, Version: CodecVersion, Text: a.Text()})
+}
+
+// UnmarshalJSON decodes an array from the versioned JSON wire format.
+func (a *Array) UnmarshalJSON(data []byte) error {
+	var env arrayEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return err
+	}
+	if err := checkEnvelope(env.Format, ArrayFormat, env.Version); err != nil {
+		return err
+	}
+	g, err := grid.Parse(strings.NewReader(env.Text))
+	if err != nil {
+		return err
+	}
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	a.g = g
+	return nil
+}
+
+// EncodeArray writes the array to w in the versioned JSON wire format.
+func EncodeArray(w io.Writer, a *Array) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a)
+}
+
+// DecodeArray reads an array in the versioned JSON wire format.
+func DecodeArray(r io.Reader) (*Array, error) {
+	var a Array
+	if err := json.NewDecoder(r).Decode(&a); err != nil {
+		return nil, err
+	}
+	return &a, nil
+}
+
+func checkEnvelope(format, want string, version int) error {
+	if format != want {
+		return fmt.Errorf("fpva: wire format %q, want %q", format, want)
+	}
+	if version != CodecVersion {
+		return fmt.Errorf("fpva: %s version %d not supported (decoder speaks version %d)",
+			want, version, CodecVersion)
+	}
+	return nil
+}
+
+// vectorJSON is one test vector on the wire: its name, family, and the
+// ascending dense IDs of the valves commanded open. Dense IDs are stable
+// for a given array dimension, and the enclosing envelope always carries
+// the array, so the pairing is unambiguous.
+type vectorJSON struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+	Open []int  `json:"open"`
+}
+
+// statsJSON carries generation statistics; durations are nanoseconds.
+type statsJSON struct {
+	NV                int   `json:"nv"`
+	NP                int   `json:"np"`
+	NC                int   `json:"nc"`
+	NL                int   `json:"nl"`
+	N                 int   `json:"n"`
+	TPNanos           int64 `json:"tp_ns"`
+	TCNanos           int64 `json:"tc_ns"`
+	TLNanos           int64 `json:"tl_ns"`
+	TNanos            int64 `json:"t_ns"`
+	PathILPNonOptimal int   `json:"path_ilp_non_optimal,omitempty"`
+	CutILPNonOptimal  int   `json:"cut_ilp_non_optimal,omitempty"`
+}
+
+// planEnvelope is the plan wire format: the array (text format), the three
+// vector families, leakage candidate pairs, coverage gaps and statistics.
+// Path/cut geometry is deliberately not serialized — vectors are the
+// contract; geometry is a generation-time artifact used only for figures.
+type planEnvelope struct {
+	Format        string       `json:"format"`
+	Version       int          `json:"version"`
+	Array         string       `json:"array"`
+	PathVectors   []vectorJSON `json:"pathVectors"`
+	CutVectors    []vectorJSON `json:"cutVectors"`
+	LeakVectors   []vectorJSON `json:"leakVectors"`
+	LeakPairs     [][2]int     `json:"leakPairs,omitempty"`
+	UncoveredPath []int        `json:"uncoveredPath,omitempty"`
+	UncoveredCut  []int        `json:"uncoveredCut,omitempty"`
+	Stats         statsJSON    `json:"stats"`
+}
+
+func vectorsToJSON(vecs []*sim.Vector) []vectorJSON {
+	out := make([]vectorJSON, len(vecs))
+	for i, v := range vecs {
+		vj := vectorJSON{Name: v.Name, Kind: v.Kind.String(), Open: []int{}}
+		for _, id := range v.OpenValves() {
+			vj.Open = append(vj.Open, int(id))
+		}
+		out[i] = vj
+	}
+	return out
+}
+
+func vectorsFromJSON(g *grid.Array, vjs []vectorJSON) ([]*sim.Vector, error) {
+	kinds := map[string]sim.VectorKind{
+		sim.FlowPath.String(): sim.FlowPath,
+		sim.CutSet.String():   sim.CutSet,
+		sim.Leakage.String():  sim.Leakage,
+		"custom":              sim.Custom,
+	}
+	out := make([]*sim.Vector, len(vjs))
+	for i, vj := range vjs {
+		kind, ok := kinds[vj.Kind]
+		if !ok {
+			return nil, fmt.Errorf("fpva: vector %q has unknown kind %q", vj.Name, vj.Kind)
+		}
+		v := sim.NewVector(g, kind, vj.Name)
+		for _, id := range vj.Open {
+			if id < 0 || id >= g.NumValves() {
+				return nil, fmt.Errorf("fpva: vector %q opens valve %d outside [0,%d)",
+					vj.Name, id, g.NumValves())
+			}
+			v.SetOpen(grid.ValveID(id), true)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func idsToInts(ids []grid.ValveID) []int {
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]int, len(ids))
+	for i, id := range ids {
+		out[i] = int(id)
+	}
+	return out
+}
+
+func intsToIDs(g *grid.Array, ints []int) ([]grid.ValveID, error) {
+	if len(ints) == 0 {
+		return nil, nil
+	}
+	out := make([]grid.ValveID, len(ints))
+	for i, id := range ints {
+		if id < 0 || id >= g.NumValves() {
+			return nil, fmt.Errorf("fpva: valve id %d outside [0,%d)", id, g.NumValves())
+		}
+		out[i] = grid.ValveID(id)
+	}
+	return out, nil
+}
+
+// MarshalJSON renders the plan in the versioned JSON wire format.
+func (p *Plan) MarshalJSON() ([]byte, error) {
+	s := p.ts.Stats
+	env := planEnvelope{
+		Format:        PlanFormat,
+		Version:       CodecVersion,
+		Array:         grid.Marshal(p.a.g),
+		PathVectors:   vectorsToJSON(p.ts.PathVectors),
+		CutVectors:    vectorsToJSON(p.ts.CutVectors),
+		LeakVectors:   vectorsToJSON(p.ts.LeakVectors),
+		UncoveredPath: idsToInts(p.ts.UncoveredPath),
+		UncoveredCut:  idsToInts(p.ts.UncoveredCut),
+		Stats: statsJSON{
+			NV: s.NV, NP: s.NP, NC: s.NC, NL: s.NL, N: s.N,
+			TPNanos: s.TP.Nanoseconds(), TCNanos: s.TC.Nanoseconds(),
+			TLNanos: s.TL.Nanoseconds(), TNanos: s.T.Nanoseconds(),
+			PathILPNonOptimal: s.PathILPNonOptimal,
+			CutILPNonOptimal:  s.CutILPNonOptimal,
+		},
+	}
+	for _, lp := range p.ts.LeakPairs {
+		env.LeakPairs = append(env.LeakPairs, [2]int{int(lp[0]), int(lp[1])})
+	}
+	return json.Marshal(env)
+}
+
+// UnmarshalJSON decodes a plan from the versioned JSON wire format. The
+// decoded plan supports campaigns, verification and re-encoding; it does
+// not carry path/cut geometry, so rendering methods report an error.
+func (p *Plan) UnmarshalJSON(data []byte) error {
+	var env planEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return err
+	}
+	if err := checkEnvelope(env.Format, PlanFormat, env.Version); err != nil {
+		return err
+	}
+	g, err := grid.Parse(strings.NewReader(env.Array))
+	if err != nil {
+		return err
+	}
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	ts := &core.TestSet{Array: g}
+	if ts.PathVectors, err = vectorsFromJSON(g, env.PathVectors); err != nil {
+		return err
+	}
+	if ts.CutVectors, err = vectorsFromJSON(g, env.CutVectors); err != nil {
+		return err
+	}
+	if ts.LeakVectors, err = vectorsFromJSON(g, env.LeakVectors); err != nil {
+		return err
+	}
+	for _, lp := range env.LeakPairs {
+		ids, err := intsToIDs(g, []int{lp[0], lp[1]})
+		if err != nil {
+			return err
+		}
+		ts.LeakPairs = append(ts.LeakPairs, leakage.Pair{ids[0], ids[1]})
+	}
+	if ts.UncoveredPath, err = intsToIDs(g, env.UncoveredPath); err != nil {
+		return err
+	}
+	if ts.UncoveredCut, err = intsToIDs(g, env.UncoveredCut); err != nil {
+		return err
+	}
+	s := env.Stats
+	ts.Stats = core.Stats{
+		NV: s.NV, NP: s.NP, NC: s.NC, NL: s.NL, N: s.N,
+		TP: duration(s.TPNanos), TC: duration(s.TCNanos),
+		TL: duration(s.TLNanos), T: duration(s.TNanos),
+		PathILPNonOptimal: s.PathILPNonOptimal,
+		CutILPNonOptimal:  s.CutILPNonOptimal,
+	}
+	p.a = &Array{g: g}
+	p.ts = ts
+	p.geometry = false
+	return nil
+}
+
+// EncodePlan writes the plan to w in the versioned JSON wire format.
+func EncodePlan(w io.Writer, p *Plan) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// DecodePlan reads a plan in the versioned JSON wire format.
+func DecodePlan(r io.Reader) (*Plan, error) {
+	var p Plan
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}

@@ -1,0 +1,187 @@
+package fpva_test
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/fpva"
+)
+
+// TestArrayJSONRoundTrip: text-format array -> JSON -> array is identical,
+// on the most irregular benchmark layout (channels, obstacles, ports).
+func TestArrayJSONRoundTrip(t *testing.T) {
+	for _, name := range fpva.BenchmarkNames() {
+		a, err := fpva.BenchmarkArray(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := fpva.EncodeArray(&buf, a); err != nil {
+			t.Fatal(err)
+		}
+		b, err := fpva.DecodeArray(&buf)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if a.Text() != b.Text() {
+			t.Errorf("%s: array JSON round trip changed the layout", name)
+		}
+	}
+}
+
+// TestPlanJSONRoundTrip: a generated Plan re-loaded from JSON produces
+// bit-identical campaign results for the same seed, including escapes, and
+// survives a second encode.
+func TestPlanJSONRoundTrip(t *testing.T) {
+	a, err := fpva.BenchmarkArray("5x5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := fpva.Generate(context.Background(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fpva.EncodePlan(&buf, plan); err != nil {
+		t.Fatal(err)
+	}
+	first := buf.String()
+	loaded, err := fpva.DecodePlan(strings.NewReader(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plan.Stats(), loaded.Stats()) {
+		t.Errorf("stats changed over the wire:\n%+v\nvs\n%+v", plan.Stats(), loaded.Stats())
+	}
+	if !reflect.DeepEqual(plan.Vectors(), loaded.Vectors()) {
+		t.Error("vectors changed over the wire")
+	}
+	campaign := func(p *fpva.Plan) fpva.CampaignResult {
+		res, err := p.Campaign(context.Background(),
+			fpva.WithTrials(2000), fpva.WithNumFaults(4), fpva.WithSeed(2017),
+			fpva.WithLeakFaults())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if got, want := campaign(loaded), campaign(plan); !reflect.DeepEqual(got, want) {
+		t.Errorf("campaign diverges after reload:\n%+v\nvs\n%+v", got, want)
+	}
+	// Re-encoding the decoded plan is stable.
+	var buf2 bytes.Buffer
+	if err := fpva.EncodePlan(&buf2, loaded); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != first {
+		t.Error("re-encoding a decoded plan changed the bytes")
+	}
+}
+
+// TestBaselinePlanRoundTrip covers the escape-recording path: baseline sets
+// miss multi-fault combinations, so Escapes must survive the wire too.
+func TestBaselinePlanRoundTrip(t *testing.T) {
+	a, err := fpva.BenchmarkArray("5x5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := fpva.BaselinePlan(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fpva.EncodePlan(&buf, plan); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := fpva.DecodePlan(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	campaign := func(p *fpva.Plan) fpva.CampaignResult {
+		res, err := p.Campaign(context.Background(),
+			fpva.WithTrials(3000), fpva.WithNumFaults(5), fpva.WithSeed(11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if got, want := campaign(loaded), campaign(plan); !reflect.DeepEqual(got, want) {
+		t.Errorf("baseline campaign diverges after reload:\n%+v\nvs\n%+v", got, want)
+	}
+}
+
+// TestGoldenArray decodes the committed wire-format file: the format on
+// disk must keep decoding exactly as it does today.
+func TestGoldenArray(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "array_v1.golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	a, err := fpva.DecodeArray(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fpva.NewArray(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Text() != want.Text() {
+		t.Errorf("golden array decodes to:\n%s\nwant:\n%s", a.Text(), want.Text())
+	}
+}
+
+// TestGoldenPlan decodes the committed plan file and replays a campaign;
+// the detection count is part of the format contract (same vectors + same
+// seed must keep producing the same result forever).
+func TestGoldenPlan(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "plan_v1.golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	plan, err := fpva.DecodePlan(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := plan.Campaign(context.Background(),
+		fpva.WithTrials(1000), fpva.WithNumFaults(3), fpva.WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trials != 1000 || res.Detected != goldenPlanDetected {
+		t.Errorf("golden campaign: %d/%d detected, want %d/1000",
+			res.Detected, res.Trials, goldenPlanDetected)
+	}
+}
+
+// TestCodecVersionGate: unknown versions and formats are rejected with a
+// clear error instead of silently misreading the payload.
+func TestCodecVersionGate(t *testing.T) {
+	if _, err := fpva.DecodeArray(strings.NewReader(
+		`{"format":"fpva.array","version":99,"text":""}`)); err == nil ||
+		!strings.Contains(err.Error(), "version 99") {
+		t.Errorf("future version accepted: %v", err)
+	}
+	if _, err := fpva.DecodeArray(strings.NewReader(
+		`{"format":"something.else","version":1,"text":""}`)); err == nil {
+		t.Error("wrong format accepted")
+	}
+	if _, err := fpva.DecodePlan(strings.NewReader(
+		`{"format":"fpva.array","version":1}`)); err == nil {
+		t.Error("array envelope accepted as plan")
+	}
+	if _, err := fpva.DecodePlan(strings.NewReader(
+		`{"format":"fpva.plan","version":1,"array":"fpva 2 2\n","pathVectors":[{"name":"p","kind":"flow-path","open":[999]}]}`)); err == nil {
+		t.Error("out-of-range valve id accepted")
+	}
+}
+
+// goldenPlanDetected is the recorded outcome of the golden plan's campaign
+// (1000 trials, 3 faults, seed 42), part of the wire-format contract.
+const goldenPlanDetected = 1000

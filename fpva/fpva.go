@@ -1,0 +1,459 @@
+// Package fpva is the public API of the FPVA test-generation system — a Go
+// reproduction of "Testing Microfluidic Fully Programmable Valve Arrays
+// (FPVAs)" (Liu, Li, Bhattacharya, Chakrabarty, Ho, Schlichtmann — DATE
+// 2017, arXiv:1705.04996).
+//
+// The pipeline has three stages, each a first-class citizen here:
+//
+//  1. Model an array:    a, err := fpva.NewArray(10, 10)
+//  2. Generate vectors:  plan, err := fpva.Generate(ctx, a)
+//  3. Evaluate faults:   res, err := plan.Campaign(ctx, fpva.WithTrials(10000))
+//
+// Every long-running entry point takes a context.Context and honours
+// cancellation promptly — deep inside the ILP branch-and-bound node loop
+// and the parallel campaign trial workers. Generation progress (phase
+// transitions) and campaign progress (trial ticks) are observable through
+// the Progress callback options.
+//
+// Plans and arrays serialize to a versioned JSON wire format (EncodePlan /
+// DecodePlan, EncodeArray / DecodeArray), so generation and simulation can
+// run as separate processes: `fpvatest -case 10x10 -o plan.json`, then
+// `fpvasim -plan plan.json -trials 100000`. A decoded plan reproduces
+// campaign results bit-identically for the same seed.
+//
+// This package is the only supported import surface; everything under
+// repro/internal is implementation detail and may change without notice.
+package fpva
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bench"
+	"repro/internal/grid"
+	"repro/internal/render"
+	"repro/internal/sim"
+)
+
+// Orient distinguishes the two valve orientations on the lattice.
+type Orient uint8
+
+const (
+	// Horizontal marks a valve crossed by horizontal (left-right) flow.
+	Horizontal Orient = iota
+	// Vertical marks a valve crossed by vertical (top-bottom) flow.
+	Vertical
+)
+
+func (o Orient) String() string {
+	if o == Horizontal {
+		return "H"
+	}
+	return "V"
+}
+
+// Edge addresses one lattice edge (a valve site) by orientation and
+// coordinates, in the geometry of the paper: a horizontal-flow valve H(r, c)
+// separates cell (r, c-1) from cell (r, c); a vertical-flow valve V(r, c)
+// separates cell (r-1, c) from cell (r, c). Boundary edges (c == 0 or cols
+// for H, r == 0 or rows for V) are where ports attach.
+type Edge struct {
+	Orient Orient
+	R, C   int
+}
+
+// H addresses the horizontal-flow valve H(r, c).
+func H(r, c int) Edge { return Edge{Orient: Horizontal, R: r, C: c} }
+
+// V addresses the vertical-flow valve V(r, c).
+func V(r, c int) Edge { return Edge{Orient: Vertical, R: r, C: c} }
+
+func (e Edge) String() string { return fmt.Sprintf("%v(%d,%d)", e.Orient, e.R, e.C) }
+
+// Array is an FPVA instance: a rows x cols lattice of fluid cells separated
+// by micro-valves, with pressure ports on the chip boundary. Build one with
+// NewArray, DecodeArray, ParseArrayText or BenchmarkArray.
+type Array struct {
+	g *grid.Array
+}
+
+// ArrayOption customizes NewArray. Options are applied in order.
+type ArrayOption func(*arrayBuilder) error
+
+type arrayBuilder struct {
+	a        *grid.Array
+	hasPorts bool
+}
+
+// WithChannelH declares the horizontal edges connecting cells
+// (r, c0) .. (r, c1) a transportation channel: no valves are built there and
+// fluid always passes (the paper's "fluidic seas").
+func WithChannelH(r, c0, c1 int) ArrayOption {
+	return func(b *arrayBuilder) error {
+		_, err := b.a.SetChannelH(r, c0, c1)
+		return err
+	}
+}
+
+// WithChannelV declares the vertical edges connecting cells (r0, c) ..
+// (r1, c) a transportation channel.
+func WithChannelV(c, r0, r1 int) ArrayOption {
+	return func(b *arrayBuilder) error {
+		_, err := b.a.SetChannelV(c, r0, r1)
+		return err
+	}
+}
+
+// WithObstacle marks cell (r, c) as an obstacle area: no fluid, and all four
+// incident edges become permanent walls.
+func WithObstacle(r, c int) ArrayOption {
+	return func(b *arrayBuilder) error {
+		_, err := b.a.SetObstacle(r, c)
+		return err
+	}
+}
+
+// WithSource attaches a named pressure source to the boundary edge e.
+func WithSource(name string, e Edge) ArrayOption {
+	return func(b *arrayBuilder) error {
+		id, err := valveID(b.a, e)
+		if err != nil {
+			return err
+		}
+		b.hasPorts = true
+		return b.a.AddSource(name, id)
+	}
+}
+
+// WithSink attaches a named pressure meter to the boundary edge e.
+func WithSink(name string, e Edge) ArrayOption {
+	return func(b *arrayBuilder) error {
+		id, err := valveID(b.a, e)
+		if err != nil {
+			return err
+		}
+		b.hasPorts = true
+		return b.a.AddSink(name, id)
+	}
+}
+
+// WithStandardPorts attaches the paper's canonical fixture: a pressure
+// source at the top-left boundary edge H(0,0) and a pressure meter at the
+// bottom-right boundary edge H(rows-1, cols). This is the default when no
+// port option is given.
+func WithStandardPorts() ArrayOption {
+	return func(b *arrayBuilder) error {
+		b.hasPorts = true
+		return b.a.StandardPorts()
+	}
+}
+
+// NewArray builds a rows x cols valve array. Channel, obstacle and port
+// options are applied in the order given; obstacles should come before
+// ports that sit next to them. When no port option is present the standard
+// corner ports are attached (WithStandardPorts).
+func NewArray(rows, cols int, opts ...ArrayOption) (*Array, error) {
+	g, err := grid.New(rows, cols)
+	if err != nil {
+		return nil, err
+	}
+	b := &arrayBuilder{a: g}
+	for _, opt := range opts {
+		if err := opt(b); err != nil {
+			return nil, err
+		}
+	}
+	if !b.hasPorts {
+		if err := g.StandardPorts(); err != nil {
+			return nil, err
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return &Array{g: g}, nil
+}
+
+// valveID resolves an Edge to the internal dense valve ID.
+func valveID(g *grid.Array, e Edge) (grid.ValveID, error) {
+	var id grid.ValveID
+	if e.Orient == Horizontal {
+		id = g.HValve(e.R, e.C)
+	} else {
+		id = g.VValve(e.R, e.C)
+	}
+	if id == grid.NoValve {
+		return grid.NoValve, fmt.Errorf("fpva: edge %v outside the %dx%d lattice", e, g.NR(), g.NC())
+	}
+	return id, nil
+}
+
+// edgeOf converts an internal valve ID back to its public address.
+func edgeOf(g *grid.Array, id grid.ValveID) Edge {
+	v := g.Valve(id)
+	o := Horizontal
+	if v.Orient == grid.Vertical {
+		o = Vertical
+	}
+	return Edge{Orient: o, R: v.R, C: v.C}
+}
+
+func edgesOf(g *grid.Array, ids []grid.ValveID) []Edge {
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]Edge, len(ids))
+	for i, id := range ids {
+		out[i] = edgeOf(g, id)
+	}
+	return out
+}
+
+// Rows returns the number of cell rows.
+func (a *Array) Rows() int { return a.g.NR() }
+
+// Cols returns the number of cell columns.
+func (a *Array) Cols() int { return a.g.NC() }
+
+// NumValves returns the count of Normal valves — the units under test (the
+// paper's nv column).
+func (a *Array) NumValves() int { return a.g.NumNormal() }
+
+// Valves returns the addresses of all Normal valves in a stable order.
+func (a *Array) Valves() []Edge { return edgesOf(a.g, a.g.NormalValves()) }
+
+// BaselineCount is the cost of the one-valve-at-a-time baseline the paper
+// compares against: two vectors (open + closed) per valve under test.
+func (a *Array) BaselineCount() int { return 2 * a.g.NumNormal() }
+
+// String renders a compact one-line summary.
+func (a *Array) String() string { return a.g.String() }
+
+// Text renders the array in the line-based text format accepted by
+// ParseArrayText and the command-line tools (see the format notes in
+// DESIGN.md).
+func (a *Array) Text() string { return grid.Marshal(a.g) }
+
+// ParseArrayText reads an array in the text format.
+func ParseArrayText(r io.Reader) (*Array, error) {
+	g, err := grid.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return &Array{g: g}, nil
+}
+
+// Render draws the array as an ASCII diagram.
+func (a *Array) Render() string { return render.Array(a.g) }
+
+// RenderLegend explains the characters used by the ASCII diagrams.
+func RenderLegend() string { return render.Legend() }
+
+// MixerSpec describes a dynamic mixer footprint (Fig. 2(b)/(c) of the
+// paper): a Height x Width ring of cells whose interior channel forms the
+// mixing loop. Height and Width are in cells and must be at least 2.
+type MixerSpec struct {
+	R, C          int // top-left cell of the ring
+	Height, Width int
+}
+
+// MixerValves returns the valve sets that realize the mixer on this array:
+// ring holds the valves along the mixing loop in cycle order (kept open
+// while mixing), and seal holds every other valve incident to a loop cell —
+// kept closed to isolate the loop. An error is returned if the footprint
+// leaves the array or touches an obstacle.
+func (a *Array) MixerValves(m MixerSpec) (ring, seal []Edge, err error) {
+	ringIDs, sealIDs, err := a.g.MixerValves(grid.MixerSpec{R: m.R, C: m.C, Height: m.Height, Width: m.Width})
+	if err != nil {
+		return nil, nil, err
+	}
+	return edgesOf(a.g, ringIDs), edgesOf(a.g, sealIDs), nil
+}
+
+// BenchmarkNames lists the Table I evaluation arrays, smallest first.
+func BenchmarkNames() []string {
+	cases := bench.Table1Cases()
+	out := make([]string, len(cases))
+	for i, c := range cases {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// BenchmarkCase carries the paper's reported Table I numbers for one
+// evaluation array, for measured-vs-paper comparisons.
+type BenchmarkCase struct {
+	Name string
+	// Top is the hierarchy top level, e.g. "2x2".
+	Top string
+	// PaperNV..PaperN are the counts printed in the paper's Table I.
+	PaperNV, PaperNP, PaperNC, PaperNL, PaperN int
+}
+
+// BenchmarkCases returns the paper's Table I rows.
+func BenchmarkCases() []BenchmarkCase {
+	cases := bench.Table1Cases()
+	out := make([]BenchmarkCase, len(cases))
+	for i, c := range cases {
+		out[i] = BenchmarkCase{
+			Name: c.Name, Top: c.Top,
+			PaperNV: c.PaperNV, PaperNP: c.PaperNP, PaperNC: c.PaperNC,
+			PaperNL: c.PaperNL, PaperN: c.PaperN,
+		}
+	}
+	return out
+}
+
+// BenchmarkArray builds one of the paper's Table I evaluation arrays by
+// name (see BenchmarkNames).
+func BenchmarkArray(name string) (*Array, error) {
+	c, err := bench.FindCase(name)
+	if err != nil {
+		return nil, err
+	}
+	g, err := c.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Array{g: g}, nil
+}
+
+// FaultKind enumerates the component-level fault models of Sec. II.
+type FaultKind uint8
+
+const (
+	// StuckAt0 means the valve cannot be opened (broken flow channel).
+	StuckAt0 FaultKind = iota
+	// StuckAt1 means the valve cannot be closed (leaking flow channel or
+	// broken control channel).
+	StuckAt1
+	// ControlLeak couples two control channels: actuating either valve
+	// closes both.
+	ControlLeak
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case StuckAt0:
+		return "stuck-at-0"
+	case StuckAt1:
+		return "stuck-at-1"
+	default:
+		return "control-leak"
+	}
+}
+
+// Fault is a single injected defect. A and B are valve addresses; B is used
+// only by ControlLeak.
+type Fault struct {
+	Kind FaultKind
+	A, B Edge
+}
+
+func (f Fault) String() string {
+	if f.Kind == ControlLeak {
+		return fmt.Sprintf("control-leak(%v,%v)", f.A, f.B)
+	}
+	return fmt.Sprintf("%v(%v)", f.Kind, f.A)
+}
+
+// toSimFault converts a public fault to the internal representation.
+func (a *Array) toSimFault(f Fault) (sim.Fault, error) {
+	ida, err := valveID(a.g, f.A)
+	if err != nil {
+		return sim.Fault{}, err
+	}
+	out := sim.Fault{Kind: sim.FaultKind(f.Kind), A: ida}
+	if f.Kind == ControlLeak {
+		idb, err := valveID(a.g, f.B)
+		if err != nil {
+			return sim.Fault{}, err
+		}
+		out.B = idb
+	}
+	return out, nil
+}
+
+func (a *Array) toSimFaults(fs []Fault) ([]sim.Fault, error) {
+	out := make([]sim.Fault, len(fs))
+	for i, f := range fs {
+		var err error
+		if out[i], err = a.toSimFault(f); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (a *Array) fromSimFault(f sim.Fault) Fault {
+	out := Fault{Kind: FaultKind(f.Kind), A: edgeOf(a.g, f.A)}
+	if f.Kind == sim.ControlLeak {
+		out.B = edgeOf(a.g, f.B)
+	}
+	return out
+}
+
+// Vector is a commanded open/closed state for every Normal valve of an
+// array, for hand-built experiments (e.g. configuring a mixer). Generated
+// test vectors live inside a Plan.
+type Vector struct {
+	a *Array
+	v *sim.Vector
+}
+
+// NewVector returns a vector with every Normal valve commanded closed.
+func (a *Array) NewVector(name string) *Vector {
+	return &Vector{a: a, v: sim.NewVector(a.g, sim.Custom, name)}
+}
+
+// SetOpen commands valve e open (true) or closed (false).
+func (v *Vector) SetOpen(e Edge, open bool) error {
+	id, err := valveID(v.a.g, e)
+	if err != nil {
+		return err
+	}
+	v.v.SetOpen(id, open)
+	return nil
+}
+
+// Open reports the commanded state of valve e.
+func (v *Vector) Open(e Edge) (bool, error) {
+	id, err := valveID(v.a.g, e)
+	if err != nil {
+		return false, err
+	}
+	return v.v.Open(id), nil
+}
+
+// Simulator evaluates vectors on one array, with or without injected
+// faults. It is safe for concurrent use.
+type Simulator struct {
+	a *Array
+	s *sim.Simulator
+}
+
+// NewSimulator builds a pressure-propagation fault simulator for the array.
+func (a *Array) NewSimulator() (*Simulator, error) {
+	s, err := sim.New(a.g)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulator{a: a, s: s}, nil
+}
+
+// Readings returns the pressure observed at each meter (in port attachment
+// order) when vec is applied under the given faults (nil for a fault-free
+// chip).
+func (s *Simulator) Readings(vec *Vector, faults []Fault) ([]bool, error) {
+	if vec.a != s.a {
+		return nil, fmt.Errorf("fpva: vector belongs to a different array")
+	}
+	fs, err := s.a.toSimFaults(faults)
+	if err != nil {
+		return nil, err
+	}
+	return s.s.Readings(vec.v, fs), nil
+}

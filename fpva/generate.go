@@ -1,0 +1,227 @@
+package fpva
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/cutset"
+	"repro/internal/flowpath"
+)
+
+// Phase names one stage of the generation pipeline.
+type Phase int
+
+const (
+	// PhaseFlowPaths generates the stuck-at-0 flow-path vectors.
+	PhaseFlowPaths Phase = iota
+	// PhaseCutSets generates the stuck-at-1 cut-set vectors.
+	PhaseCutSets
+	// PhaseLeakage generates the control-layer leakage vectors.
+	PhaseLeakage
+)
+
+func (p Phase) String() string { return core.Phase(p).String() }
+
+// EventKind labels a Progress event.
+type EventKind int
+
+const (
+	// PhaseStarted fires when a generation phase begins.
+	PhaseStarted EventKind = iota
+	// PhaseFinished fires when a generation phase completes.
+	PhaseFinished
+	// CampaignTick fires while a campaign runs, carrying completed and
+	// total trial counts.
+	CampaignTick
+)
+
+// Event is one observation delivered to a Progress callback: a generation
+// phase transition (PhaseStarted / PhaseFinished, Phase set) or a campaign
+// trial tick (CampaignTick, TrialsDone / TrialsTotal set).
+type Event struct {
+	Kind        EventKind
+	Phase       Phase
+	TrialsDone  int
+	TrialsTotal int
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case PhaseStarted:
+		return fmt.Sprintf("phase %v started", e.Phase)
+	case PhaseFinished:
+		return fmt.Sprintf("phase %v finished", e.Phase)
+	default:
+		return fmt.Sprintf("campaign %d/%d trials", e.TrialsDone, e.TrialsTotal)
+	}
+}
+
+// Progress observes pipeline activity. Callbacks must be fast and must not
+// call back into the object that is reporting; campaign ticks may arrive
+// from worker goroutines (serialized by an internal lock).
+type Progress func(Event)
+
+// PathEngine selects the flow-path construction algorithm.
+type PathEngine int
+
+const (
+	// PathEngineAuto picks the serpentine strip decomposition — exact on
+	// regular arrays, patched on irregular ones, fast at every Table I size.
+	PathEngineAuto PathEngine = iota
+	// PathEngineSerpentine forces the strip-decomposition generator.
+	PathEngineSerpentine
+	// PathEngineILPIterative solves the paper's per-path ILP model
+	// repeatedly, maximizing newly covered valves each round.
+	PathEngineILPIterative
+	// PathEngineILPMonolithic solves the paper's full model (7)-(8).
+	PathEngineILPMonolithic
+)
+
+// CutEngine selects the cut-set construction algorithm.
+type CutEngine int
+
+const (
+	// CutEngineAuto uses straight-line cuts first and dual-path cuts for
+	// whatever they miss.
+	CutEngineAuto CutEngine = iota
+	// CutEngineDual builds every cut as a forced-through dual path.
+	CutEngineDual
+	// CutEngineILP solves the paper's complementary ILP over the dual
+	// graph, one cut at a time.
+	CutEngineILP
+)
+
+// GenOption customizes Generate.
+type GenOption func(*genConfig)
+
+type genConfig struct {
+	direct     bool
+	blockSize  int
+	workers    int
+	skipLeak   bool
+	pathEngine PathEngine
+	cutEngine  CutEngine
+	progress   Progress
+}
+
+// WithBlockSize overrides the hierarchical block edge length (default 5,
+// the paper's evaluation setting).
+func WithBlockSize(n int) GenOption { return func(c *genConfig) { c.blockSize = n } }
+
+// WithDirectModel disables the hierarchical subblock decomposition and
+// generates over the whole array at once.
+func WithDirectModel() GenOption { return func(c *genConfig) { c.direct = true } }
+
+// WithSolverWorkers sets the branch-and-bound worker pool for the ILP
+// engines. Results are bit-identical for any worker count; <= 1 is serial.
+func WithSolverWorkers(n int) GenOption { return func(c *genConfig) { c.workers = n } }
+
+// WithPathEngine selects the flow-path construction algorithm.
+func WithPathEngine(e PathEngine) GenOption { return func(c *genConfig) { c.pathEngine = e } }
+
+// WithCutEngine selects the cut-set construction algorithm.
+func WithCutEngine(e CutEngine) GenOption { return func(c *genConfig) { c.cutEngine = e } }
+
+// WithoutLeakage omits the control-layer leakage vectors (the paper's
+// optional nl family).
+func WithoutLeakage() GenOption { return func(c *genConfig) { c.skipLeak = true } }
+
+// WithProgress registers a callback observing generation phase transitions.
+func WithProgress(p Progress) GenOption { return func(c *genConfig) { c.progress = p } }
+
+// Stats summarizes a generated test set in the shape of a Table I row.
+type Stats struct {
+	NV         int           // valves under test
+	NP, NC, NL int           // vector counts per family
+	N          int           // total vectors
+	TP, TC, TL time.Duration // generation times per family
+	T          time.Duration // total generation time
+	// PathILPNonOptimal / CutILPNonOptimal count ILP solves that hit the
+	// node budget: the accepted paths/cuts are feasible but not proven
+	// optimal. Zero when the exact engines finished (or were not used).
+	PathILPNonOptimal, CutILPNonOptimal int
+}
+
+func (s Stats) String() string {
+	return core.Stats{
+		NV: s.NV, NP: s.NP, NC: s.NC, NL: s.NL, N: s.N,
+		TP: s.TP, TC: s.TC, TL: s.TL, T: s.T,
+		PathILPNonOptimal: s.PathILPNonOptimal, CutILPNonOptimal: s.CutILPNonOptimal,
+	}.String()
+}
+
+// Generate runs the full test-generation flow — flow paths (stuck-at-0),
+// cut-sets (stuck-at-1) and control-leakage vectors — and returns the
+// resulting Plan. The default configuration matches the paper's evaluation:
+// hierarchical 5x5 decomposition with the automatic engines.
+//
+// Cancelling ctx aborts generation promptly (between ILP solver nodes for
+// the exact engines) and returns an error wrapping ctx.Err().
+func Generate(ctx context.Context, a *Array, opts ...GenOption) (*Plan, error) {
+	cfg := genConfig{blockSize: 5}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	coreCfg := core.Config{
+		Hierarchical: !cfg.direct,
+		BlockSize:    cfg.blockSize,
+		SkipLeakage:  cfg.skipLeak,
+		Workers:      cfg.workers,
+	}
+	switch cfg.pathEngine {
+	case PathEngineAuto:
+		coreCfg.FlowPath.Engine = flowpath.EngineAuto
+	case PathEngineSerpentine:
+		coreCfg.FlowPath.Engine = flowpath.EngineSerpentine
+	case PathEngineILPIterative:
+		coreCfg.FlowPath.Engine = flowpath.EngineILPIterative
+	case PathEngineILPMonolithic:
+		coreCfg.FlowPath.Engine = flowpath.EngineILPMonolithic
+	default:
+		return nil, fmt.Errorf("fpva: unknown path engine %d", int(cfg.pathEngine))
+	}
+	switch cfg.cutEngine {
+	case CutEngineAuto:
+		coreCfg.CutSet.Engine = cutset.EngineAuto
+	case CutEngineDual:
+		coreCfg.CutSet.Engine = cutset.EngineDual
+	case CutEngineILP:
+		coreCfg.CutSet.Engine = cutset.EngineILP
+	default:
+		return nil, fmt.Errorf("fpva: unknown cut engine %d", int(cfg.cutEngine))
+	}
+	if cfg.progress != nil {
+		p := cfg.progress
+		coreCfg.OnPhase = func(ph core.Phase, done bool) {
+			kind := PhaseStarted
+			if done {
+				kind = PhaseFinished
+			}
+			p(Event{Kind: kind, Phase: Phase(ph)})
+		}
+	}
+	ts, err := core.Generate(ctx, a.g, coreCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{a: a, ts: ts, geometry: true}, nil
+}
+
+// BaselinePlan materializes the paper's Sec. IV comparison baseline: one
+// dedicated flow-path vector (stuck-at-0 test) and one dedicated cut vector
+// (stuck-at-1 test) per Normal valve — 2*nv vectors in total. The returned
+// plan supports campaigns and serialization like a generated one.
+func BaselinePlan(a *Array) (*Plan, error) {
+	vecs, err := bench.BaselineVectors(a.g)
+	if err != nil {
+		return nil, err
+	}
+	ts := &core.TestSet{Array: a.g, PathVectors: vecs}
+	ts.Stats.NV = a.g.NumNormal()
+	ts.Stats.NP = len(vecs)
+	ts.Stats.N = len(vecs)
+	return &Plan{a: a, ts: ts}, nil
+}

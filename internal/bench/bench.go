@@ -11,6 +11,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -150,7 +151,7 @@ func FindCase(name string) (Case, error) {
 
 // Row generates the full test set for one case (hierarchical 5x5 blocks, as
 // in the paper's evaluation) and returns the test set with timing stats.
-func Row(c Case) (*core.TestSet, error) {
+func Row(ctx context.Context, c Case) (*core.TestSet, error) {
 	a, err := c.Build()
 	if err != nil {
 		return nil, err
@@ -159,11 +160,11 @@ func Row(c Case) (*core.TestSet, error) {
 		return nil, fmt.Errorf("bench: %s reconstruction has nv=%d, paper has %d",
 			c.Name, got, c.PaperNV)
 	}
-	return core.Generate(a, core.Config{Hierarchical: true})
+	return core.Generate(ctx, a, core.Config{Hierarchical: true})
 }
 
 // Table1 renders the measured-vs-paper comparison table.
-func Table1() (string, error) {
+func Table1(ctx context.Context) (string, error) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-7s %6s %6s | %5s %5s %5s %6s | %5s %5s %5s %6s | %10s\n",
 		"Array", "nv", "Top",
@@ -171,7 +172,7 @@ func Table1() (string, error) {
 		"np*", "nc*", "nl*", "N*", "T")
 	fmt.Fprintln(&b, strings.Repeat("-", 92))
 	for _, c := range Table1Cases() {
-		ts, err := Row(c)
+		ts, err := Row(ctx, c)
 		if err != nil {
 			return "", err
 		}
@@ -220,16 +221,20 @@ func BaselineVectors(a *grid.Array) ([]*sim.Vector, error) {
 // faults, trials injections each, reporting detection per k. The vector set
 // is compiled once and shared by all maxFaults campaigns, each of which
 // shards its trials across all CPUs.
-func CampaignSeries(ts *core.TestSet, trials, maxFaults int, seed int64) ([]sim.CampaignResult, error) {
+func CampaignSeries(ctx context.Context, ts *core.TestSet, trials, maxFaults int, seed int64) ([]sim.CampaignResult, error) {
 	cv, err := ts.Compile()
 	if err != nil {
 		return nil, err
 	}
 	var out []sim.CampaignResult
 	for k := 1; k <= maxFaults; k++ {
-		out = append(out, cv.RunCampaign(sim.CampaignConfig{
+		res, err := cv.RunCampaign(ctx, sim.CampaignConfig{
 			Trials: trials, NumFaults: k, Seed: seed + int64(k),
-		}))
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
 	}
 	return out, nil
 }

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -39,7 +40,7 @@ func TestRowSmall(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts, err := Row(c)
+	ts, err := Row(context.Background(), c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestRowSmall(t *testing.T) {
 		t.Errorf("uncovered: %v / %v", ts.UncoveredPath, ts.UncoveredCut)
 	}
 	// Full detection on the benchmark array.
-	escaped, err := ts.VerifySingleFaults()
+	escaped, err := ts.VerifySingleFaults(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,14 +68,14 @@ func TestRowMedium(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts, err := Row(c)
+	ts, err := Row(context.Background(), c)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(ts.UncoveredPath) > 0 || len(ts.UncoveredCut) > 0 {
 		t.Fatalf("uncovered: %v / %v", ts.UncoveredPath, ts.UncoveredCut)
 	}
-	escaped, err := ts.VerifySingleFaults()
+	escaped, err := ts.VerifySingleFaults(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,11 +120,11 @@ func TestCampaignSeries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts, err := Row(c)
+	ts, err := Row(context.Background(), c)
 	if err != nil {
 		t.Fatal(err)
 	}
-	series, err := CampaignSeries(ts, 200, 5, 1)
+	series, err := CampaignSeries(context.Background(), ts, 200, 5, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestTable1Renders(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs all five arrays")
 	}
-	out, err := Table1()
+	out, err := Table1(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,12 +7,13 @@
 // Typical use:
 //
 //	a := grid.MustNewStandard(10, 10)
-//	ts, err := core.Generate(a, core.Config{Hierarchical: true})
+//	ts, err := core.Generate(ctx, a, core.Config{Hierarchical: true})
 //	...
-//	res, err := ts.Campaign(sim.CampaignConfig{Trials: 10000, NumFaults: 2, Seed: 1})
+//	res, err := ts.Campaign(ctx, sim.CampaignConfig{Trials: 10000, NumFaults: 2, Seed: 1})
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -22,6 +23,30 @@ import (
 	"repro/internal/leakage"
 	"repro/internal/sim"
 )
+
+// Phase names one stage of the generation pipeline, for progress reporting.
+type Phase int
+
+const (
+	// PhaseFlowPaths is the stuck-at-0 flow-path family (Sec. III-B).
+	PhaseFlowPaths Phase = iota
+	// PhaseCutSets is the stuck-at-1 cut-set family (Sec. III-C).
+	PhaseCutSets
+	// PhaseLeakage is the control-layer leakage family (the nl column).
+	PhaseLeakage
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseFlowPaths:
+		return "flow-paths"
+	case PhaseCutSets:
+		return "cut-sets"
+	case PhaseLeakage:
+		return "leakage"
+	}
+	return fmt.Sprintf("Phase(%d)", int(p))
+}
 
 // Config selects generation strategy.
 type Config struct {
@@ -39,6 +64,10 @@ type Config struct {
 	// (results are bit-identical for any value); it fills in the
 	// FlowPath.ILP / CutSet.ILP knobs when those are zero. <= 1 is serial.
 	Workers int
+	// OnPhase, when non-nil, is called synchronously on the Generate
+	// goroutine as each pipeline phase starts (done=false) and finishes
+	// (done=true).
+	OnPhase func(p Phase, done bool)
 }
 
 // Stats summarizes a generated test set in the shape of a Table I row.
@@ -87,10 +116,20 @@ func (ts *TestSet) AllVectors() []*sim.Vector {
 	return out
 }
 
-// Generate runs the full test-generation flow on the array.
-func Generate(a *grid.Array, cfg Config) (*TestSet, error) {
+// Generate runs the full test-generation flow on the array. Cancelling ctx
+// (nil means context.Background()) aborts the active phase promptly and
+// returns an error wrapping ctx.Err().
+func Generate(ctx context.Context, a *grid.Array, cfg Config) (*TestSet, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := a.Validate(); err != nil {
 		return nil, err
+	}
+	phase := func(p Phase, done bool) {
+		if cfg.OnPhase != nil {
+			cfg.OnPhase(p, done)
+		}
 	}
 	fpOpt := cfg.FlowPath
 	if cfg.Hierarchical && fpOpt.StripRows == 0 && fpOpt.StripCols == 0 {
@@ -112,8 +151,9 @@ func Generate(a *grid.Array, cfg Config) (*TestSet, error) {
 	ts := &TestSet{Array: a}
 	ts.Stats.NV = a.NumNormal()
 
+	phase(PhaseFlowPaths, false)
 	t0 := time.Now()
-	fp, err := flowpath.Generate(a, fpOpt)
+	fp, err := flowpath.Generate(ctx, a, fpOpt)
 	if err != nil {
 		return nil, fmt.Errorf("core: flow paths: %w", err)
 	}
@@ -122,9 +162,11 @@ func Generate(a *grid.Array, cfg Config) (*TestSet, error) {
 	ts.PathVectors = fp.Vectors(a)
 	ts.UncoveredPath = fp.Uncovered
 	ts.Stats.PathILPNonOptimal = fp.ILP.NonOptimal
+	phase(PhaseFlowPaths, true)
 
+	phase(PhaseCutSets, false)
 	t0 = time.Now()
-	cs, err := cutset.Generate(a, csOpt)
+	cs, err := cutset.Generate(ctx, a, csOpt)
 	if err != nil {
 		return nil, fmt.Errorf("core: cut-sets: %w", err)
 	}
@@ -133,16 +175,19 @@ func Generate(a *grid.Array, cfg Config) (*TestSet, error) {
 	ts.CutVectors = cs.Vectors(a)
 	ts.UncoveredCut = cs.Uncovered
 	ts.Stats.CutILPNonOptimal = cs.ILP.NonOptimal
+	phase(PhaseCutSets, true)
 
 	if !cfg.SkipLeakage {
+		phase(PhaseLeakage, false)
 		t0 = time.Now()
-		lk, err := leakage.Generate(a, ts.PathVectors)
+		lk, err := leakage.Generate(ctx, a, ts.PathVectors)
 		if err != nil {
 			return nil, fmt.Errorf("core: leakage: %w", err)
 		}
 		ts.Stats.TL = time.Since(t0)
 		ts.LeakPairs = lk.Pairs
 		ts.LeakVectors = lk.Vectors
+		phase(PhaseLeakage, true)
 	}
 	ts.Stats.NP = len(ts.PathVectors)
 	ts.Stats.NC = len(ts.CutVectors)
@@ -165,19 +210,20 @@ func (ts *TestSet) Compile() (*sim.CompiledVectors, error) {
 }
 
 // Campaign runs a random fault-injection campaign (the paper's Sec. IV
-// study) against the full vector set.
-func (ts *TestSet) Campaign(cfg sim.CampaignConfig) (sim.CampaignResult, error) {
+// study) against the full vector set. Cancelling ctx returns the partial
+// result together with ctx.Err().
+func (ts *TestSet) Campaign(ctx context.Context, cfg sim.CampaignConfig) (sim.CampaignResult, error) {
 	cv, err := ts.Compile()
 	if err != nil {
 		return sim.CampaignResult{}, err
 	}
-	return cv.RunCampaign(cfg), nil
+	return cv.RunCampaign(ctx, cfg)
 }
 
 // VerifySingleFaults exhaustively checks every stuck-at fault on every
 // Normal valve and returns the undetected ones. On a fully covered array
 // the result is empty — the paper's single-fault guarantee.
-func (ts *TestSet) VerifySingleFaults() ([]sim.Fault, error) {
+func (ts *TestSet) VerifySingleFaults(ctx context.Context) ([]sim.Fault, error) {
 	cv, err := ts.Compile()
 	if err != nil {
 		return nil, err
@@ -187,9 +233,13 @@ func (ts *TestSet) VerifySingleFaults() ([]sim.Fault, error) {
 	for i := range singles {
 		sets[i] = singles[i : i+1]
 	}
+	det, err := cv.DetectsBatch(ctx, sets, 0)
+	if err != nil {
+		return nil, err
+	}
 	var escaped []sim.Fault
-	for i, det := range cv.DetectsBatch(sets, 0) {
-		if !det {
+	for i, d := range det {
+		if !d {
 			escaped = append(escaped, singles[i])
 		}
 	}
@@ -201,7 +251,7 @@ func (ts *TestSet) VerifySingleFaults() ([]sim.Fault, error) {
 // returns undetected pairs. The pair sweep is sharded across all CPUs
 // against one compiled vector set; cost is O(nv^2) simulations, intended
 // for the small arrays. maxPairs > 0 truncates the scan for spot checks.
-func (ts *TestSet) VerifyDoubleFaults(maxPairs int) ([][2]sim.Fault, error) {
+func (ts *TestSet) VerifyDoubleFaults(ctx context.Context, maxPairs int) ([][2]sim.Fault, error) {
 	cv, err := ts.Compile()
 	if err != nil {
 		return nil, err
@@ -214,13 +264,18 @@ func (ts *TestSet) VerifyDoubleFaults(maxPairs int) ([][2]sim.Fault, error) {
 	pairs := make([][2]sim.Fault, 0, window)
 	sets := make([][]sim.Fault, 0, window)
 	var escaped [][2]sim.Fault
-	flush := func() {
-		for i, det := range cv.DetectsBatch(sets, 0) {
-			if !det {
+	flush := func() error {
+		det, err := cv.DetectsBatch(ctx, sets, 0)
+		if err != nil {
+			return err
+		}
+		for i, d := range det {
+			if !d {
 				escaped = append(escaped, pairs[i])
 			}
 		}
 		pairs, sets = pairs[:0], sets[:0]
+		return nil
 	}
 	checked := 0
 	for i, f1 := range singles {
@@ -229,17 +284,23 @@ func (ts *TestSet) VerifyDoubleFaults(maxPairs int) ([][2]sim.Fault, error) {
 				continue // contradictory faults on one valve
 			}
 			if maxPairs > 0 && checked >= maxPairs {
-				flush()
+				if err := flush(); err != nil {
+					return nil, err
+				}
 				return escaped, nil
 			}
 			checked++
 			pairs = append(pairs, [2]sim.Fault{f1, f2})
 			sets = append(sets, []sim.Fault{f1, f2})
 			if len(sets) == window {
-				flush()
+				if err := flush(); err != nil {
+					return nil, err
+				}
 			}
 		}
 	}
-	flush()
+	if err := flush(); err != nil {
+		return nil, err
+	}
 	return escaped, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/grid"
@@ -9,7 +10,7 @@ import (
 
 func gen(t *testing.T, a *grid.Array, cfg Config) *TestSet {
 	t.Helper()
-	ts, err := Generate(a, cfg)
+	ts, err := Generate(context.Background(), a, cfg)
 	if err != nil {
 		t.Fatalf("Generate: %v", err)
 	}
@@ -66,7 +67,7 @@ func TestSingleFaultGuarantee(t *testing.T) {
 	for _, n := range []int{3, 4, 5} {
 		a := grid.MustNewStandard(n, n)
 		ts := gen(t, a, Config{})
-		escaped, err := ts.VerifySingleFaults()
+		escaped, err := ts.VerifySingleFaults(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -82,7 +83,7 @@ func TestSingleFaultGuarantee(t *testing.T) {
 func TestTwoFaultGuarantee(t *testing.T) {
 	a := grid.MustNewStandard(4, 4)
 	ts := gen(t, a, Config{})
-	escaped, err := ts.VerifyDoubleFaults(0)
+	escaped, err := ts.VerifyDoubleFaults(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestTwoFaultGuaranteeWithObstacles(t *testing.T) {
 	if len(ts.UncoveredPath) > 0 || len(ts.UncoveredCut) > 0 {
 		t.Fatalf("uncovered valves: %v / %v", ts.UncoveredPath, ts.UncoveredCut)
 	}
-	escaped, err := ts.VerifyDoubleFaults(0)
+	escaped, err := ts.VerifyDoubleFaults(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestCampaign(t *testing.T) {
 	a := grid.MustNewStandard(6, 6)
 	ts := gen(t, a, Config{})
 	for k := 1; k <= 5; k++ {
-		res, err := ts.Campaign(sim.CampaignConfig{Trials: 500, NumFaults: k, Seed: int64(k)})
+		res, err := ts.Campaign(context.Background(), sim.CampaignConfig{Trials: 500, NumFaults: k, Seed: int64(k)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -138,7 +139,7 @@ func TestCampaignWithLeakFaults(t *testing.T) {
 	for i, p := range ts.LeakPairs {
 		pairs[i] = [2]grid.ValveID{p[0], p[1]}
 	}
-	res, err := ts.Campaign(sim.CampaignConfig{
+	res, err := ts.Campaign(context.Background(), sim.CampaignConfig{
 		Trials: 300, NumFaults: 2, Seed: 7, LeakPairs: pairs,
 	})
 	if err != nil {
@@ -150,7 +151,7 @@ func TestCampaignWithLeakFaults(t *testing.T) {
 }
 
 func TestGenerateRejectsInvalidArray(t *testing.T) {
-	if _, err := Generate(grid.MustNew(3, 3), Config{}); err == nil {
+	if _, err := Generate(context.Background(), grid.MustNew(3, 3), Config{}); err == nil {
 		t.Error("want error")
 	}
 }
@@ -158,7 +159,7 @@ func TestGenerateRejectsInvalidArray(t *testing.T) {
 func TestVerifyDoubleFaultsTruncation(t *testing.T) {
 	a := grid.MustNewStandard(3, 3)
 	ts := gen(t, a, Config{})
-	if _, err := ts.VerifyDoubleFaults(10); err != nil {
+	if _, err := ts.VerifyDoubleFaults(context.Background(), 10); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -65,11 +66,11 @@ func TestDifferentialEngines(t *testing.T) {
 		if a == nil {
 			continue
 		}
-		serp, err := flowpath.Generate(a, flowpath.Options{Engine: flowpath.EngineSerpentine})
+		serp, err := flowpath.Generate(context.Background(), a, flowpath.Options{Engine: flowpath.EngineSerpentine})
 		if err != nil {
 			t.Fatalf("array %v: serpentine: %v", a, err)
 		}
-		exact, err := flowpath.Generate(a, flowpath.Options{
+		exact, err := flowpath.Generate(context.Background(), a, flowpath.Options{
 			Engine: flowpath.EngineILPIterative,
 			ILP:    ilp.Options{Workers: 2},
 		})
@@ -105,7 +106,7 @@ func TestDifferentialEngines(t *testing.T) {
 		}
 		// Zero single-fault escapes with either engine's test set.
 		for _, engine := range []flowpath.Engine{flowpath.EngineSerpentine, flowpath.EngineILPIterative} {
-			ts, err := Generate(a, Config{
+			ts, err := Generate(context.Background(), a, Config{
 				FlowPath: flowpath.Options{Engine: engine, ILP: ilp.Options{Workers: 2}},
 			})
 			if err != nil {
@@ -114,7 +115,7 @@ func TestDifferentialEngines(t *testing.T) {
 			if len(ts.UncoveredPath) > 0 || len(ts.UncoveredCut) > 0 {
 				continue // cut family may be limited by the layout; not this test's subject
 			}
-			escapes, err := ts.VerifySingleFaults()
+			escapes, err := ts.VerifySingleFaults(context.Background())
 			if err != nil {
 				t.Fatal(err)
 			}

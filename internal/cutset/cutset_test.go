@@ -1,6 +1,7 @@
 package cutset
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/grid"
@@ -9,7 +10,7 @@ import (
 
 func generate(t *testing.T, a *grid.Array, opt Options) *Result {
 	t.Helper()
-	res, err := Generate(a, opt)
+	res, err := Generate(context.Background(), a, opt)
 	if err != nil {
 		t.Fatalf("Generate: %v", err)
 	}
@@ -242,7 +243,7 @@ func TestBoundaryArcSplit(t *testing.T) {
 
 func TestGenerateRejectsPortlessArray(t *testing.T) {
 	a := grid.MustNew(3, 3)
-	if _, err := Generate(a, Options{}); err == nil {
+	if _, err := Generate(context.Background(), a, Options{}); err == nil {
 		t.Error("want error")
 	}
 }

@@ -1,6 +1,7 @@
 package cutset
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -48,8 +49,13 @@ type Options struct {
 // Generate produces cut-sets such that every Normal valve is a testable
 // member of at least one cut: closing the cut leaves the sinks dark, and
 // re-opening just that valve pressurizes a sink again (so a stuck-at-1
-// there is observable).
-func Generate(a *grid.Array, opt Options) (*Result, error) {
+// there is observable). Cancelling ctx (nil means context.Background())
+// aborts between cuts — and, for EngineILP, between solver nodes — and
+// returns ctx.Err().
+func Generate(ctx context.Context, a *grid.Array, opt Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := a.Validate(); err != nil {
 		return nil, err
 	}
@@ -98,6 +104,9 @@ func Generate(a *grid.Array, opt Options) (*Result, error) {
 	switch opt.Engine {
 	case EngineAuto, EngineDual:
 		for len(uncovered) > 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			target := minValve(uncovered)
 			if !d.coverOne(a, s, opt, target, uncovered, accept) {
 				res.Uncovered = append(res.Uncovered, target)
@@ -108,8 +117,11 @@ func Generate(a *grid.Array, opt Options) (*Result, error) {
 		ilpOpt := opt.ILP
 		for len(uncovered) > 0 {
 			target := minValve(uncovered)
-			c, sol, err := d.ilpCut(target, uncovered, ilpOpt)
+			c, sol, err := d.ilpCut(ctx, target, uncovered, ilpOpt)
 			res.ILP.Observe(sol)
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			// Every cut model shares one shape; reuse the root basis.
 			if sol.WarmStart != nil {
 				ilpOpt.WarmStart = sol.WarmStart

@@ -1,6 +1,7 @@
 package cutset
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/grid"
@@ -26,7 +27,7 @@ import (
 // is identical for every target and the solver can warm-start each cut from
 // the previous one's root basis. The solution is returned alongside the cut
 // for status accounting and warm-start threading.
-func (d *dual) ilpCut(target grid.ValveID, uncovered map[grid.ValveID]bool,
+func (d *dual) ilpCut(ctx context.Context, target grid.ValveID, uncovered map[grid.ValveID]bool,
 	opts ilp.Options) (*Cut, ilp.Solution, error) {
 	g := d.g
 	var m ilp.Model
@@ -117,7 +118,10 @@ func (d *dual) ilpCut(target grid.ValveID, uncovered map[grid.ValveID]bool,
 	}
 	m.FixVar(v[te], 1)
 
-	sol := m.Solve(opts)
+	sol := m.Solve(ctx, opts)
+	if sol.Status == ilp.Canceled {
+		return nil, sol, ctx.Err()
+	}
 	if sol.Status != ilp.Optimal && sol.Status != ilp.Feasible {
 		return nil, sol, fmt.Errorf("cutset: dual-path ILP %v", sol.Status)
 	}

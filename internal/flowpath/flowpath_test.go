@@ -1,6 +1,7 @@
 package flowpath
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/grid"
@@ -10,7 +11,7 @@ import (
 
 func generate(t *testing.T, a *grid.Array, opt Options) *Result {
 	t.Helper()
-	res, err := Generate(a, opt)
+	res, err := Generate(context.Background(), a, opt)
 	if err != nil {
 		t.Fatalf("Generate: %v", err)
 	}
@@ -258,7 +259,7 @@ func TestILPSinglePathForced(t *testing.T) {
 	a := grid.MustNewStandard(3, 3)
 	uncovered := map[grid.ValveID]bool{}
 	target := a.VValve(1, 0)
-	p, _, _, err := ilpSinglePath(a, uncovered, target, ilp.Options{})
+	p, _, _, err := ilpSinglePath(context.Background(), a, uncovered, target, ilp.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,7 +293,7 @@ func TestVectorsNamedAndTyped(t *testing.T) {
 
 func TestGenerateRejectsInvalidArray(t *testing.T) {
 	a := grid.MustNew(3, 3) // no ports
-	if _, err := Generate(a, Options{}); err == nil {
+	if _, err := Generate(context.Background(), a, Options{}); err == nil {
 		t.Error("want error for array without ports")
 	}
 }

@@ -1,6 +1,7 @@
 package flowpath
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/grid"
@@ -57,9 +58,17 @@ type Options struct {
 
 // Generate produces a flow-path set covering all Normal valves of the
 // array. Valves that no source-to-sink path can reach (walled in by
-// obstacles) are reported in Result.Uncovered.
-func Generate(a *grid.Array, opt Options) (*Result, error) {
+// obstacles) are reported in Result.Uncovered. Cancelling ctx (nil means
+// context.Background()) aborts the ILP engines between solver nodes and
+// returns ctx.Err().
+func Generate(ctx context.Context, a *grid.Array, opt Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	var paths []*Path
@@ -69,13 +78,13 @@ func Generate(a *grid.Array, opt Options) (*Result, error) {
 	case EngineAuto, EngineSerpentine:
 		paths, err = serpentinePaths(a, opt.StripRows, opt.StripCols)
 	case EngineILPIterative:
-		paths, stats, err = ilpIterativePaths(a, opt.ILP)
+		paths, stats, err = ilpIterativePaths(ctx, a, opt.ILP)
 	case EngineILPMonolithic:
 		maxPaths := opt.MonolithicMaxPaths
 		if maxPaths <= 0 {
 			maxPaths = 8
 		}
-		paths, stats, err = ilpMonolithicPaths(a, 1, maxPaths, opt.ILP)
+		paths, stats, err = ilpMonolithicPaths(ctx, a, 1, maxPaths, opt.ILP)
 	default:
 		return nil, fmt.Errorf("flowpath: unknown engine %v", opt.Engine)
 	}

@@ -1,6 +1,7 @@
 package flowpath
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/grid"
@@ -259,7 +260,7 @@ func (pm *pathModel) extract(x []float64) (*Path, error) {
 // ilpSinglePath solves for one path maximizing newly covered valves.
 // forced must be covered; nil uncovered means all Normal valves count.
 // The returned solution carries the solver status and warm-start handle.
-func ilpSinglePath(a *grid.Array, uncovered map[grid.ValveID]bool,
+func ilpSinglePath(ctx context.Context, a *grid.Array, uncovered map[grid.ValveID]bool,
 	forced grid.ValveID, opts ilp.Options) (*Path, int, ilp.Solution, error) {
 	var m ilp.Model
 	// Objective: -100 per newly covered valve, +1 per edge (shorter ties).
@@ -281,7 +282,10 @@ func ilpSinglePath(a *grid.Array, uncovered map[grid.ValveID]bool,
 		// identical across solves, which keeps warm starts applicable.
 		m.FixVar(id, 1)
 	}
-	sol := m.Solve(opts)
+	sol := m.Solve(ctx, opts)
+	if sol.Status == ilp.Canceled {
+		return nil, 0, sol, ctx.Err()
+	}
 	if sol.Status != ilp.Optimal && sol.Status != ilp.Feasible {
 		return nil, 0, sol, fmt.Errorf("flowpath: single-path ILP %v", sol.Status)
 	}
@@ -301,7 +305,7 @@ func ilpSinglePath(a *grid.Array, uncovered map[grid.ValveID]bool,
 // ilpIterativePaths covers all Normal valves path by path. Each round's
 // model has the same shape (only the coverage objective changes), so every
 // round after the first warm-starts from the previous root basis.
-func ilpIterativePaths(a *grid.Array, opts ilp.Options) ([]*Path, ilp.Stats, error) {
+func ilpIterativePaths(ctx context.Context, a *grid.Array, opts ilp.Options) ([]*Path, ilp.Stats, error) {
 	uncovered := make(map[grid.ValveID]bool)
 	for _, e := range a.NormalValves() {
 		uncovered[e] = true
@@ -309,7 +313,7 @@ func ilpIterativePaths(a *grid.Array, opts ilp.Options) ([]*Path, ilp.Stats, err
 	var paths []*Path
 	var stats ilp.Stats
 	for len(uncovered) > 0 {
-		p, newCov, sol, err := ilpSinglePath(a, uncovered, grid.NoValve, opts)
+		p, newCov, sol, err := ilpSinglePath(ctx, a, uncovered, grid.NoValve, opts)
 		stats.Observe(sol)
 		if err != nil {
 			return paths, stats, err
@@ -331,22 +335,25 @@ func ilpIterativePaths(a *grid.Array, opts ilp.Options) ([]*Path, ilp.Stats, err
 // (6), minimizing the number of used paths. It increases np until feasible,
 // exactly as Sec. III-B-3 prescribes, starting from lower and stopping at
 // upper.
-func ilpMonolithicPaths(a *grid.Array, lower, upper int, opts ilp.Options) ([]*Path, ilp.Stats, error) {
+func ilpMonolithicPaths(ctx context.Context, a *grid.Array, lower, upper int, opts ilp.Options) ([]*Path, ilp.Stats, error) {
 	if lower < 1 {
 		lower = 1
 	}
 	var stats ilp.Stats
 	for np := lower; np <= upper; np++ {
-		paths, sol, err := tryMonolithic(a, np, opts)
+		paths, sol, err := tryMonolithic(ctx, a, np, opts)
 		stats.Observe(sol)
 		if err == nil {
 			return paths, stats, nil
+		}
+		if ctx.Err() != nil {
+			return nil, stats, ctx.Err()
 		}
 	}
 	return nil, stats, fmt.Errorf("flowpath: no covering set with at most %d paths", upper)
 }
 
-func tryMonolithic(a *grid.Array, np int, opts ilp.Options) ([]*Path, ilp.Solution, error) {
+func tryMonolithic(ctx context.Context, a *grid.Array, np int, opts ilp.Options) ([]*Path, ilp.Solution, error) {
 	var m ilp.Model
 	blocks := make([]*pathModel, np)
 	used := make([]ilp.VarID, np)
@@ -395,7 +402,10 @@ func tryMonolithic(a *grid.Array, np int, opts ilp.Options) ([]*Path, ilp.Soluti
 		}
 		m.AddCons(idx, coef, lp.GE, 1)
 	}
-	sol := m.Solve(opts)
+	sol := m.Solve(ctx, opts)
+	if sol.Status == ilp.Canceled {
+		return nil, sol, ctx.Err()
+	}
 	if sol.Status != ilp.Optimal && sol.Status != ilp.Feasible {
 		return nil, sol, fmt.Errorf("flowpath: monolithic ILP with np=%d: %v", np, sol.Status)
 	}

@@ -1,6 +1,7 @@
 package ilp
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -93,7 +94,7 @@ func FuzzModelSolve(f *testing.F) {
 			return
 		}
 		want := bruteForce01(m)
-		serial := m.Solve(Options{})
+		serial := m.Solve(context.Background(), Options{})
 		if math.IsInf(want, 1) {
 			if serial.Status != Infeasible {
 				t.Fatalf("brute force infeasible, solver says %v", serial.Status)
@@ -110,7 +111,7 @@ func FuzzModelSolve(f *testing.F) {
 			}
 		}
 		for _, workers := range []int{2, 3, 8} {
-			par := m.Solve(Options{Workers: workers})
+			par := m.Solve(context.Background(), Options{Workers: workers})
 			if par.Status != serial.Status || par.Obj != serial.Obj {
 				t.Fatalf("workers=%d: status/obj (%v, %v) differs from serial (%v, %v)",
 					workers, par.Status, par.Obj, serial.Status, serial.Obj)

@@ -34,6 +34,9 @@ const (
 	Unbounded
 	// Limit means the node budget ran out with no incumbent.
 	Limit
+	// Canceled means the solve context was cancelled before the search
+	// finished; callers should surface ctx.Err().
+	Canceled
 )
 
 func (s Status) String() string {
@@ -46,6 +49,8 @@ func (s Status) String() string {
 		return "infeasible"
 	case Unbounded:
 		return "unbounded"
+	case Canceled:
+		return "canceled"
 	default:
 		return "node-limit"
 	}

@@ -1,6 +1,7 @@
 package ilp
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -19,7 +20,7 @@ func TestKnapsack(t *testing.T) {
 	b := m.AddBinary(-13, "b")
 	c := m.AddBinary(-7, "c")
 	m.AddCons([]VarID{a, b, c}, []float64{3, 4, 2}, lp.LE, 6)
-	s := m.Solve(Options{})
+	s := m.Solve(context.Background(), Options{})
 	if s.Status != Optimal {
 		t.Fatalf("status %v", s.Status)
 	}
@@ -36,7 +37,7 @@ func TestIntegerRounding(t *testing.T) {
 	var m Model
 	x := m.AddVar(0, Inf, 1, true, "x")
 	m.AddCons([]VarID{x}, []float64{2}, lp.GE, 5)
-	s := m.Solve(Options{})
+	s := m.Solve(context.Background(), Options{})
 	if s.Status != Optimal || !approx(s.X[0], 3) {
 		t.Fatalf("status %v x %v", s.Status, s.X)
 	}
@@ -49,7 +50,7 @@ func TestMixedInteger(t *testing.T) {
 	x := m.AddVar(0, Inf, -2, true, "x")
 	y := m.AddVar(0, 2, -1, false, "y")
 	m.AddCons([]VarID{x, y}, []float64{1, 1}, lp.LE, 3.5)
-	s := m.Solve(Options{})
+	s := m.Solve(context.Background(), Options{})
 	if s.Status != Optimal || !approx(s.Obj, -6.5) {
 		t.Fatalf("status %v obj %v", s.Status, s.Obj)
 	}
@@ -64,7 +65,7 @@ func TestInfeasibleInteger(t *testing.T) {
 	x := m.AddVar(0, 1, 0, true, "x")
 	m.AddCons([]VarID{x}, []float64{1}, lp.GE, 0.4)
 	m.AddCons([]VarID{x}, []float64{1}, lp.LE, 0.6)
-	if s := m.Solve(Options{}); s.Status != Infeasible {
+	if s := m.Solve(context.Background(), Options{}); s.Status != Infeasible {
 		t.Errorf("status %v, want infeasible", s.Status)
 	}
 }
@@ -72,7 +73,7 @@ func TestInfeasibleInteger(t *testing.T) {
 func TestUnboundedModel(t *testing.T) {
 	var m Model
 	m.AddVar(0, Inf, -1, false, "x")
-	if s := m.Solve(Options{}); s.Status != Unbounded {
+	if s := m.Solve(context.Background(), Options{}); s.Status != Unbounded {
 		t.Errorf("status %v, want unbounded", s.Status)
 	}
 }
@@ -81,7 +82,7 @@ func TestNegativeBounds(t *testing.T) {
 	// min x  s.t. x >= -3.6, x integer: the integers >= -3.6 start at -3.
 	var m Model
 	m.AddVar(-3.6, Inf, 1, true, "x")
-	s := m.Solve(Options{})
+	s := m.Solve(context.Background(), Options{})
 	if s.Status != Optimal || !approx(s.X[0], -3) {
 		t.Fatalf("status %v x %v, want -3", s.Status, s.X)
 	}
@@ -95,7 +96,7 @@ func TestFreeVariable(t *testing.T) {
 	y := m.AddVar(-Inf, Inf, 1, false, "y")
 	m.AddCons([]VarID{y, x}, []float64{1, -1}, lp.GE, -2) // y >= x - 2
 	m.AddCons([]VarID{y, x}, []float64{1, 1}, lp.GE, 2)   // y >= 2 - x
-	s := m.Solve(Options{})
+	s := m.Solve(context.Background(), Options{})
 	if s.Status != Optimal || s.Obj < -1e-6 {
 		t.Fatalf("status %v obj %v", s.Status, s.Obj)
 	}
@@ -110,7 +111,7 @@ func TestFixedVariableFolding(t *testing.T) {
 	x := m.AddVar(2, 2, 3, true, "x") // fixed at 2
 	y := m.AddVar(0, 10, 1, true, "y")
 	m.AddCons([]VarID{x, y}, []float64{1, 1}, lp.GE, 5)
-	s := m.Solve(Options{})
+	s := m.Solve(context.Background(), Options{})
 	if s.Status != Optimal {
 		t.Fatalf("status %v", s.Status)
 	}
@@ -121,21 +122,21 @@ func TestFixedVariableFolding(t *testing.T) {
 	var m2 Model
 	a := m2.AddVar(1, 1, 1, true, "a")
 	m2.AddCons([]VarID{a}, []float64{1}, lp.EQ, 1)
-	if s := m2.Solve(Options{}); s.Status != Optimal || !approx(s.Obj, 1) {
+	if s := m2.Solve(context.Background(), Options{}); s.Status != Optimal || !approx(s.Obj, 1) {
 		t.Errorf("all-fixed: %v obj %v", s.Status, s.Obj)
 	}
 	// All-fixed infeasible model.
 	var m3 Model
 	b := m3.AddVar(1, 1, 0, true, "b")
 	m3.AddCons([]VarID{b}, []float64{1}, lp.EQ, 2)
-	if s := m3.Solve(Options{}); s.Status != Infeasible {
+	if s := m3.Solve(context.Background(), Options{}); s.Status != Infeasible {
 		t.Errorf("all-fixed infeasible: %v", s.Status)
 	}
 }
 
 func TestEmptyModel(t *testing.T) {
 	var m Model
-	if s := m.Solve(Options{}); s.Status != Optimal || s.Obj != 0 {
+	if s := m.Solve(context.Background(), Options{}); s.Status != Optimal || s.Obj != 0 {
 		t.Errorf("empty model: %v", s.Status)
 	}
 }
@@ -150,7 +151,7 @@ func TestBigMIndicator(t *testing.T) {
 	m.AddCons([]VarID{f, v}, []float64{1, -M}, lp.LE, 0)
 	m.AddCons([]VarID{f, v}, []float64{1, M}, lp.GE, 0)
 	m.AddCons([]VarID{f}, []float64{1}, lp.EQ, 3)
-	s := m.Solve(Options{})
+	s := m.Solve(context.Background(), Options{})
 	if s.Status != Optimal {
 		t.Fatalf("status %v", s.Status)
 	}
@@ -181,7 +182,7 @@ func TestSetCoverExact(t *testing.T) {
 		}
 		m.AddCons(idx, coef, lp.GE, 1)
 	}
-	s := m.Solve(Options{})
+	s := m.Solve(context.Background(), Options{})
 	if s.Status != Optimal || !approx(s.Obj, 2) {
 		t.Fatalf("status %v obj %v, want 2", s.Status, s.Obj)
 	}
@@ -193,11 +194,11 @@ func TestNodeLimit(t *testing.T) {
 	x := m.AddVar(0, 10, -1, true, "x")
 	y := m.AddVar(0, 10, -1, true, "y")
 	m.AddCons([]VarID{x, y}, []float64{2, 3}, lp.LE, 12.5)
-	s := m.Solve(Options{MaxNodes: 1})
+	s := m.Solve(context.Background(), Options{MaxNodes: 1})
 	if s.Status != Feasible && s.Status != Limit && s.Status != Optimal {
 		t.Errorf("status %v", s.Status)
 	}
-	full := m.Solve(Options{})
+	full := m.Solve(context.Background(), Options{})
 	if full.Status != Optimal {
 		t.Fatalf("full solve %v", full.Status)
 	}
@@ -270,7 +271,7 @@ func TestRandomKnapsackAgainstBruteForce(t *testing.T) {
 			coef[i] = w[i]
 		}
 		m.AddCons(vars, coef, lp.LE, capW)
-		s := m.Solve(Options{})
+		s := m.Solve(context.Background(), Options{})
 		if s.Status != Optimal {
 			t.Fatalf("trial %d: status %v", trial, s.Status)
 		}
@@ -311,7 +312,7 @@ func TestQuickEqualityPartition(t *testing.T) {
 			vars[i] = m.AddBinary(0, "x")
 		}
 		m.AddCons(vars, vals, lp.EQ, target)
-		s := m.Solve(Options{})
+		s := m.Solve(context.Background(), Options{})
 		possible := false
 		for mask := 0; mask < 1<<n; mask++ {
 			sum := 0.0

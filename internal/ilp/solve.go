@@ -3,6 +3,7 @@ package ilp
 import (
 	"bytes"
 	"container/heap"
+	"context"
 	"math"
 	"sync"
 
@@ -125,6 +126,7 @@ type nodeResult struct {
 // searcher is the shared state of one branch-and-bound run.
 type searcher struct {
 	m      *Model
+	ctx    context.Context
 	opt    Options
 	objInt bool
 
@@ -137,6 +139,7 @@ type searcher struct {
 	exhausted bool
 	lpLimited bool
 	unbounded bool
+	canceled  bool
 	// leaf incumbents decide the returned solution: every leaf with an
 	// objective within tolerance of the optimum lives in a node whose bound
 	// is at most optimum+tol, and such nodes are explored under every
@@ -155,13 +158,21 @@ type searcher struct {
 // Solve runs branch-and-bound and returns the best integer solution. The
 // exploration order is best-bound; nodes re-solve from their parent's
 // simplex basis via the dual simplex instead of a cold start.
-func (m *Model) Solve(opt Options) Solution {
+//
+// Cancelling ctx (nil means context.Background()) stops the search at the
+// next node boundary on every worker and returns Status Canceled; callers
+// are expected to translate that into ctx.Err().
+func (m *Model) Solve(ctx context.Context, opt Options) Solution {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(m.vars) == 0 {
 		return Solution{Status: Optimal, X: nil, Obj: 0}
 	}
 	prob := m.compileLP()
 	s := &searcher{
 		m:        m,
+		ctx:      ctx,
 		opt:      opt,
 		objInt:   m.objectiveIntegral(),
 		maxNodes: opt.MaxNodes,
@@ -209,10 +220,19 @@ func (m *Model) Solve(opt Options) Solution {
 // commit incumbents and children under the lock.
 func (s *searcher) work(sv *lp.Solver) {
 	for {
+		// The per-node cancellation probe: each node costs an LP solve, so
+		// this bounds cancel latency to one relaxation per worker.
+		if s.ctx.Err() != nil {
+			s.mu.Lock()
+			s.canceled = true
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			return
+		}
 		s.mu.Lock()
 		var nd *bbNode
 		for {
-			if s.unbounded || (len(s.pq) == 0 && s.inflight == 0) {
+			if s.canceled || s.unbounded || (len(s.pq) == 0 && s.inflight == 0) {
 				s.cond.Broadcast()
 				s.mu.Unlock()
 				return
@@ -387,6 +407,10 @@ func (s *searcher) assemble() Solution {
 	sol := Solution{Nodes: s.nodes}
 	if s.rootBasis != nil {
 		sol.WarmStart = &WarmStart{nvars: len(s.m.vars), ncons: len(s.m.cons), basis: s.rootBasis}
+	}
+	if s.canceled {
+		sol.Status = Canceled
+		return sol
 	}
 	if s.unbounded {
 		sol.Status = Unbounded

@@ -1,6 +1,7 @@
 package ilp
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -35,9 +36,9 @@ func TestWorkersBitIdentical(t *testing.T) {
 			}
 			m.AddCons(idx, coef, lp.Sense(rng.Intn(3)), float64(rng.Intn(9)-3))
 		}
-		base := m.Solve(Options{})
+		base := m.Solve(context.Background(), Options{})
 		for _, workers := range []int{2, 4, 7} {
-			got := m.Solve(Options{Workers: workers})
+			got := m.Solve(context.Background(), Options{Workers: workers})
 			if got.Status != base.Status {
 				t.Fatalf("trial %d workers %d: status %v vs %v", trial, workers, got.Status, base.Status)
 			}
@@ -64,12 +65,12 @@ func TestParallelMatchesSerialOnKnapsack(t *testing.T) {
 		coef[i] = 2
 	}
 	m.AddCons(vars, coef, lp.LE, 11)
-	base := m.Solve(Options{})
+	base := m.Solve(context.Background(), Options{})
 	if base.Status != Optimal || !approx(base.Obj, -15) {
 		t.Fatalf("serial: %v obj %v, want -15", base.Status, base.Obj)
 	}
 	for _, workers := range []int{2, 5, 16} {
-		got := m.Solve(Options{Workers: workers})
+		got := m.Solve(context.Background(), Options{Workers: workers})
 		if got.Status != base.Status || got.Obj != base.Obj {
 			t.Fatalf("workers %d: (%v, %v) vs (%v, %v)", workers, got.Status, got.Obj, base.Status, base.Obj)
 		}
@@ -94,7 +95,7 @@ func TestWarmStartAcrossSolves(t *testing.T) {
 		m.AddCons(vars, []float64{1, 1, 1, 1}, lp.GE, 1)
 		return &m
 	}
-	first := build([]float64{-2, -3, -4, -5}).Solve(Options{})
+	first := build([]float64{-2, -3, -4, -5}).Solve(context.Background(), Options{})
 	if first.Status != Optimal {
 		t.Fatalf("first solve: %v", first.Status)
 	}
@@ -102,8 +103,8 @@ func TestWarmStartAcrossSolves(t *testing.T) {
 		t.Fatal("no warm-start handle returned")
 	}
 	second := build([]float64{-5, -1, -1, -2})
-	cold := second.Solve(Options{})
-	warm := second.Solve(Options{WarmStart: first.WarmStart})
+	cold := second.Solve(context.Background(), Options{})
+	warm := second.Solve(context.Background(), Options{WarmStart: first.WarmStart})
 	if warm.Status != cold.Status || warm.Obj != cold.Obj {
 		t.Fatalf("warm (%v, %v) vs cold (%v, %v)", warm.Status, warm.Obj, cold.Status, cold.Obj)
 	}
@@ -115,7 +116,7 @@ func TestWarmStartAcrossSolves(t *testing.T) {
 	// A shape mismatch must be ignored, not crash or corrupt.
 	var other Model
 	other.AddBinary(-1, "y")
-	sol := other.Solve(Options{WarmStart: first.WarmStart})
+	sol := other.Solve(context.Background(), Options{WarmStart: first.WarmStart})
 	if sol.Status != Optimal || !approx(sol.Obj, -1) {
 		t.Fatalf("shape-mismatched warm start: %v obj %v", sol.Status, sol.Obj)
 	}
@@ -129,12 +130,12 @@ func TestFixVarAndSetVarBounds(t *testing.T) {
 	y := m.AddBinary(-1, "y")
 	m.AddCons([]VarID{x, y}, []float64{1, 1}, lp.LE, 1)
 	m.FixVar(x, 1)
-	s := m.Solve(Options{})
+	s := m.Solve(context.Background(), Options{})
 	if s.Status != Optimal || !approx(s.X[x], 1) || !approx(s.X[y], 0) {
 		t.Fatalf("fix: %v x=%v", s.Status, s.X)
 	}
 	m.SetVarBounds(x, 0, 1) // un-fix; optimum stays -1 but either var may carry it
-	s2 := m.Solve(Options{})
+	s2 := m.Solve(context.Background(), Options{})
 	if s2.Status != Optimal || !approx(s2.Obj, -1) {
 		t.Fatalf("unfix: %v obj %v", s2.Status, s2.Obj)
 	}
@@ -150,11 +151,11 @@ func TestLPIterLimitNeverClaimsInfeasible(t *testing.T) {
 	y := m.AddBinary(-1, "y")
 	m.AddCons([]VarID{x, y}, []float64{1, 1}, lp.LE, 1)
 	m.AddCons([]VarID{x, y}, []float64{1, -1}, lp.GE, 0)
-	s := m.Solve(Options{MaxLPIters: 1})
+	s := m.Solve(context.Background(), Options{MaxLPIters: 1})
 	if s.Status == Infeasible || s.Status == Optimal {
 		t.Fatalf("starved solve claimed %v; want Feasible or Limit", s.Status)
 	}
-	full := m.Solve(Options{})
+	full := m.Solve(context.Background(), Options{})
 	if full.Status != Optimal || !approx(full.Obj, -1) {
 		t.Fatalf("full solve: %v obj %v, want optimal -1", full.Status, full.Obj)
 	}
@@ -174,7 +175,7 @@ func TestReducedCostTighteningStaysExact(t *testing.T) {
 			w[j] = float64(1 + rng.Intn(6))
 		}
 		m.AddCons(vars, w, lp.LE, float64(3+rng.Intn(12)))
-		got := m.Solve(Options{})
+		got := m.Solve(context.Background(), Options{})
 		if got.Status != Optimal {
 			t.Fatalf("trial %d: %v", trial, got.Status)
 		}

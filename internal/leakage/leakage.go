@@ -19,6 +19,7 @@
 package leakage
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/flowpath"
@@ -90,8 +91,12 @@ func Covers(s *sim.Simulator, vec *sim.Vector, p Pair) bool {
 // Generate builds dedicated leakage vectors covering every candidate pair.
 // Existing vectors (typically the flow-path set) may be passed in; pairs
 // they already observe are skipped, which is how the paper's combined test
-// flow keeps nl small.
-func Generate(a *grid.Array, existing []*sim.Vector) (*Result, error) {
+// flow keeps nl small. Cancelling ctx (nil means context.Background())
+// aborts between vectors and returns ctx.Err().
+func Generate(ctx context.Context, a *grid.Array, existing []*sim.Vector) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := a.Validate(); err != nil {
 		return nil, err
 	}
@@ -118,6 +123,9 @@ func Generate(a *grid.Array, existing []*sim.Vector) (*Result, error) {
 	// per-pair loop below mops up the remainder (lead-in columns, pairs
 	// displaced by obstacles or channels).
 	for _, comb := range combPaths(a) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		vec := comb.Vector(a, "leak")
 		vec.Kind = sim.Leakage
 		newCov := 0
@@ -138,6 +146,9 @@ func Generate(a *grid.Array, existing []*sim.Vector) (*Result, error) {
 		}
 	}
 	for len(uncovered) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		target := minPair(uncovered)
 		vec := vectorFor(a, s, target, len(res.Vectors)+1)
 		if vec == nil {

@@ -1,6 +1,7 @@
 package leakage
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/flowpath"
@@ -50,7 +51,7 @@ func TestPairsSkipChannelsAndObstacles(t *testing.T) {
 
 func TestGenerateCoversAllPairs(t *testing.T) {
 	a := grid.MustNewStandard(4, 4)
-	res, err := Generate(a, nil)
+	res, err := Generate(context.Background(), a, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,15 +75,15 @@ func TestGenerateCoversAllPairs(t *testing.T) {
 
 func TestGenerateReusesExistingVectors(t *testing.T) {
 	a := grid.MustNewStandard(5, 5)
-	fp, err := flowpath.Generate(a, flowpath.Options{})
+	fp, err := flowpath.Generate(context.Background(), a, flowpath.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	withPaths, err := Generate(a, fp.Vectors(a))
+	withPaths, err := Generate(context.Background(), a, fp.Vectors(a))
 	if err != nil {
 		t.Fatal(err)
 	}
-	standalone, err := Generate(a, nil)
+	standalone, err := Generate(context.Background(), a, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestGenerateReusesExistingVectors(t *testing.T) {
 
 func TestVectorsDetectInjectedLeaks(t *testing.T) {
 	a := grid.MustNewStandard(4, 4)
-	res, err := Generate(a, nil)
+	res, err := Generate(context.Background(), a, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestVectorsDetectInjectedLeaks(t *testing.T) {
 
 func TestVectorKindAndNames(t *testing.T) {
 	a := grid.MustNewStandard(3, 3)
-	res, err := Generate(a, nil)
+	res, err := Generate(context.Background(), a, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestVectorKindAndNames(t *testing.T) {
 }
 
 func TestGenerateRejectsPortlessArray(t *testing.T) {
-	if _, err := Generate(grid.MustNew(3, 3), nil); err == nil {
+	if _, err := Generate(context.Background(), grid.MustNew(3, 3), nil); err == nil {
 		t.Error("want error")
 	}
 }
@@ -136,7 +137,7 @@ func TestVectorCountStaysSmall(t *testing.T) {
 	// Table I reports nl in the single digits for 5x5 and 10x10; the
 	// generator should stay in that ballpark.
 	a := grid.MustNewStandard(5, 5)
-	res, err := Generate(a, nil)
+	res, err := Generate(context.Background(), a, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package render
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -34,7 +35,7 @@ func TestArrayRendering(t *testing.T) {
 
 func TestPathsRendering(t *testing.T) {
 	a := grid.MustNewStandard(4, 4)
-	res, err := flowpath.Generate(a, flowpath.Options{})
+	res, err := flowpath.Generate(context.Background(), a, flowpath.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestPathsRendering(t *testing.T) {
 
 func TestCutRendering(t *testing.T) {
 	a := grid.MustNewStandard(4, 4)
-	res, err := cutset.Generate(a, cutset.Options{})
+	res, err := cutset.Generate(context.Background(), a, cutset.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -13,6 +13,7 @@
 package sim
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
 	"sort"
@@ -22,8 +23,9 @@ import (
 	"repro/internal/grid"
 )
 
-// maxEscapes caps CampaignResult.Escapes.
-const maxEscapes = 16
+// DefaultMaxEscapes is the CampaignResult.Escapes cap applied when
+// CampaignConfig.MaxEscapes is zero.
+const DefaultMaxEscapes = 16
 
 // CampaignConfig parameterizes a random fault-injection campaign, mirroring
 // the paper's Sec. IV study (1..5 random faults, 10 000 trials per setting).
@@ -35,17 +37,25 @@ type CampaignConfig struct {
 	// The result is bit-identical for any worker count: each trial's faults
 	// depend only on (Seed, trial index).
 	Workers int
+	// MaxEscapes caps CampaignResult.Escapes; <= 0 means DefaultMaxEscapes.
+	MaxEscapes int
 	// LeakPairs, when non-empty, lets the campaign inject ControlLeak
 	// faults drawn from these candidate pairs alongside stuck-at faults.
 	LeakPairs [][2]grid.ValveID
+	// OnTrials, when non-nil, observes campaign progress: it receives
+	// strictly increasing completed-trial counts (roughly once per scheduled
+	// trial block) plus a final call at Trials. It is invoked from worker
+	// goroutines under an internal lock, so it must not call back into the
+	// campaign and should return quickly.
+	OnTrials func(done, total int)
 }
 
 // CampaignResult summarizes a campaign.
 type CampaignResult struct {
 	Trials   int
 	Detected int
-	// Escapes holds up to 16 undetected fault sets (lowest trial indices
-	// first) for diagnosis.
+	// Escapes holds up to MaxEscapes undetected fault sets (lowest trial
+	// indices first) for diagnosis.
 	Escapes [][]Fault
 }
 
@@ -140,10 +150,16 @@ func (cv *CompiledVectors) DetectingVector(faults []Fault) int {
 // sharded across workers (<= 0 means runtime.NumCPU()), and reports per set
 // whether it is detected. Results are position-stable regardless of worker
 // count. This is the engine behind the exhaustive double-fault sweep.
-func (cv *CompiledVectors) DetectsBatch(faultSets [][]Fault, workers int) []bool {
+//
+// Cancelling ctx stops the sweep promptly; the partial output is returned
+// together with ctx.Err().
+func (cv *CompiledVectors) DetectsBatch(ctx context.Context, faultSets [][]Fault, workers int) ([]bool, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	out := make([]bool, len(faultSets))
 	if len(faultSets) == 0 {
-		return out
+		return out, ctx.Err()
 	}
 	if workers <= 0 {
 		workers = runtime.NumCPU()
@@ -155,7 +171,7 @@ func (cv *CompiledVectors) DetectsBatch(faultSets [][]Fault, workers int) []bool
 	run := func() {
 		sc := cv.s.getScratch()
 		defer cv.s.putScratch(sc)
-		for {
+		for ctx.Err() == nil {
 			i := int(next.Add(1)) - 1
 			if i >= len(faultSets) {
 				return
@@ -165,7 +181,7 @@ func (cv *CompiledVectors) DetectsBatch(faultSets [][]Fault, workers int) []bool
 	}
 	if workers == 1 {
 		run()
-		return out
+		return out, ctx.Err()
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -176,7 +192,7 @@ func (cv *CompiledVectors) DetectsBatch(faultSets [][]Fault, workers int) []bool
 		}()
 	}
 	wg.Wait()
-	return out
+	return out, ctx.Err()
 }
 
 // RunCampaign injects cfg.NumFaults random faults per trial (stuck-at-0 or
@@ -184,15 +200,23 @@ func (cv *CompiledVectors) DetectsBatch(faultSets [][]Fault, workers int) []bool
 // and counts how many trials the vector set detects. Trials are sharded
 // across cfg.Workers goroutines; for a fixed Seed the result is identical
 // for any worker count.
-func (s *Simulator) RunCampaign(vectors []*Vector, cfg CampaignConfig) CampaignResult {
-	return s.Compile(vectors).RunCampaign(cfg)
+func (s *Simulator) RunCampaign(ctx context.Context, vectors []*Vector, cfg CampaignConfig) (CampaignResult, error) {
+	return s.Compile(vectors).RunCampaign(ctx, cfg)
 }
 
 // RunCampaign runs the campaign against the compiled vector set.
-func (cv *CompiledVectors) RunCampaign(cfg CampaignConfig) CampaignResult {
+//
+// Cancelling ctx stops the campaign promptly: all workers drain, and the
+// partial result (Trials reflecting only the trials actually evaluated) is
+// returned together with ctx.Err(). A completed campaign is bit-identical
+// for any worker count.
+func (cv *CompiledVectors) RunCampaign(ctx context.Context, cfg CampaignConfig) (CampaignResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	res := CampaignResult{Trials: cfg.Trials}
 	if cfg.Trials <= 0 {
-		return res
+		return res, ctx.Err()
 	}
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -201,6 +225,10 @@ func (cv *CompiledVectors) RunCampaign(cfg CampaignConfig) CampaignResult {
 	if workers > cfg.Trials {
 		workers = cfg.Trials
 	}
+	maxEscapes := cfg.MaxEscapes
+	if maxEscapes <= 0 {
+		maxEscapes = DefaultMaxEscapes
+	}
 	normal := cv.s.arr.NormalValves()
 	type escape struct {
 		trial  int
@@ -208,21 +236,36 @@ func (cv *CompiledVectors) RunCampaign(cfg CampaignConfig) CampaignResult {
 	}
 	// Workers claim trial-index blocks from a shared counter. Each block is
 	// big enough to amortize the contended add, small enough to balance load
-	// at the tail.
+	// at the tail (and to bound cancellation latency to one block).
 	const block = 32
 	var (
-		next     atomic.Int64
-		detected atomic.Int64
-		mu       sync.Mutex
-		escapes  []escape
+		next      atomic.Int64
+		detected  atomic.Int64
+		completed atomic.Int64
+		mu        sync.Mutex
+		escapes   []escape
+		progMu    sync.Mutex
+		progLast  int
 	)
+	report := func() {
+		if cfg.OnTrials == nil {
+			return
+		}
+		done := int(completed.Load())
+		progMu.Lock()
+		if done > progLast {
+			progLast = done
+			cfg.OnTrials(done, cfg.Trials)
+		}
+		progMu.Unlock()
+	}
 	worker := func() {
 		sc := cv.s.getScratch()
 		defer cv.s.putScratch(sc)
 		rng := rand.New(&splitmix64{})
 		var det int64
 		var local []escape
-		for {
+		for ctx.Err() == nil {
 			start := int(next.Add(block)) - block
 			if start >= cfg.Trials {
 				break
@@ -242,6 +285,8 @@ func (cv *CompiledVectors) RunCampaign(cfg CampaignConfig) CampaignResult {
 					local = append(local, escape{trial, faults})
 				}
 			}
+			completed.Add(int64(end - start))
+			report()
 		}
 		detected.Add(det)
 		if len(local) > 0 {
@@ -271,7 +316,11 @@ func (cv *CompiledVectors) RunCampaign(cfg CampaignConfig) CampaignResult {
 	for _, e := range escapes {
 		res.Escapes = append(res.Escapes, e.faults)
 	}
-	return res
+	if err := ctx.Err(); err != nil {
+		res.Trials = int(completed.Load())
+		return res, err
+	}
+	return res, nil
 }
 
 // trialSeed mixes the campaign seed and a trial index into an RNG seed

@@ -1,12 +1,24 @@
 package sim
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
 
 	"repro/internal/grid"
 )
+
+// mustCampaign runs a campaign under context.Background and fails the test
+// on error.
+func mustCampaign(t *testing.T, s *Simulator, vecs []*Vector, cfg CampaignConfig) CampaignResult {
+	t.Helper()
+	res, err := s.RunCampaign(context.Background(), vecs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
 
 // TestCampaignWorkerCountInvariant is the contract the parallel engine must
 // keep: for a fixed seed, the full CampaignResult — detected count and
@@ -20,11 +32,11 @@ func TestCampaignWorkerCountInvariant(t *testing.T) {
 	vecs := []*Vector{lPath(a), columnCut(a, 2)}
 	pairs := [][2]grid.ValveID{{a.HValve(0, 1), a.HValve(1, 1)}, {a.HValve(2, 1), a.VValve(1, 1)}}
 	for _, k := range []int{1, 2, 3, 5} {
-		base := s.RunCampaign(vecs, CampaignConfig{
+		base := mustCampaign(t, s, vecs, CampaignConfig{
 			Trials: 500, NumFaults: k, Seed: 99, Workers: 1, LeakPairs: pairs,
 		})
 		for _, workers := range []int{2, 4, 7, 16} {
-			got := s.RunCampaign(vecs, CampaignConfig{
+			got := mustCampaign(t, s, vecs, CampaignConfig{
 				Trials: 500, NumFaults: k, Seed: 99, Workers: workers, LeakPairs: pairs,
 			})
 			if !reflect.DeepEqual(base, got) {
@@ -38,7 +50,7 @@ func TestCampaignWorkerCountInvariant(t *testing.T) {
 func TestCampaignZeroTrials(t *testing.T) {
 	a := grid.MustNewStandard(3, 3)
 	s := MustNew(a)
-	res := s.RunCampaign([]*Vector{lPath(a)}, CampaignConfig{Trials: 0, NumFaults: 1, Seed: 1})
+	res := mustCampaign(t, s, []*Vector{lPath(a)}, CampaignConfig{Trials: 0, NumFaults: 1, Seed: 1})
 	if res.Trials != 0 || res.Detected != 0 || res.DetectionRate() != 0 {
 		t.Errorf("zero-trial campaign: %+v", res)
 	}
@@ -125,8 +137,14 @@ func TestDetectsBatchMatchesSequential(t *testing.T) {
 	for _, f := range AllSingleFaults(a) {
 		sets = append(sets, []Fault{f})
 	}
-	seq := cv.DetectsBatch(sets, 1)
-	par := cv.DetectsBatch(sets, 8)
+	seq, err := cv.DetectsBatch(context.Background(), sets, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := cv.DetectsBatch(context.Background(), sets, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !reflect.DeepEqual(seq, par) {
 		t.Fatalf("batch detection diverges:\n%v\nvs\n%v", seq, par)
 	}

@@ -269,8 +269,8 @@ func TestCampaignDetectsWithGoodVectors(t *testing.T) {
 	// just assert the campaign runs deterministically and detection is
 	// counted consistently.
 	vecs := []*Vector{lPath(a), columnCut(a, 1), columnCut(a, 2)}
-	r1 := s.RunCampaign(vecs, CampaignConfig{Trials: 200, NumFaults: 1, Seed: 5})
-	r2 := s.RunCampaign(vecs, CampaignConfig{Trials: 200, NumFaults: 1, Seed: 5})
+	r1 := mustCampaign(t, s, vecs, CampaignConfig{Trials: 200, NumFaults: 1, Seed: 5})
+	r2 := mustCampaign(t, s, vecs, CampaignConfig{Trials: 200, NumFaults: 1, Seed: 5})
 	if r1.Detected != r2.Detected {
 		t.Errorf("campaign not deterministic: %d vs %d", r1.Detected, r2.Detected)
 	}
@@ -290,7 +290,7 @@ func TestCampaignWithLeakPairs(t *testing.T) {
 	a := grid.MustNewStandard(3, 3)
 	s := MustNew(a)
 	pairs := [][2]grid.ValveID{{a.HValve(0, 1), a.HValve(1, 1)}}
-	res := s.RunCampaign([]*Vector{lPath(a)}, CampaignConfig{
+	res := mustCampaign(t, s, []*Vector{lPath(a)}, CampaignConfig{
 		Trials: 100, NumFaults: 2, Seed: 9, LeakPairs: pairs,
 	})
 	if res.Trials != 100 {

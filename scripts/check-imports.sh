@@ -1,0 +1,16 @@
+#!/bin/sh
+# check-imports.sh enforces the public-API boundary: commands and examples
+# are consumers of the repro/fpva package and must not reach into
+# repro/internal directly. (Only production imports are checked; test files
+# may use internal helpers such as repro/internal/testutil.)
+set -eu
+cd "$(dirname "$0")/.."
+bad=$(go list -f '{{.ImportPath}}: {{join .Imports " "}}' ./cmd/... ./examples/... |
+	grep 'repro/internal' || true)
+if [ -n "$bad" ]; then
+	echo "error: these packages must import only the public repro/fpva API," >&2
+	echo "not repro/internal:" >&2
+	echo "$bad" >&2
+	exit 1
+fi
+echo "import boundary ok: cmd/ and examples/ use only the public API"
