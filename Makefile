@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: all build test check check-imports fmt vet bench bench-smoke bench-json fuzz-smoke clean
+.PHONY: all build test check check-imports fmt vet bench bench-smoke bench-json fuzz-smoke smoke-daemon clean
+
+# Where `make bench-json` records the benchmark suite (bumped per PR so the
+# repo keeps its performance trajectory).
+BENCH_OUT ?= BENCH_pr4.json
 
 all: check
 
@@ -37,13 +41,19 @@ bench:
 # Record the whole benchmark suite as test2json lines so the repo carries
 # its own performance trajectory (see EXPERIMENTS.md).
 bench-json:
-	$(GO) test -run '^$$' -bench . -benchmem -json . > BENCH_pr2.json
+	$(GO) test -run '^$$' -bench . -benchmem -json . > $(BENCH_OUT)
 
-# Short fuzz runs of the solver-stack fuzz targets (brute-force oracles);
-# the committed corpus under testdata/fuzz always runs as part of `go test`.
+# Short fuzz runs of the solver-stack and wire-codec fuzz targets; the
+# committed corpus under testdata/fuzz always runs as part of `go test`.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzSolve -fuzztime 10s ./internal/lp
 	$(GO) test -run '^$$' -fuzz FuzzModelSolve -fuzztime 10s ./internal/ilp
+	$(GO) test -run '^$$' -fuzz FuzzDecodePlan -fuzztime 10s ./fpva
+
+# End-to-end daemon smoke: boot fpvad, submit a 4x4 generate job, stream
+# progress, fetch the plan, prove the upload round trip is bit-identical.
+smoke-daemon:
+	./scripts/fpvad-smoke.sh
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,609 @@
+// Command fpvad serves the FPVA pipeline over HTTP: one long-lived
+// fpva.Service (plan cache, singleflight dedup, bounded worker pool)
+// behind a small JSON job API, so fpvatest/fpvasim workflows can run
+// against a shared remote engine instead of re-solving per process.
+//
+// Usage:
+//
+//	fpvad                          serve on 127.0.0.1:8471
+//	fpvad -addr :9000 -workers 8   tune the bind address and worker pool
+//	fpvad -cache-mb 256            raise the plan-cache byte budget
+//
+// API (all payloads JSON; plans and arrays use the v1 wire format):
+//
+//	POST /v1/jobs                submit {"kind":"generate"|"campaign"|"verify", ...}
+//	GET  /v1/jobs                list jobs
+//	GET  /v1/jobs/{id}           job status
+//	POST /v1/jobs/{id}/cancel    cancel a job
+//	GET  /v1/jobs/{id}/events    NDJSON progress stream (replays, then follows)
+//	GET  /v1/jobs/{id}/result    generate: the plan; campaign/verify: a report
+//	GET  /v1/jobs/{id}/plan      the job's plan (result or submitted input)
+//	GET  /v1/stats               service counters
+//	GET  /healthz                liveness
+//
+// Exit codes: 0 on clean shutdown (SIGINT/SIGTERM), 1 on runtime failure,
+// 2 on a usage error.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/cmd/internal/cli"
+	"repro/fpva"
+)
+
+// maxBodyBytes bounds submitted payloads (a 30x30 plan is ~1 MiB).
+const maxBodyBytes = 32 << 20
+
+type options struct {
+	addr    string
+	workers int
+	cacheMB int
+}
+
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func realMain(args []string, stdout, stderr io.Writer) int {
+	opt, err := parseFlags(args, stderr)
+	if errors.Is(err, flag.ErrHelp) {
+		return 0
+	}
+	if err != nil {
+		return 2
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, stdout, opt); err != nil {
+		fmt.Fprintln(stderr, "fpvad:", err)
+		return exitCode(err)
+	}
+	return 0
+}
+
+// usagef / exitCode alias the repo-wide CLI exit-code contract
+// (cmd/internal/cli): usage 2, deadline 2, runtime 1, success 0.
+var (
+	usagef   = cli.Usagef
+	exitCode = cli.ExitCode
+)
+
+func parseFlags(args []string, stderr io.Writer) (options, error) {
+	var opt options
+	fs := flag.NewFlagSet("fpvad", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.StringVar(&opt.addr, "addr", "127.0.0.1:8471", "listen address (use :0 for an ephemeral port)")
+	fs.IntVar(&opt.workers, "workers", 0, "concurrent jobs (0 = all CPUs)")
+	fs.IntVar(&opt.cacheMB, "cache-mb", 64, "plan-cache byte budget in MiB (0 disables caching)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return opt, err
+		}
+		return opt, usagef("%v", err)
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "fpvad: unexpected argument %q\n", fs.Arg(0))
+		return opt, usagef("unexpected argument %q", fs.Arg(0))
+	}
+	if opt.workers < 0 {
+		fmt.Fprintln(stderr, "fpvad: -workers must be >= 0")
+		return opt, usagef("-workers must be >= 0")
+	}
+	if opt.cacheMB < 0 {
+		fmt.Fprintln(stderr, "fpvad: -cache-mb must be >= 0")
+		return opt, usagef("-cache-mb must be >= 0")
+	}
+	return opt, nil
+}
+
+func run(ctx context.Context, w io.Writer, opt options) error {
+	svcOpts := []fpva.ServiceOption{fpva.WithCacheBytes(int64(opt.cacheMB) << 20)}
+	if opt.workers > 0 {
+		svcOpts = append(svcOpts, fpva.WithServiceWorkers(opt.workers))
+	}
+	svc := fpva.NewService(svcOpts...)
+	defer svc.Close()
+	ln, err := net.Listen("tcp", opt.addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: newServer(svc)}
+	fmt.Fprintf(w, "fpvad: listening on http://%s (%d workers, %d MiB plan cache)\n",
+		ln.Addr(), svc.Workers(), opt.cacheMB)
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		// Cancel the jobs first: event streams of running jobs end with a
+		// terminal status line instead of stalling Shutdown until its
+		// timeout severs them mid-flight.
+		svc.Close()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutCtx)
+	}()
+	if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	// Serve returns as soon as Shutdown is called; wait for the in-flight
+	// requests to actually drain (bounded by the Shutdown timeout) before
+	// tearing the service down.
+	<-shutdownDone
+	fmt.Fprintln(w, "fpvad: shut down")
+	return nil
+}
+
+// server routes the job API onto one fpva.Service.
+type server struct {
+	svc *fpva.Service
+}
+
+func newServer(svc *fpva.Service) http.Handler {
+	s := &server{svc: svc}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.healthz)
+	mux.HandleFunc("GET /v1/stats", s.stats)
+	mux.HandleFunc("POST /v1/jobs", s.submit)
+	mux.HandleFunc("GET /v1/jobs", s.list)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.status)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.cancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.events)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.result)
+	mux.HandleFunc("GET /v1/jobs/{id}/plan", s.plan)
+	return mux
+}
+
+// submitRequest is the POST /v1/jobs payload. Exactly one of Array (for
+// generate) and Plan (for campaign/verify) must be present, in the v1
+// wire format.
+type submitRequest struct {
+	Kind     string          `json:"kind"`
+	Array    json.RawMessage `json:"array,omitempty"`
+	Plan     json.RawMessage `json:"plan,omitempty"`
+	Generate *generateParams `json:"generate,omitempty"`
+	Campaign *campaignParams `json:"campaign,omitempty"`
+	Verify   *verifyParams   `json:"verify,omitempty"`
+}
+
+type generateParams struct {
+	Direct        bool   `json:"direct,omitempty"`
+	Block         int    `json:"block,omitempty"`
+	SkipLeakage   bool   `json:"skipLeakage,omitempty"`
+	PathEngine    string `json:"pathEngine,omitempty"`
+	CutEngine     string `json:"cutEngine,omitempty"`
+	SolverWorkers int    `json:"solverWorkers,omitempty"`
+}
+
+type campaignParams struct {
+	Trials     int   `json:"trials,omitempty"`
+	Faults     int   `json:"faults,omitempty"`
+	Seed       int64 `json:"seed,omitempty"`
+	Workers    int   `json:"workers,omitempty"`
+	MaxEscapes int   `json:"maxEscapes,omitempty"`
+	Leaks      bool  `json:"leaks,omitempty"`
+}
+
+type verifyParams struct {
+	MaxPairs int `json:"maxPairs,omitempty"`
+}
+
+// jobJSON is the job-status resource.
+type jobJSON struct {
+	ID       string `json:"id"`
+	Kind     string `json:"kind"`
+	State    string `json:"state"`
+	CacheHit bool   `json:"cacheHit,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+func jobStatus(j *fpva.Job) jobJSON {
+	out := jobJSON{ID: j.ID(), Kind: j.Kind().String(), State: j.State().String(), CacheHit: j.CacheHit()}
+	if err := j.Err(); err != nil {
+		out.Error = err.Error()
+	}
+	return out
+}
+
+// eventJSON is one NDJSON progress line.
+type eventJSON struct {
+	Event string `json:"event"`
+	Phase string `json:"phase,omitempty"`
+	Done  int    `json:"done,omitempty"`
+	Total int    `json:"total,omitempty"`
+}
+
+func eventToJSON(e fpva.Event) eventJSON {
+	out := eventJSON{Event: e.Kind.String()}
+	switch e.Kind {
+	case fpva.PhaseStarted, fpva.PhaseFinished:
+		out.Phase = e.Phase.String()
+	case fpva.CampaignTick:
+		out.Done, out.Total = e.TrialsDone, e.TrialsTotal
+	}
+	return out
+}
+
+// edgeJSON / faultJSON are the report-side fault encoding.
+type edgeJSON struct {
+	Orient string `json:"o"`
+	R      int    `json:"r"`
+	C      int    `json:"c"`
+}
+
+type faultJSON struct {
+	Kind string    `json:"kind"`
+	A    edgeJSON  `json:"a"`
+	B    *edgeJSON `json:"b,omitempty"`
+}
+
+func edgeToJSON(e fpva.Edge) edgeJSON {
+	return edgeJSON{Orient: e.Orient.String(), R: e.R, C: e.C}
+}
+
+func faultToJSON(f fpva.Fault) faultJSON {
+	out := faultJSON{Kind: f.Kind.String(), A: edgeToJSON(f.A)}
+	if f.Kind == fpva.ControlLeak {
+		b := edgeToJSON(f.B)
+		out.B = &b
+	}
+	return out
+}
+
+// campaignReport is the GET result payload of a campaign job.
+type campaignReport struct {
+	Format   string        `json:"format"` // "fpva.campaign"
+	Version  int           `json:"version"`
+	Trials   int           `json:"trials"`
+	Detected int           `json:"detected"`
+	Rate     float64       `json:"rate"`
+	Sims     int           `json:"sims"`
+	Escapes  [][]faultJSON `json:"escapes,omitempty"`
+}
+
+// verifyReport is the GET result payload of a verify job.
+type verifyReport struct {
+	Format        string         `json:"format"` // "fpva.verify"
+	Version       int            `json:"version"`
+	SingleEscapes []faultJSON    `json:"singleEscapes"`
+	DoubleEscapes [][2]faultJSON `json:"doubleEscapes"`
+}
+
+func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// serviceStatsJSON mirrors fpva.ServiceStats with wire-style field names
+// (durations in nanoseconds).
+type serviceStatsJSON struct {
+	JobsSubmitted  int   `json:"jobsSubmitted"`
+	JobsPending    int   `json:"jobsPending"`
+	JobsRunning    int   `json:"jobsRunning"`
+	JobsDone       int   `json:"jobsDone"`
+	JobsFailed     int   `json:"jobsFailed"`
+	JobsCanceled   int   `json:"jobsCanceled"`
+	CacheHits      int   `json:"cacheHits"`
+	CacheMisses    int   `json:"cacheMisses"`
+	CacheCoalesced int   `json:"cacheCoalesced"`
+	CacheEntries   int   `json:"cacheEntries"`
+	CacheBytes     int64 `json:"cacheBytes"`
+	CacheCapBytes  int64 `json:"cacheCapBytes"`
+	Solves         int   `json:"solves"`
+	SolverWallNs   int64 `json:"solverWallNs"`
+	Campaigns      int   `json:"campaigns"`
+	CampaignWallNs int64 `json:"campaignWallNs"`
+	Verifies       int   `json:"verifies"`
+}
+
+func (s *server) stats(w http.ResponseWriter, r *http.Request) {
+	st := s.svc.Stats()
+	writeJSON(w, http.StatusOK, serviceStatsJSON{
+		JobsSubmitted: st.JobsSubmitted,
+		JobsPending:   st.JobsPending, JobsRunning: st.JobsRunning,
+		JobsDone: st.JobsDone, JobsFailed: st.JobsFailed, JobsCanceled: st.JobsCanceled,
+		CacheHits: st.CacheHits, CacheMisses: st.CacheMisses, CacheCoalesced: st.CacheCoalesced,
+		CacheEntries: st.CacheEntries, CacheBytes: st.CacheBytes, CacheCapBytes: st.CacheCapBytes,
+		Solves: st.Solves, SolverWallNs: st.SolverWall.Nanoseconds(),
+		Campaigns: st.Campaigns, CampaignWallNs: st.CampaignWall.Nanoseconds(),
+		Verifies: st.Verifies,
+	})
+}
+
+func (s *server) submit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		httpError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
+		return
+	}
+	var req submitRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("parse request: %w", err))
+		return
+	}
+	var job *fpva.Job
+	switch req.Kind {
+	case "generate":
+		job, err = s.submitGenerate(req)
+	case "campaign", "verify":
+		job, err = s.submitPlanJob(req)
+	default:
+		err = fmt.Errorf("unknown job kind %q (want generate, campaign or verify)", req.Kind)
+	}
+	if err != nil {
+		httpError(w, statusForSubmitError(err), err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, jobStatus(job))
+}
+
+// statusForSubmitError: malformed payloads are the client's fault; only a
+// closed service is a server-side condition.
+func statusForSubmitError(err error) int {
+	if errors.Is(err, fpva.ErrServiceClosed) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}
+
+func (s *server) submitGenerate(req submitRequest) (*fpva.Job, error) {
+	if len(req.Array) == 0 {
+		return nil, fmt.Errorf("generate job needs an %q payload", "array")
+	}
+	a, err := fpva.DecodeArray(bytes.NewReader(req.Array))
+	if err != nil {
+		return nil, err
+	}
+	var opts []fpva.GenOption
+	if p := req.Generate; p != nil {
+		if p.Direct {
+			opts = append(opts, fpva.WithDirectModel())
+		}
+		if p.Block > 0 {
+			opts = append(opts, fpva.WithBlockSize(p.Block))
+		}
+		if p.SkipLeakage {
+			opts = append(opts, fpva.WithoutLeakage())
+		}
+		if p.SolverWorkers > 0 {
+			opts = append(opts, fpva.WithSolverWorkers(p.SolverWorkers))
+		}
+		if p.PathEngine != "" {
+			eng, err := fpva.ParsePathEngine(p.PathEngine)
+			if err != nil {
+				return nil, err
+			}
+			opts = append(opts, fpva.WithPathEngine(eng))
+		}
+		if p.CutEngine != "" {
+			eng, err := fpva.ParseCutEngine(p.CutEngine)
+			if err != nil {
+				return nil, err
+			}
+			opts = append(opts, fpva.WithCutEngine(eng))
+		}
+	}
+	// Jobs outlive the submitting request: the API's cancellation surface
+	// is POST /v1/jobs/{id}/cancel, not the HTTP connection.
+	return s.svc.SubmitGenerate(context.Background(), a, opts...)
+}
+
+func (s *server) submitPlanJob(req submitRequest) (*fpva.Job, error) {
+	if len(req.Plan) == 0 {
+		return nil, fmt.Errorf("%s job needs a %q payload", req.Kind, "plan")
+	}
+	plan, err := fpva.DecodePlan(bytes.NewReader(req.Plan))
+	if err != nil {
+		return nil, err
+	}
+	if req.Kind == "verify" {
+		maxPairs := 0
+		if req.Verify != nil {
+			maxPairs = req.Verify.MaxPairs
+		}
+		return s.svc.SubmitVerify(context.Background(), plan, maxPairs)
+	}
+	var opts []fpva.CampaignOption
+	if p := req.Campaign; p != nil {
+		if p.Trials > 0 {
+			opts = append(opts, fpva.WithTrials(p.Trials))
+		}
+		if p.Faults > 0 {
+			opts = append(opts, fpva.WithNumFaults(p.Faults))
+		}
+		if p.Seed != 0 {
+			opts = append(opts, fpva.WithSeed(p.Seed))
+		}
+		if p.Workers > 0 {
+			opts = append(opts, fpva.WithCampaignWorkers(p.Workers))
+		}
+		if p.MaxEscapes > 0 {
+			opts = append(opts, fpva.WithMaxEscapes(p.MaxEscapes))
+		}
+		if p.Leaks {
+			opts = append(opts, fpva.WithLeakFaults())
+		}
+	}
+	return s.svc.SubmitCampaign(context.Background(), plan, opts...)
+}
+
+func (s *server) list(w http.ResponseWriter, r *http.Request) {
+	jobs := s.svc.Jobs()
+	out := make([]jobJSON, len(jobs))
+	for i, j := range jobs {
+		out[i] = jobStatus(j)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// lookup resolves {id} or writes a 404.
+func (s *server) lookup(w http.ResponseWriter, r *http.Request) (*fpva.Job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.svc.Job(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
+	}
+	return j, ok
+}
+
+func (s *server) status(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.lookup(w, r); ok {
+		writeJSON(w, http.StatusOK, jobStatus(j))
+	}
+}
+
+func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	j.Cancel()
+	writeJSON(w, http.StatusOK, jobStatus(j))
+}
+
+// events streams the job's progress as NDJSON: every recorded event from
+// the start (so late watchers replay history), live events as they happen,
+// and a terminal status line once the job finishes.
+func (s *server) events(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for e := range j.Stream(r.Context()) {
+		if enc.Encode(eventToJSON(e)) != nil {
+			return // client went away
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if r.Context().Err() != nil {
+		return
+	}
+	enc.Encode(jobStatus(j))
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// notDone writes the appropriate error for a job whose result is not
+// fetchable yet (409 while in flight, 500/409 for failed/canceled runs).
+func notDone(w http.ResponseWriter, j *fpva.Job) bool {
+	switch j.State() {
+	case fpva.JobDone:
+		return false
+	case fpva.JobFailed:
+		httpError(w, http.StatusInternalServerError, j.Err())
+	case fpva.JobCanceled:
+		httpError(w, http.StatusConflict, fmt.Errorf("job %s was canceled", j.ID()))
+	default:
+		httpError(w, http.StatusConflict, fmt.Errorf("job %s is %v; poll until done", j.ID(), j.State()))
+	}
+	return true
+}
+
+func (s *server) result(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok || notDone(w, j) {
+		return
+	}
+	switch j.Kind() {
+	case fpva.JobGenerate:
+		s.writePlan(w, j)
+	case fpva.JobCampaign:
+		res, err := j.Campaign()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		rep := campaignReport{
+			Format: "fpva.campaign", Version: fpva.CodecVersion,
+			Trials: res.Trials, Detected: res.Detected,
+			Rate: res.DetectionRate(), Sims: res.Sims,
+		}
+		for _, esc := range res.Escapes {
+			fs := make([]faultJSON, len(esc))
+			for i, f := range esc {
+				fs[i] = faultToJSON(f)
+			}
+			rep.Escapes = append(rep.Escapes, fs)
+		}
+		writeJSON(w, http.StatusOK, rep)
+	case fpva.JobVerify:
+		res, err := j.Verify()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		rep := verifyReport{
+			Format: "fpva.verify", Version: fpva.CodecVersion,
+			SingleEscapes: []faultJSON{}, DoubleEscapes: [][2]faultJSON{},
+		}
+		for _, f := range res.SingleEscapes {
+			rep.SingleEscapes = append(rep.SingleEscapes, faultToJSON(f))
+		}
+		for _, pair := range res.DoubleEscapes {
+			rep.DoubleEscapes = append(rep.DoubleEscapes,
+				[2]faultJSON{faultToJSON(pair[0]), faultToJSON(pair[1])})
+		}
+		writeJSON(w, http.StatusOK, rep)
+	}
+}
+
+// plan serves the job's plan in the v1 wire format: the generated result
+// for generate jobs, the submitted input for campaign/verify jobs (the
+// round-trip guarantee: the bytes are identical to re-encoding the upload).
+func (s *server) plan(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	if j.Kind() == fpva.JobGenerate && notDone(w, j) {
+		return
+	}
+	s.writePlan(w, j)
+}
+
+func (s *server) writePlan(w http.ResponseWriter, j *fpva.Job) {
+	plan, err := j.Plan()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	fpva.EncodePlan(w, plan)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

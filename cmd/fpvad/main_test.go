@@ -1,0 +1,395 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/fpva"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *fpva.Service) {
+	t.Helper()
+	svc := fpva.NewService()
+	srv := httptest.NewServer(newServer(svc))
+	t.Cleanup(func() {
+		srv.Close()
+		svc.Close()
+	})
+	return srv, svc
+}
+
+func postJSON(t *testing.T, url, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+func getBody(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+func waitDone(t *testing.T, base, id string) jobJSON {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		code, b := getBody(t, base+"/v1/jobs/"+id)
+		if code != http.StatusOK {
+			t.Fatalf("status poll: %d %s", code, b)
+		}
+		var j jobJSON
+		if err := json.Unmarshal(b, &j); err != nil {
+			t.Fatal(err)
+		}
+		switch j.State {
+		case "done", "failed", "canceled":
+			return j
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("job never finished")
+	return jobJSON{}
+}
+
+func encodeArray(t *testing.T, rows, cols int) string {
+	t.Helper()
+	a, err := fpva.NewArray(rows, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fpva.EncodeArray(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestGenerateJobLifecycle drives the smoke-test flow in-process: submit a
+// 4x4 generate job, stream its NDJSON progress, and fetch the plan.
+func TestGenerateJobLifecycle(t *testing.T) {
+	srv, _ := newTestServer(t)
+	code, b := postJSON(t, srv.URL+"/v1/jobs",
+		fmt.Sprintf(`{"kind":"generate","array":%s}`, encodeArray(t, 4, 4)))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, b)
+	}
+	var j jobJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		t.Fatal(err)
+	}
+	if j.Kind != "generate" || j.ID == "" {
+		t.Fatalf("submit response %+v", j)
+	}
+
+	// The events endpoint replays history and follows to the terminal line.
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + j.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("events content type %q", ct)
+	}
+	var phases, lines int
+	var last jobJSON
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		lines++
+		var e eventJSON
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if e.Event == "phase-started" || e.Event == "phase-finished" {
+			phases++
+		}
+		if e.Event == "" { // terminal status line
+			if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if phases != 6 {
+		t.Errorf("streamed %d phase events, want 6 (got %d lines)", phases, lines)
+	}
+	if last.State != "done" {
+		t.Errorf("terminal stream line %+v", last)
+	}
+
+	code, planBytes := getBody(t, srv.URL+"/v1/jobs/"+j.ID+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("result: %d %s", code, planBytes)
+	}
+	plan, err := fpva.DecodePlan(bytes.NewReader(planBytes))
+	if err != nil {
+		t.Fatalf("result is not a v1 plan: %v", err)
+	}
+	if plan.NumVectors() == 0 {
+		t.Error("plan has no vectors")
+	}
+}
+
+// TestPlanRoundTripBitIdentical is the acceptance check: a plan generated
+// locally (the bytes fpvatest -o writes) submitted to fpvad comes back
+// bit-identical from the plan endpoint.
+func TestPlanRoundTripBitIdentical(t *testing.T) {
+	srv, _ := newTestServer(t)
+	a, err := fpva.BenchmarkArray("5x5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := fpva.Generate(context.Background(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var local bytes.Buffer
+	if err := fpva.EncodePlan(&local, plan); err != nil {
+		t.Fatal(err)
+	}
+	code, b := postJSON(t, srv.URL+"/v1/jobs",
+		fmt.Sprintf(`{"kind":"campaign","plan":%s,"campaign":{"trials":200,"faults":2,"seed":11}}`,
+			local.String()))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, b)
+	}
+	var j jobJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		t.Fatal(err)
+	}
+	code, remote := getBody(t, srv.URL+"/v1/jobs/"+j.ID+"/plan")
+	if code != http.StatusOK {
+		t.Fatalf("plan fetch: %d %s", code, remote)
+	}
+	if !bytes.Equal(local.Bytes(), remote) {
+		t.Error("plan round trip through fpvad is not bit-identical")
+	}
+
+	if got := waitDone(t, srv.URL, j.ID); got.State != "done" {
+		t.Fatalf("campaign job: %+v", got)
+	}
+	code, b = getBody(t, srv.URL+"/v1/jobs/"+j.ID+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("campaign result: %d %s", code, b)
+	}
+	var rep campaignReport
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Format != "fpva.campaign" || rep.Trials != 200 || rep.Detected != 200 {
+		t.Errorf("campaign report %+v", rep)
+	}
+
+	// The same campaign replayed locally must agree bit for bit.
+	localRes, err := plan.Campaign(context.Background(),
+		fpva.WithTrials(200), fpva.WithNumFaults(2), fpva.WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if localRes.Detected != rep.Detected || localRes.Sims != rep.Sims {
+		t.Errorf("remote campaign diverges: local %+v, remote %+v", localRes, rep)
+	}
+}
+
+// TestVerifyJob: the verify kind reports empty escape sets on a covered
+// array.
+func TestVerifyJob(t *testing.T) {
+	srv, _ := newTestServer(t)
+	a, err := fpva.NewArray(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := fpva.Generate(context.Background(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fpva.EncodePlan(&buf, plan); err != nil {
+		t.Fatal(err)
+	}
+	code, b := postJSON(t, srv.URL+"/v1/jobs",
+		fmt.Sprintf(`{"kind":"verify","plan":%s,"verify":{"maxPairs":500}}`, buf.String()))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, b)
+	}
+	var j jobJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		t.Fatal(err)
+	}
+	if got := waitDone(t, srv.URL, j.ID); got.State != "done" {
+		t.Fatalf("verify job: %+v", got)
+	}
+	code, b = getBody(t, srv.URL+"/v1/jobs/"+j.ID+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("verify result: %d %s", code, b)
+	}
+	var rep verifyReport
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Format != "fpva.verify" || len(rep.SingleEscapes) != 0 || len(rep.DoubleEscapes) != 0 {
+		t.Errorf("verify report %+v", rep)
+	}
+}
+
+// TestSubmitErrors: malformed submissions map to 400 with a JSON error,
+// unknown jobs to 404, unfinished results to 409.
+func TestSubmitErrors(t *testing.T) {
+	srv, svc := newTestServer(t)
+	for name, body := range map[string]string{
+		"bad json":        `{`,
+		"unknown kind":    `{"kind":"mystery"}`,
+		"generate no arr": `{"kind":"generate"}`,
+		"campaign no pln": `{"kind":"campaign"}`,
+		"bad array":       `{"kind":"generate","array":{"format":"fpva.array","version":9,"text":""}}`,
+		"bad plan":        `{"kind":"campaign","plan":{"format":"fpva.plan","version":1,"array":"x"}}`,
+		"bad engine":      `{"kind":"generate","array":` + encodeArray(t, 3, 3) + `,"generate":{"pathEngine":"nope"}}`,
+	} {
+		code, b := postJSON(t, srv.URL+"/v1/jobs", body)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", name, code, b)
+		}
+		var e map[string]string
+		if err := json.Unmarshal(b, &e); err != nil || e["error"] == "" {
+			t.Errorf("%s: error payload %s", name, b)
+		}
+	}
+	if code, _ := getBody(t, srv.URL+"/v1/jobs/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown job: %d, want 404", code)
+	}
+	if code, _ := getBody(t, srv.URL+"/v1/jobs/nope/result"); code != http.StatusNotFound {
+		t.Errorf("unknown job result: %d, want 404", code)
+	}
+
+	// A canceled-before-running job reports 409 on result fetch.
+	a, _ := fpva.NewArray(3, 3)
+	job, err := svc.SubmitGenerate(context.Background(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job.Cancel()
+	<-job.Done()
+	if job.State() == fpva.JobCanceled {
+		if code, _ := getBody(t, srv.URL+"/v1/jobs/"+job.ID()+"/result"); code != http.StatusConflict {
+			t.Errorf("canceled job result: %d, want 409", code)
+		}
+	}
+}
+
+// TestStatsAndList: the observability endpoints reflect submitted work.
+func TestStatsAndList(t *testing.T) {
+	srv, _ := newTestServer(t)
+	arr := encodeArray(t, 4, 4)
+	for i := 0; i < 2; i++ {
+		code, b := postJSON(t, srv.URL+"/v1/jobs", `{"kind":"generate","array":`+arr+`}`)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d: %d %s", i, code, b)
+		}
+		var j jobJSON
+		if err := json.Unmarshal(b, &j); err != nil {
+			t.Fatal(err)
+		}
+		waitDone(t, srv.URL, j.ID)
+	}
+	code, b := getBody(t, srv.URL+"/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats: %d %s", code, b)
+	}
+	var st serviceStatsJSON
+	if err := json.Unmarshal(b, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.JobsSubmitted != 2 || st.JobsDone != 2 {
+		t.Errorf("stats jobs %+v", st)
+	}
+	if st.Solves != 1 || st.CacheHits+st.CacheCoalesced != 1 {
+		t.Errorf("identical submissions did not dedup: %+v", st)
+	}
+	code, b = getBody(t, srv.URL+"/v1/jobs")
+	if code != http.StatusOK {
+		t.Fatalf("list: %d %s", code, b)
+	}
+	var jobs []jobJSON
+	if err := json.Unmarshal(b, &jobs); err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 {
+		t.Errorf("listed %d jobs, want 2", len(jobs))
+	}
+	if code, _ := getBody(t, srv.URL+"/healthz"); code != http.StatusOK {
+		t.Errorf("healthz: %d", code)
+	}
+}
+
+// TestCancelEndpoint cancels a queued job over HTTP.
+func TestCancelEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t)
+	// A deliberately heavy solve so cancel lands while it is in flight.
+	code, b := postJSON(t, srv.URL+"/v1/jobs",
+		`{"kind":"generate","array":`+encodeArray(t, 10, 10)+
+			`,"generate":{"direct":true,"pathEngine":"ilp-iterative"}}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, b)
+	}
+	var j jobJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		t.Fatal(err)
+	}
+	code, b = postJSON(t, srv.URL+"/v1/jobs/"+j.ID+"/cancel", "")
+	if code != http.StatusOK {
+		t.Fatalf("cancel: %d %s", code, b)
+	}
+	if got := waitDone(t, srv.URL, j.ID); got.State != "canceled" {
+		t.Errorf("after cancel: %+v", got)
+	}
+}
+
+// TestParseFlags is the table-driven exit-code contract for the daemon's
+// flag surface.
+func TestParseFlags(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"defaults", nil, 0},
+		{"addr", []string{"-addr", ":0"}, 0},
+		{"bad flag", []string{"-nope"}, 2},
+		{"negative workers", []string{"-workers", "-1"}, 2},
+		{"negative cache", []string{"-cache-mb", "-5"}, 2},
+		{"stray arg", []string{"extra"}, 2},
+	} {
+		var errb strings.Builder
+		_, err := parseFlags(tc.args, &errb)
+		if got := exitCode(err); got != tc.code {
+			t.Errorf("%s: exit %d, want %d (err %v)", tc.name, got, tc.code, err)
+		}
+	}
+}

@@ -5,30 +5,73 @@
 //	fpvafig -fig 9     the flow paths of the 20x20 array with channels
 //	                   and obstacles
 //	fpvafig -cuts 5x5  the cut-sets of a benchmark array, one per diagram
+//
+// Exit codes: 0 on success, 1 on runtime failure, 2 on usage errors.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 
+	"repro/cmd/internal/cli"
 	"repro/fpva"
 )
 
+type options struct {
+	fig  int
+	cuts string
+}
+
 func main() {
-	var (
-		fig  = flag.Int("fig", 0, "figure number to regenerate (8 or 9)")
-		cuts = flag.String("cuts", "", "render the cut-sets of a Table I array")
-	)
-	flag.Parse()
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func realMain(args []string, stdout, stderr io.Writer) int {
+	opt, err := parseFlags(args, stderr)
+	if errors.Is(err, flag.ErrHelp) {
+		return 0
+	}
+	if err != nil {
+		return 2
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	if err := run(ctx, *fig, *cuts); err != nil {
-		fmt.Fprintln(os.Stderr, "fpvafig:", err)
-		os.Exit(1)
+	if err := run(ctx, opt.fig, opt.cuts); err != nil {
+		fmt.Fprintln(stderr, "fpvafig:", err)
+		return exitCode(err)
 	}
+	return 0
+}
+
+// usagef / exitCode alias the repo-wide CLI exit-code contract
+// (cmd/internal/cli): usage 2, deadline 2, runtime 1, success 0.
+var (
+	usagef   = cli.Usagef
+	exitCode = cli.ExitCode
+)
+
+func parseFlags(args []string, stderr io.Writer) (options, error) {
+	var opt options
+	fs := flag.NewFlagSet("fpvafig", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.IntVar(&opt.fig, "fig", 0, "figure number to regenerate (8 or 9)")
+	fs.StringVar(&opt.cuts, "cuts", "", "render the cut-sets of a Table I array")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return opt, err
+		}
+		return opt, usagef("%v", err)
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "fpvafig: unexpected argument %q\n", fs.Arg(0))
+		return opt, usagef("unexpected argument %q", fs.Arg(0))
+	}
+	return opt, nil
 }
 
 func run(ctx context.Context, fig int, cuts string) error {
@@ -40,7 +83,7 @@ func run(ctx context.Context, fig int, cuts string) error {
 	case cuts != "":
 		return renderCuts(ctx, cuts)
 	}
-	return fmt.Errorf("specify -fig 8, -fig 9, or -cuts <case>")
+	return usagef("specify -fig 8, -fig 9, or -cuts <case>")
 }
 
 // pathPlan generates flow paths only (leakage skipped: the figures draw the

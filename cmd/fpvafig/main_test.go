@@ -2,8 +2,31 @@ package main
 
 import (
 	"context"
+	"strings"
 	"testing"
 )
+
+// TestExitCodes: usage errors (no selection, bad flags) exit 2, runtime
+// failures (unknown case) exit 1.
+func TestExitCodes(t *testing.T) {
+	ctx := context.Background()
+	if got := exitCode(run(ctx, 0, "")); got != 2 {
+		t.Errorf("no selection: exit %d, want 2", got)
+	}
+	if got := exitCode(run(ctx, 0, "unknown")); got != 1 {
+		t.Errorf("unknown case: exit %d, want 1", got)
+	}
+	var errb strings.Builder
+	if _, err := parseFlags([]string{"-nope"}, &errb); exitCode(err) != 2 {
+		t.Errorf("bad flag: %v", err)
+	}
+	if _, err := parseFlags([]string{"stray"}, &errb); exitCode(err) != 2 {
+		t.Errorf("stray arg: %v", err)
+	}
+	if _, err := parseFlags([]string{"-fig", "8"}, &errb); err != nil {
+		t.Errorf("good flags: %v", err)
+	}
+}
 
 func TestRunFigureSelection(t *testing.T) {
 	ctx := context.Background()

@@ -12,13 +12,18 @@
 //	fpvasim -case 5x5 -trials 1000 -faults 3      shorter run
 //	fpvasim -case 5x5 -leaks                      include control-leak faults
 //	fpvasim -case 5x5 -baseline                   use the 2*nv baseline set
+//	fpvasim -case 20x20 -timeout 1m               abort (exit 2) past a deadline
 //
 // Exactly one of -case, -rows/-cols and -plan must be given; -baseline
 // requires in-process generation and is incompatible with -plan.
+//
+// Exit codes: 0 on success, 1 on runtime failure, 2 on usage errors and
+// deadline expiry (-timeout).
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -26,6 +31,7 @@ import (
 	"os/signal"
 	"time"
 
+	"repro/cmd/internal/cli"
 	"repro/fpva"
 )
 
@@ -42,29 +48,70 @@ type options struct {
 	leaks      bool
 	baseline   bool
 	progress   bool
+	timeout    time.Duration
 }
 
 func main() {
-	var opt options
-	flag.StringVar(&opt.caseName, "case", "", "Table I array name (5x5, 10x10, 15x15, 20x20, 30x30)")
-	flag.IntVar(&opt.rows, "rows", 0, "custom full array rows")
-	flag.IntVar(&opt.cols, "cols", 0, "custom full array columns")
-	flag.StringVar(&opt.planFile, "plan", "", "replay a plan serialized by fpvatest -o")
-	flag.IntVar(&opt.trials, "trials", 10000, "injections per fault count")
-	flag.IntVar(&opt.maxFaults, "faults", 5, "maximum number of simultaneous faults")
-	flag.Int64Var(&opt.seed, "seed", 2017, "campaign RNG seed")
-	flag.IntVar(&opt.workers, "workers", 0, "campaign worker goroutines (0 = all CPUs)")
-	flag.IntVar(&opt.maxEscapes, "max-escapes", 0, "cap on recorded undetected fault sets (0 = default 16)")
-	flag.BoolVar(&opt.leaks, "leaks", false, "also inject control-leakage faults")
-	flag.BoolVar(&opt.baseline, "baseline", false, "evaluate the one-valve-at-a-time baseline instead")
-	flag.BoolVar(&opt.progress, "progress", false, "report campaign trial progress on stderr")
-	flag.Parse()
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func realMain(args []string, stdout, stderr io.Writer) int {
+	opt, err := parseFlags(args, stderr)
+	if errors.Is(err, flag.ErrHelp) {
+		return 0
+	}
+	if err != nil {
+		return 2
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	if err := run(ctx, os.Stdout, opt); err != nil {
-		fmt.Fprintln(os.Stderr, "fpvasim:", err)
-		os.Exit(1)
+	if opt.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.timeout)
+		defer cancel()
 	}
+	if err := run(ctx, stdout, opt); err != nil {
+		fmt.Fprintln(stderr, "fpvasim:", err)
+		return exitCode(err)
+	}
+	return 0
+}
+
+// usagef / exitCode alias the repo-wide CLI exit-code contract
+// (cmd/internal/cli): usage 2, deadline 2, runtime 1, success 0.
+var (
+	usagef   = cli.Usagef
+	exitCode = cli.ExitCode
+)
+
+func parseFlags(args []string, stderr io.Writer) (options, error) {
+	var opt options
+	fs := flag.NewFlagSet("fpvasim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.StringVar(&opt.caseName, "case", "", "Table I array name (5x5, 10x10, 15x15, 20x20, 30x30)")
+	fs.IntVar(&opt.rows, "rows", 0, "custom full array rows")
+	fs.IntVar(&opt.cols, "cols", 0, "custom full array columns")
+	fs.StringVar(&opt.planFile, "plan", "", "replay a plan serialized by fpvatest -o")
+	fs.IntVar(&opt.trials, "trials", 10000, "injections per fault count")
+	fs.IntVar(&opt.maxFaults, "faults", 5, "maximum number of simultaneous faults")
+	fs.Int64Var(&opt.seed, "seed", 2017, "campaign RNG seed")
+	fs.IntVar(&opt.workers, "workers", 0, "campaign worker goroutines (0 = all CPUs)")
+	fs.IntVar(&opt.maxEscapes, "max-escapes", 0, "cap on recorded undetected fault sets (0 = default 16)")
+	fs.BoolVar(&opt.leaks, "leaks", false, "also inject control-leakage faults")
+	fs.BoolVar(&opt.baseline, "baseline", false, "evaluate the one-valve-at-a-time baseline instead")
+	fs.BoolVar(&opt.progress, "progress", false, "report campaign trial progress on stderr")
+	fs.DurationVar(&opt.timeout, "timeout", 0, "abort after this duration (exit code 2)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return opt, err
+		}
+		return opt, usagef("%v", err)
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "fpvasim: unexpected argument %q\n", fs.Arg(0))
+		return opt, usagef("unexpected argument %q", fs.Arg(0))
+	}
+	return opt, nil
 }
 
 // validateSelectors enforces that exactly one plan source is chosen.
@@ -75,23 +122,23 @@ func validateSelectors(opt options) error {
 	}
 	if opt.rows != 0 || opt.cols != 0 {
 		if opt.rows <= 0 || opt.cols <= 0 {
-			return fmt.Errorf("-rows and -cols must both be positive (got %d, %d)", opt.rows, opt.cols)
+			return usagef("-rows and -cols must both be positive (got %d, %d)", opt.rows, opt.cols)
 		}
 		n++
 	}
 	if opt.planFile != "" {
 		if opt.baseline {
-			return fmt.Errorf("-baseline regenerates vectors and cannot be combined with -plan")
+			return usagef("-baseline regenerates vectors and cannot be combined with -plan")
 		}
 		n++
 	}
 	switch n {
 	case 0:
-		return fmt.Errorf("specify exactly one of -case, -rows/-cols, or -plan (see -h)")
+		return usagef("specify exactly one of -case, -rows/-cols, or -plan (see -h)")
 	case 1:
 		return nil
 	}
-	return fmt.Errorf("-case, -rows/-cols and -plan are mutually exclusive; pick one")
+	return usagef("-case, -rows/-cols and -plan are mutually exclusive; pick one")
 }
 
 func run(ctx context.Context, w io.Writer, opt options) error {

@@ -2,13 +2,89 @@ package main
 
 import (
 	"context"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/fpva"
 )
+
+// TestParseFlags is the table-driven flag contract, including -timeout.
+func TestParseFlags(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		args  []string
+		code  int
+		check func(options) bool
+	}{
+		{"defaults", nil, 0, func(o options) bool {
+			return o.trials == 10000 && o.maxFaults == 5 && o.seed == 2017 && o.timeout == 0
+		}},
+		{"timeout", []string{"-timeout", "90s"}, 0, func(o options) bool {
+			return o.timeout == 90*time.Second
+		}},
+		{"plan and trials", []string{"-plan", "p.json", "-trials", "500"}, 0, func(o options) bool {
+			return o.planFile == "p.json" && o.trials == 500
+		}},
+		{"bad timeout", []string{"-timeout", "never"}, 2, nil},
+		{"unknown flag", []string{"-nope"}, 2, nil},
+		{"stray argument", []string{"extra"}, 2, nil},
+	} {
+		var errb strings.Builder
+		opt, err := parseFlags(tc.args, &errb)
+		if got := exitCode(err); got != tc.code {
+			t.Errorf("%s: exit %d, want %d (err %v)", tc.name, got, tc.code, err)
+			continue
+		}
+		if tc.check != nil && err == nil && !tc.check(opt) {
+			t.Errorf("%s: options %+v", tc.name, opt)
+		}
+	}
+}
+
+// TestExitCodes pins the error classification: usage 2, deadline 2,
+// runtime 1, success 0.
+func TestExitCodes(t *testing.T) {
+	if got := exitCode(nil); got != 0 {
+		t.Errorf("nil: %d", got)
+	}
+	if got := exitCode(usagef("bad")); got != 2 {
+		t.Errorf("usage: %d", got)
+	}
+	if got := exitCode(fmt.Errorf("campaign: %w", context.DeadlineExceeded)); got != 2 {
+		t.Errorf("wrapped deadline: %d", got)
+	}
+	if got := exitCode(fmt.Errorf("boom")); got != 1 {
+		t.Errorf("runtime: %d", got)
+	}
+}
+
+// TestRealMainExitCodes runs the binary entry point end to end per class,
+// including a deadline abort mid-campaign.
+func TestRealMainExitCodes(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"flag error", []string{"-nope"}, 2},
+		{"no selector", nil, 2},
+		{"ambiguous selectors", []string{"-case", "5x5", "-rows", "3", "-cols", "3"}, 2},
+		{"baseline with plan", []string{"-plan", "p.json", "-baseline"}, 2},
+		{"runtime failure", []string{"-case", "7x7"}, 1},
+		{"missing plan file", []string{"-plan", "/nonexistent/plan.json"}, 1},
+		{"success", []string{"-rows", "3", "-cols", "3", "-trials", "20", "-faults", "1"}, 0},
+		{"deadline", []string{"-case", "5x5", "-trials", "100000000", "-timeout", "50ms"}, 2},
+	} {
+		var out, errb strings.Builder
+		if got := realMain(tc.args, &out, &errb); got != tc.code {
+			t.Errorf("%s: exit %d, want %d (stderr %q)", tc.name, got, tc.code, errb.String())
+		}
+	}
+}
 
 func TestValidateSelectors(t *testing.T) {
 	for _, tc := range []struct {

@@ -1,11 +1,17 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/fpva"
 )
@@ -103,6 +109,177 @@ func TestRunVerifySmall(t *testing.T) {
 		if !strings.Contains(b.String(), want) {
 			t.Errorf("output missing %q:\n%s", want, b.String())
 		}
+	}
+}
+
+// TestParseFlags is the table-driven flag contract, including -timeout and
+// the exit-code mapping for flag misuse.
+func TestParseFlags(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		args  []string
+		code  int
+		check func(options) bool
+	}{
+		{"defaults", nil, 0, func(o options) bool {
+			return o.blockSize == 5 && o.timeout == 0 && o.daemon == "" && o.pathEng == "auto"
+		}},
+		{"timeout", []string{"-timeout", "30s"}, 0, func(o options) bool {
+			return o.timeout == 30*time.Second
+		}},
+		{"timeout ms", []string{"-timeout", "250ms"}, 0, func(o options) bool {
+			return o.timeout == 250*time.Millisecond
+		}},
+		{"daemon", []string{"-daemon", "http://localhost:8471", "-rows", "4", "-cols", "4"}, 0,
+			func(o options) bool { return o.daemon == "http://localhost:8471" && o.rows == 4 }},
+		{"bad timeout", []string{"-timeout", "soon"}, 2, nil},
+		{"unknown flag", []string{"-nope"}, 2, nil},
+		{"stray argument", []string{"5x5"}, 2, nil},
+	} {
+		var errb strings.Builder
+		opt, err := parseFlags(tc.args, &errb)
+		if got := exitCode(err); got != tc.code {
+			t.Errorf("%s: exit %d, want %d (err %v)", tc.name, got, tc.code, err)
+			continue
+		}
+		if tc.check != nil && err == nil && !tc.check(opt) {
+			t.Errorf("%s: options %+v", tc.name, opt)
+		}
+	}
+}
+
+// TestExitCodes pins the error classification: usage 2, deadline 2,
+// runtime 1, success 0.
+func TestExitCodes(t *testing.T) {
+	if got := exitCode(nil); got != 0 {
+		t.Errorf("nil: %d", got)
+	}
+	if got := exitCode(usagef("bad flags")); got != 2 {
+		t.Errorf("usage: %d", got)
+	}
+	if got := exitCode(fmt.Errorf("wrapped: %w", usagef("bad"))); got != 2 {
+		t.Errorf("wrapped usage: %d", got)
+	}
+	if got := exitCode(context.DeadlineExceeded); got != 2 {
+		t.Errorf("deadline: %d", got)
+	}
+	if got := exitCode(fmt.Errorf("generate: %w", context.DeadlineExceeded)); got != 2 {
+		t.Errorf("wrapped deadline: %d", got)
+	}
+	if got := exitCode(fmt.Errorf("boom")); got != 1 {
+		t.Errorf("runtime: %d", got)
+	}
+}
+
+// TestRealMainExitCodes runs the binary entry point end to end per class.
+func TestRealMainExitCodes(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"flag error", []string{"-nope"}, 2},
+		{"no selector", nil, 2},
+		{"ambiguous selectors", []string{"-case", "5x5", "-rows", "3", "-cols", "3"}, 2},
+		{"unknown engine", []string{"-case", "5x5", "-path-engine", "warp"}, 2},
+		{"runtime failure", []string{"-case", "7x7"}, 1},
+		{"missing input file", []string{"-in", "/nonexistent/chip.fpva"}, 1},
+		{"success", []string{"-rows", "3", "-cols", "3"}, 0},
+		{"deadline", []string{"-case", "30x30", "-timeout", "1ms"}, 2},
+	} {
+		var out, errb strings.Builder
+		if got := realMain(tc.args, &out, &errb); got != tc.code {
+			t.Errorf("%s: exit %d, want %d (stderr %q)", tc.name, got, tc.code, errb.String())
+		}
+	}
+}
+
+// fakeDaemon implements just enough of fpvad's API to test the -daemon
+// client: it really generates the submitted array so the plan bytes are
+// genuine v1 wire format.
+func fakeDaemon(t *testing.T) *httptest.Server {
+	t.Helper()
+	var planBytes []byte
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Kind  string          `json:"kind"`
+			Array json.RawMessage `json:"array"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Kind != "generate" {
+			http.Error(w, "bad request", http.StatusBadRequest)
+			return
+		}
+		a, err := fpva.DecodeArray(bytes.NewReader(req.Array))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		plan, err := fpva.Generate(context.Background(), a)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		var buf bytes.Buffer
+		if err := fpva.EncodePlan(&buf, plan); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		planBytes = buf.Bytes()
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprint(w, `{"id":"j000001","kind":"generate","state":"pending"}`)
+	})
+	mux.HandleFunc("GET /v1/jobs/j000001/events", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, `{"event":"phase-started","phase":"flow-paths"}`)
+		fmt.Fprintln(w, `{"event":"phase-finished","phase":"flow-paths"}`)
+		fmt.Fprintln(w, `{"id":"j000001","kind":"generate","state":"done"}`)
+	})
+	mux.HandleFunc("GET /v1/jobs/j000001/plan", func(w http.ResponseWriter, r *http.Request) {
+		w.Write(planBytes)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestRunRemoteGenerate: the -daemon path submits, waits, fetches, writes
+// -o verbatim, and prints the same report shape as a local run.
+func TestRunRemoteGenerate(t *testing.T) {
+	srv := fakeDaemon(t)
+	path := filepath.Join(t.TempDir(), "plan.json")
+	var b strings.Builder
+	err := run(context.Background(), &b, options{rows: 4, cols: 4,
+		blockSize: 5, pathEng: "auto", cutEng: "auto",
+		daemon: srv.URL, outFile: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"submitted job j000001", "nv=", "plan written to"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	written, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := fpva.DecodePlan(bytes.NewReader(written))
+	if err != nil {
+		t.Fatalf("written plan: %v", err)
+	}
+	if plan.NumVectors() == 0 {
+		t.Error("remote plan empty")
+	}
+}
+
+// TestRunRemoteRejectsTable1: -table1 must stay local.
+func TestRunRemoteRejectsTable1(t *testing.T) {
+	var b strings.Builder
+	err := run(context.Background(), &b, options{table1: true, daemon: "http://x",
+		blockSize: 5, pathEng: "auto", cutEng: "auto"})
+	if exitCode(err) != 2 {
+		t.Errorf("table1+daemon: %v (exit %d), want usage error", err, exitCode(err))
 	}
 }
 

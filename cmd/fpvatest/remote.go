@@ -1,0 +1,249 @@
+package main
+
+// The -daemon client: speaks fpvad's JSON job API so generation runs on a
+// shared remote service (plan cache + singleflight) while reporting,
+// -dump, -verify and -o behave exactly like a local run. -o writes the
+// daemon's plan bytes verbatim, so the file is bit-identical to what the
+// daemon serves.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/fpva"
+)
+
+// remoteSubmit mirrors fpvad's POST /v1/jobs generate payload.
+type remoteSubmit struct {
+	Kind     string           `json:"kind"`
+	Array    json.RawMessage  `json:"array"`
+	Generate remoteGenOptions `json:"generate"`
+}
+
+type remoteGenOptions struct {
+	Direct        bool   `json:"direct,omitempty"`
+	Block         int    `json:"block,omitempty"`
+	PathEngine    string `json:"pathEngine,omitempty"`
+	CutEngine     string `json:"cutEngine,omitempty"`
+	SolverWorkers int    `json:"solverWorkers,omitempty"`
+}
+
+// remoteJob mirrors fpvad's job-status resource.
+type remoteJob struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Error string `json:"error"`
+}
+
+// remoteEvent mirrors one NDJSON progress line; a line without an event
+// field is the terminal status record.
+type remoteEvent struct {
+	Event string `json:"event"`
+	Phase string `json:"phase"`
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
+}
+
+// runRemote drives one generate job on a remote fpvad: submit, follow the
+// progress stream to completion, fetch the plan, then report locally.
+func runRemote(ctx context.Context, w io.Writer, opt options) error {
+	a, err := loadArray(opt)
+	if err != nil {
+		return err
+	}
+	// Validate engine names locally for a fast exit-2 instead of a 400.
+	if _, err := appendEngines(nil, opt.pathEng, opt.cutEng); err != nil {
+		return err
+	}
+	base := strings.TrimRight(opt.daemon, "/")
+	var arrBuf bytes.Buffer
+	if err := fpva.EncodeArray(&arrBuf, a); err != nil {
+		return err
+	}
+	body, err := json.Marshal(remoteSubmit{
+		Kind:  "generate",
+		Array: arrBuf.Bytes(),
+		Generate: remoteGenOptions{
+			Direct:        opt.direct,
+			Block:         opt.blockSize,
+			PathEngine:    opt.pathEng,
+			CutEngine:     opt.cutEng,
+			SolverWorkers: opt.workers,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	job, err := submitRemote(ctx, base, body)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "submitted job %s to %s\n", job.ID, base)
+	// If this run aborts (-timeout, Ctrl-C) before the job finishes, tell
+	// the daemon: jobs outlive their submitting request by design, and an
+	// abandoned solve would keep holding a worker-pool slot.
+	finished := false
+	defer func() {
+		if !finished {
+			cancelRemote(base, job.ID)
+		}
+	}()
+	final, err := followRemote(ctx, base, job.ID, opt.progress)
+	if err != nil {
+		return err
+	}
+	finished = final.State == "done" || final.State == "failed" || final.State == "canceled"
+	if final.State != "done" {
+		if final.Error != "" {
+			return fmt.Errorf("remote job %s %s: %s", final.ID, final.State, final.Error)
+		}
+		return fmt.Errorf("remote job %s finished %s", final.ID, final.State)
+	}
+	planBytes, err := fetchRemote(ctx, base+"/v1/jobs/"+job.ID+"/plan")
+	if err != nil {
+		return err
+	}
+	plan, err := fpva.DecodePlan(bytes.NewReader(planBytes))
+	if err != nil {
+		return fmt.Errorf("remote plan: %w", err)
+	}
+	reportPlan(w, plan)
+	if opt.outFile != "" {
+		if err := os.WriteFile(opt.outFile, planBytes, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "plan written to %s\n", opt.outFile)
+	}
+	return finishReport(ctx, w, plan, opt)
+}
+
+// cancelRemote is the best-effort abort: it uses its own short deadline
+// because the run context is typically already dead when it fires.
+func cancelRemote(base, id string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/jobs/"+id+"/cancel", nil)
+	if err != nil {
+		return
+	}
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close()
+	}
+}
+
+func submitRemote(ctx context.Context, base string, body []byte) (remoteJob, error) {
+	var job remoteJob
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return job, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return job, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return job, err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return job, fmt.Errorf("daemon rejected the job: %s: %s", resp.Status, strings.TrimSpace(string(b)))
+	}
+	if err := json.Unmarshal(b, &job); err != nil {
+		return job, fmt.Errorf("daemon response: %w", err)
+	}
+	return job, nil
+}
+
+// followRemote consumes the NDJSON event stream until the terminal status
+// line, optionally echoing progress to stderr.
+func followRemote(ctx context.Context, base, id string, progress bool) (remoteJob, error) {
+	var final remoteJob
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return final, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return final, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return final, fmt.Errorf("event stream: %s", resp.Status)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		var e remoteEvent
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return final, fmt.Errorf("event stream line %q: %w", sc.Text(), err)
+		}
+		if e.Event == "" {
+			if err := json.Unmarshal(sc.Bytes(), &final); err != nil {
+				return final, err
+			}
+			return final, nil
+		}
+		if progress {
+			switch e.Event {
+			case "campaign-tick":
+				fmt.Fprintf(os.Stderr, "fpvatest: campaign %d/%d trials\n", e.Done, e.Total)
+			default:
+				fmt.Fprintf(os.Stderr, "fpvatest: phase %s %s\n",
+					e.Phase, strings.TrimPrefix(e.Event, "phase-"))
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return final, err
+	}
+	// Stream ended without a terminal line (dropped connection, buffering
+	// proxy): fall back to polling status until the job turns terminal.
+	for {
+		b, err := fetchRemote(ctx, base+"/v1/jobs/"+id)
+		if err != nil {
+			return final, err
+		}
+		if err := json.Unmarshal(b, &final); err != nil {
+			return final, err
+		}
+		switch final.State {
+		case "done", "failed", "canceled":
+			return final, nil
+		}
+		select {
+		case <-ctx.Done():
+			return final, ctx.Err()
+		case <-time.After(200 * time.Millisecond):
+		}
+	}
+}
+
+func fetchRemote(ctx context.Context, url string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s: %s", url, resp.Status, strings.TrimSpace(string(b)))
+	}
+	return b, nil
+}

@@ -1,0 +1,36 @@
+// Package cli holds the exit-code contract shared by every command in
+// this repo: usage and flag errors exit 2, deadline expiry (-timeout)
+// exits 2, runtime failures exit 1, success exits 0. It lives under
+// cmd/internal so the commands stay consumers of the public repro/fpva
+// API only (scripts/check-imports.sh).
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// UsageError marks command-line misuse (exit code 2, like flag errors).
+type UsageError struct{ Err error }
+
+func (e UsageError) Error() string { return e.Err.Error() }
+func (e UsageError) Unwrap() error { return e.Err }
+
+// Usagef builds a UsageError.
+func Usagef(format string, args ...any) error {
+	return UsageError{fmt.Errorf(format, args...)}
+}
+
+// ExitCode maps an error to the process exit code: usage errors and
+// deadline expiry exit 2, runtime failures exit 1, nil exits 0.
+func ExitCode(err error) int {
+	var ue UsageError
+	switch {
+	case err == nil:
+		return 0
+	case errors.As(err, &ue), errors.Is(err, context.DeadlineExceeded):
+		return 2
+	}
+	return 1
+}

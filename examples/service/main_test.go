@@ -1,0 +1,20 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// TestMainSmoke builds and runs the example in-process and asserts the
+// service deduplicated the three identical submissions.
+func TestMainSmoke(t *testing.T) {
+	out := testutil.CaptureMain(t, main)
+	if len(out) == 0 {
+		t.Fatal("example produced no output")
+	}
+	if !strings.Contains(string(out), "1 solve(s)") {
+		t.Errorf("service did not dedup identical submissions:\n%s", out)
+	}
+}

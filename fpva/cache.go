@@ -1,0 +1,97 @@
+package fpva
+
+import (
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// DefaultCacheBytes is the plan-cache byte budget of a service built
+// without WithCacheBytes.
+const DefaultCacheBytes = 64 << 20
+
+// planKey derives the canonical cache key of a (array, generation config)
+// pair: the SHA-256 of the array's v1 wire encoding plus the fingerprint of
+// every option that can change the generated vectors. Worker counts and
+// progress callbacks are deliberately excluded — results are bit-identical
+// across worker counts, so they must share a cache entry.
+func planKey(a *Array, cfg genConfig) (string, error) {
+	var buf bytes.Buffer
+	if err := EncodeArray(&buf, a); err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	h.Write(buf.Bytes())
+	fmt.Fprintf(h, "\x00direct=%t block=%d skipLeak=%t path=%d cut=%d v=%d",
+		cfg.direct, cfg.blockSize, cfg.skipLeak,
+		int(cfg.pathEngine), int(cfg.cutEngine), CodecVersion)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// cacheEntry is one cached plan with its accounted size (the length of its
+// v1 wire encoding, so the byte budget measures real payload, not Go
+// object overhead) and the progress events its solve emitted, replayed on
+// every hit so cached and cold callers observe the same sequence.
+type cacheEntry struct {
+	key    string
+	plan   *Plan
+	size   int64
+	events []Event
+}
+
+// planCache is an LRU keyed by planKey with a byte budget. It is not
+// goroutine-safe; the owning Service serializes access under its mutex.
+type planCache struct {
+	capBytes int64
+	bytes    int64
+	ll       *list.List // front = most recently used; values are *cacheEntry
+	index    map[string]*list.Element
+}
+
+func newPlanCache(capBytes int64) *planCache {
+	return &planCache{capBytes: capBytes, ll: list.New(), index: make(map[string]*list.Element)}
+}
+
+// get returns the cached plan and its recorded solve events for key,
+// bumping the entry to most recently used.
+func (c *planCache) get(key string) (*Plan, []Event, bool) {
+	el, ok := c.index[key]
+	if !ok {
+		return nil, nil, false
+	}
+	c.ll.MoveToFront(el)
+	ent := el.Value.(*cacheEntry)
+	return ent.plan, ent.events, true
+}
+
+// put inserts (or refreshes) a plan and evicts from the LRU tail until the
+// byte budget holds. A plan bigger than the whole budget is not cached.
+func (c *planCache) put(key string, plan *Plan, size int64, events []Event) {
+	if c.capBytes <= 0 || size > c.capBytes {
+		return
+	}
+	if el, ok := c.index[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		c.bytes += size - ent.size
+		ent.plan, ent.size, ent.events = plan, size, events
+		c.ll.MoveToFront(el)
+	} else {
+		c.index[key] = c.ll.PushFront(&cacheEntry{key: key, plan: plan, size: size, events: events})
+		c.bytes += size
+	}
+	for c.bytes > c.capBytes {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.index, ent.key)
+		c.bytes -= ent.size
+	}
+}
+
+// len returns the number of cached plans.
+func (c *planCache) len() int { return c.ll.Len() }

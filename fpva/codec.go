@@ -12,6 +12,7 @@ package fpva
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -54,17 +55,17 @@ func (a *Array) MarshalJSON() ([]byte, error) {
 func (a *Array) UnmarshalJSON(data []byte) error {
 	var env arrayEnvelope
 	if err := json.Unmarshal(data, &env); err != nil {
-		return err
+		return fmt.Errorf("fpva: decode array: %w: %v", ErrWireSyntax, err)
 	}
 	if err := checkEnvelope(env.Format, ArrayFormat, env.Version); err != nil {
 		return err
 	}
 	g, err := grid.Parse(strings.NewReader(env.Text))
 	if err != nil {
-		return err
+		return fmt.Errorf("fpva: decode array: %w: %v", ErrWirePayload, err)
 	}
 	if err := g.Validate(); err != nil {
-		return err
+		return fmt.Errorf("fpva: decode array: %w: %v", ErrWirePayload, err)
 	}
 	a.g = g
 	return nil
@@ -80,19 +81,45 @@ func EncodeArray(w io.Writer, a *Array) error {
 // DecodeArray reads an array in the versioned JSON wire format.
 func DecodeArray(r io.Reader) (*Array, error) {
 	var a Array
-	if err := json.NewDecoder(r).Decode(&a); err != nil {
+	if err := decodeOne(r, &a, "decode array"); err != nil {
 		return nil, err
 	}
 	return &a, nil
 }
 
+// decodeOne decodes exactly one JSON value from r; anything but
+// whitespace after it is a syntax failure (a concatenated or corrupted
+// file must not pass as its first envelope).
+func decodeOne(r io.Reader, v any, op string) error {
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(v); err != nil {
+		return wireErr(op, err)
+	}
+	var extra json.RawMessage
+	if err := dec.Decode(&extra); err != io.EOF {
+		return fmt.Errorf("fpva: %s: %w: trailing data after the envelope", op, ErrWireSyntax)
+	}
+	return nil
+}
+
+// wireErr classifies a decoder error: failures already wrapping one of the
+// wire sentinels pass through; anything else (truncated input, JSON type
+// mismatches) is a syntax failure.
+func wireErr(op string, err error) error {
+	if errors.Is(err, ErrWireSyntax) || errors.Is(err, ErrWireFormat) ||
+		errors.Is(err, ErrWireVersion) || errors.Is(err, ErrWirePayload) {
+		return err
+	}
+	return fmt.Errorf("fpva: %s: %w: %v", op, ErrWireSyntax, err)
+}
+
 func checkEnvelope(format, want string, version int) error {
 	if format != want {
-		return fmt.Errorf("fpva: wire format %q, want %q", format, want)
+		return fmt.Errorf("fpva: %w: %q, want %q", ErrWireFormat, format, want)
 	}
 	if version != CodecVersion {
-		return fmt.Errorf("fpva: %s version %d not supported (decoder speaks version %d)",
-			want, version, CodecVersion)
+		return fmt.Errorf("fpva: %s: %w: version %d (decoder speaks version %d)",
+			want, ErrWireVersion, version, CodecVersion)
 	}
 	return nil
 }
@@ -120,6 +147,9 @@ type statsJSON struct {
 	TNanos            int64 `json:"t_ns"`
 	PathILPNonOptimal int   `json:"path_ilp_non_optimal,omitempty"`
 	CutILPNonOptimal  int   `json:"cut_ilp_non_optimal,omitempty"`
+	ILPSolves         int   `json:"ilp_solves,omitempty"`
+	ILPNodes          int   `json:"ilp_nodes,omitempty"`
+	SolverWallNanos   int64 `json:"solver_wall_ns,omitempty"`
 }
 
 // planEnvelope is the plan wire format: the array (text format), the three
@@ -162,13 +192,14 @@ func vectorsFromJSON(g *grid.Array, vjs []vectorJSON) ([]*sim.Vector, error) {
 	for i, vj := range vjs {
 		kind, ok := kinds[vj.Kind]
 		if !ok {
-			return nil, fmt.Errorf("fpva: vector %q has unknown kind %q", vj.Name, vj.Kind)
+			return nil, fmt.Errorf("fpva: %w: vector %q has unknown kind %q",
+				ErrWirePayload, vj.Name, vj.Kind)
 		}
 		v := sim.NewVector(g, kind, vj.Name)
 		for _, id := range vj.Open {
 			if id < 0 || id >= g.NumValves() {
-				return nil, fmt.Errorf("fpva: vector %q opens valve %d outside [0,%d)",
-					vj.Name, id, g.NumValves())
+				return nil, fmt.Errorf("fpva: %w: vector %q opens valve %d outside [0,%d)",
+					ErrWirePayload, vj.Name, id, g.NumValves())
 			}
 			v.SetOpen(grid.ValveID(id), true)
 		}
@@ -195,7 +226,8 @@ func intsToIDs(g *grid.Array, ints []int) ([]grid.ValveID, error) {
 	out := make([]grid.ValveID, len(ints))
 	for i, id := range ints {
 		if id < 0 || id >= g.NumValves() {
-			return nil, fmt.Errorf("fpva: valve id %d outside [0,%d)", id, g.NumValves())
+			return nil, fmt.Errorf("fpva: %w: valve id %d outside [0,%d)",
+				ErrWirePayload, id, g.NumValves())
 		}
 		out[i] = grid.ValveID(id)
 	}
@@ -220,6 +252,9 @@ func (p *Plan) MarshalJSON() ([]byte, error) {
 			TLNanos: s.TL.Nanoseconds(), TNanos: s.T.Nanoseconds(),
 			PathILPNonOptimal: s.PathILPNonOptimal,
 			CutILPNonOptimal:  s.CutILPNonOptimal,
+			ILPSolves:         s.ILPSolves,
+			ILPNodes:          s.ILPNodes,
+			SolverWallNanos:   s.SolverWall.Nanoseconds(),
 		},
 	}
 	for _, lp := range p.ts.LeakPairs {
@@ -234,17 +269,17 @@ func (p *Plan) MarshalJSON() ([]byte, error) {
 func (p *Plan) UnmarshalJSON(data []byte) error {
 	var env planEnvelope
 	if err := json.Unmarshal(data, &env); err != nil {
-		return err
+		return fmt.Errorf("fpva: decode plan: %w: %v", ErrWireSyntax, err)
 	}
 	if err := checkEnvelope(env.Format, PlanFormat, env.Version); err != nil {
 		return err
 	}
 	g, err := grid.Parse(strings.NewReader(env.Array))
 	if err != nil {
-		return err
+		return fmt.Errorf("fpva: decode plan: %w: %v", ErrWirePayload, err)
 	}
 	if err := g.Validate(); err != nil {
-		return err
+		return fmt.Errorf("fpva: decode plan: %w: %v", ErrWirePayload, err)
 	}
 	ts := &core.TestSet{Array: g}
 	if ts.PathVectors, err = vectorsFromJSON(g, env.PathVectors); err != nil {
@@ -276,6 +311,9 @@ func (p *Plan) UnmarshalJSON(data []byte) error {
 		TL: duration(s.TLNanos), T: duration(s.TNanos),
 		PathILPNonOptimal: s.PathILPNonOptimal,
 		CutILPNonOptimal:  s.CutILPNonOptimal,
+		ILPSolves:         s.ILPSolves,
+		ILPNodes:          s.ILPNodes,
+		SolverWall:        duration(s.SolverWallNanos),
 	}
 	p.a = &Array{g: g}
 	p.ts = ts
@@ -293,7 +331,7 @@ func EncodePlan(w io.Writer, p *Plan) error {
 // DecodePlan reads a plan in the versioned JSON wire format.
 func DecodePlan(r io.Reader) (*Plan, error) {
 	var p Plan
-	if err := json.NewDecoder(r).Decode(&p); err != nil {
+	if err := decodeOne(r, &p, "decode plan"); err != nil {
 		return nil, err
 	}
 	return &p, nil

@@ -3,6 +3,7 @@ package fpva_test
 import (
 	"bytes"
 	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -185,3 +186,69 @@ func TestCodecVersionGate(t *testing.T) {
 // goldenPlanDetected is the recorded outcome of the golden plan's campaign
 // (1000 trials, 3 faults, seed 42), part of the wire-format contract.
 const goldenPlanDetected = 1000
+
+// TestCodecErrorClassification pins the sentinel-error contract: every
+// decode failure wraps exactly one of ErrWireSyntax / ErrWireFormat /
+// ErrWireVersion / ErrWirePayload, and none of these inputs panics.
+func TestCodecErrorClassification(t *testing.T) {
+	const planHead = `{"format":"fpva.plan","version":1,"array":"fpva 2 2\n"`
+	a, err := fpva.NewArray(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var validArr bytes.Buffer
+	if err := fpva.EncodeArray(&validArr, a); err != nil {
+		t.Fatal(err)
+	}
+	basePlan, err := fpva.BaselinePlan(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var validPlan bytes.Buffer
+	if err := fpva.EncodePlan(&validPlan, basePlan); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		in   string
+		plan bool // decode as plan (true) or array (false)
+		want error
+	}{
+		{"plan empty", ``, true, fpva.ErrWireSyntax},
+		{"plan truncated", `{"format":"fpva.plan","ver`, true, fpva.ErrWireSyntax},
+		{"plan type mismatch", `{"format":7}`, true, fpva.ErrWireSyntax},
+		{"plan json array", `[1,2,3]`, true, fpva.ErrWireSyntax},
+		{"plan wrong format", `{"format":"fpva.array","version":1}`, true, fpva.ErrWireFormat},
+		{"plan missing format", `{"version":1}`, true, fpva.ErrWireFormat},
+		{"plan future version", `{"format":"fpva.plan","version":99}`, true, fpva.ErrWireVersion},
+		{"plan bad array text", `{"format":"fpva.plan","version":1,"array":"bogus"}`, true, fpva.ErrWirePayload},
+		{"plan vector valve out of range",
+			planHead + `,"pathVectors":[{"name":"p","kind":"flow-path","open":[999]}]}`,
+			true, fpva.ErrWirePayload},
+		{"plan vector negative valve",
+			planHead + `,"cutVectors":[{"name":"c","kind":"cut-set","open":[-1]}]}`,
+			true, fpva.ErrWirePayload},
+		{"plan unknown vector kind",
+			planHead + `,"pathVectors":[{"name":"p","kind":"mystery","open":[]}]}`,
+			true, fpva.ErrWirePayload},
+		{"plan leak pair out of range", planHead + `,"leakPairs":[[0,999]]}`, true, fpva.ErrWirePayload},
+		{"plan uncovered out of range", planHead + `,"uncoveredPath":[999]}`, true, fpva.ErrWirePayload},
+		{"plan trailing garbage", validPlan.String() + `{"x":1}`, true, fpva.ErrWireSyntax},
+		{"array trailing garbage", validArr.String() + `[]`, false, fpva.ErrWireSyntax},
+		{"array empty", ``, false, fpva.ErrWireSyntax},
+		{"array truncated", `{"format":"fpva.arr`, false, fpva.ErrWireSyntax},
+		{"array wrong format", `{"format":"fpva.plan","version":1,"text":""}`, false, fpva.ErrWireFormat},
+		{"array future version", `{"format":"fpva.array","version":99,"text":""}`, false, fpva.ErrWireVersion},
+		{"array bad text", `{"format":"fpva.array","version":1,"text":"nope"}`, false, fpva.ErrWirePayload},
+	} {
+		var err error
+		if tc.plan {
+			_, err = fpva.DecodePlan(strings.NewReader(tc.in))
+		} else {
+			_, err = fpva.DecodeArray(strings.NewReader(tc.in))
+		}
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}

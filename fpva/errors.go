@@ -1,0 +1,35 @@
+package fpva
+
+import "errors"
+
+// Sentinel errors of the wire codec. Every decode failure wraps exactly one
+// of these, so callers (and the fpvad daemon, which maps them to HTTP
+// status codes) can classify failures with errors.Is without string
+// matching.
+var (
+	// ErrWireSyntax marks malformed JSON: truncated input, type mismatches,
+	// or trailing garbage.
+	ErrWireSyntax = errors.New("malformed wire JSON")
+	// ErrWireFormat marks an envelope whose "format" field names a
+	// different payload kind (or none at all).
+	ErrWireFormat = errors.New("wrong wire format")
+	// ErrWireVersion marks an envelope version this decoder does not speak
+	// (e.g. a file written by a future release).
+	ErrWireVersion = errors.New("unsupported wire version")
+	// ErrWirePayload marks a structurally valid envelope whose payload is
+	// inconsistent: unparsable array text, out-of-range valve IDs, unknown
+	// vector kinds, or an invalid array layout.
+	ErrWirePayload = errors.New("invalid wire payload")
+)
+
+// Sentinel errors of the Service job API.
+var (
+	// ErrServiceClosed is returned by Submit* after Close.
+	ErrServiceClosed = errors.New("service closed")
+	// ErrJobRunning is returned by result accessors before the job reached
+	// a terminal state.
+	ErrJobRunning = errors.New("job not finished")
+	// ErrWrongJobKind is returned by result accessors that do not match the
+	// job's kind.
+	ErrWrongJobKind = errors.New("wrong job kind")
+)

@@ -21,6 +21,13 @@
 // `fpvasim -plan plan.json -trials 100000`. A decoded plan reproduces
 // campaign results bit-identically for the same seed.
 //
+// Concurrent and long-lived callers use a Service: jobs submitted with
+// SubmitGenerate / SubmitCampaign / SubmitVerify return handles with a
+// state machine, streamed progress, cancellation and typed results, backed
+// by a content-addressed plan cache (singleflight-deduplicated) and a
+// bounded worker pool. Generate is a thin wrapper over a shared default
+// service, and cmd/fpvad serves a Service over HTTP.
+//
 // This package is the only supported import surface; everything under
 // repro/internal is implementation detail and may change without notice.
 package fpva

@@ -1,0 +1,95 @@
+package fpva_test
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/fpva"
+)
+
+// isWireError reports whether err wraps one of the codec sentinels — the
+// decoder contract: every failure is classified, never a panic or a bare
+// json error.
+func isWireError(err error) bool {
+	return errors.Is(err, fpva.ErrWireSyntax) || errors.Is(err, fpva.ErrWireFormat) ||
+		errors.Is(err, fpva.ErrWireVersion) || errors.Is(err, fpva.ErrWirePayload)
+}
+
+func goldenSeed(t interface{ Fatal(...any) }, name string) string {
+	b, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// FuzzDecodePlan: an arbitrary byte string either decodes to a plan whose
+// re-encoding is stable, or fails with a classified wire error.
+func FuzzDecodePlan(f *testing.F) {
+	f.Add(goldenSeed(f, "plan_v1.golden.json"))
+	f.Add(`{"format":"fpva.plan","version":1,"array":"fpva 2 2\n","pathVectors":[],"cutVectors":[],"leakVectors":[],"stats":{}}`)
+	f.Add(`{"format":"fpva.plan","version":1,"array":"fpva 2 2\n","pathVectors":[{"name":"p","kind":"flow-path","open":[999]}]}`)
+	f.Add(`{"format":"fpva.plan","version":2}`)
+	f.Add(`{"format":"fpva.array","version":1}`)
+	f.Add(`{"format":"fpva.plan","version":1,"array":"garbage`)
+	f.Add(`{"format":"fpva.plan","version":1,"array":"fpva 2 2\n"}{"trailing":true}`)
+	f.Add(`{`)
+	f.Add(``)
+	f.Fuzz(func(t *testing.T, data string) {
+		p, err := fpva.DecodePlan(strings.NewReader(data))
+		if err != nil {
+			if !isWireError(err) {
+				t.Fatalf("unclassified decode error: %v", err)
+			}
+			return
+		}
+		var first, second bytes.Buffer
+		if err := fpva.EncodePlan(&first, p); err != nil {
+			t.Fatalf("re-encode of decoded plan: %v", err)
+		}
+		q, err := fpva.DecodePlan(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("decode of re-encoded plan: %v", err)
+		}
+		if err := fpva.EncodePlan(&second, q); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatal("plan encoding is not a fixed point after one round trip")
+		}
+	})
+}
+
+// FuzzDecodeArray: same contract for the array envelope.
+func FuzzDecodeArray(f *testing.F) {
+	f.Add(goldenSeed(f, "array_v1.golden.json"))
+	f.Add(`{"format":"fpva.array","version":1,"text":"fpva 2 2\n"}`)
+	f.Add(`{"format":"fpva.array","version":7,"text":""}`)
+	f.Add(`{"format":"nope","version":1,"text":""}`)
+	f.Add(`{"format":"fpva.array","version":1,"text":"not an array"}`)
+	f.Add(`[1,2`)
+	f.Fuzz(func(t *testing.T, data string) {
+		a, err := fpva.DecodeArray(strings.NewReader(data))
+		if err != nil {
+			if !isWireError(err) {
+				t.Fatalf("unclassified decode error: %v", err)
+			}
+			return
+		}
+		var buf bytes.Buffer
+		if err := fpva.EncodeArray(&buf, a); err != nil {
+			t.Fatalf("re-encode of decoded array: %v", err)
+		}
+		b, err := fpva.DecodeArray(&buf)
+		if err != nil {
+			t.Fatalf("decode of re-encoded array: %v", err)
+		}
+		if a.Text() != b.Text() {
+			t.Fatal("array text changed over a round trip")
+		}
+	})
+}

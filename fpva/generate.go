@@ -38,6 +38,18 @@ const (
 	CampaignTick
 )
 
+func (k EventKind) String() string {
+	switch k {
+	case PhaseStarted:
+		return "phase-started"
+	case PhaseFinished:
+		return "phase-finished"
+	case CampaignTick:
+		return "campaign-tick"
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
 // Event is one observation delivered to a Progress callback: a generation
 // phase transition (PhaseStarted / PhaseFinished, Phase set) or a campaign
 // trial tick (CampaignTick, TrialsDone / TrialsTotal set).
@@ -143,6 +155,11 @@ type Stats struct {
 	// node budget: the accepted paths/cuts are feasible but not proven
 	// optimal. Zero when the exact engines finished (or were not used).
 	PathILPNonOptimal, CutILPNonOptimal int
+	// ILPSolves / ILPNodes / SolverWall aggregate the branch-and-bound
+	// accounting across both ILP engines (zero when the combinatorial
+	// engines served every family).
+	ILPSolves, ILPNodes int
+	SolverWall          time.Duration
 }
 
 func (s Stats) String() string {
@@ -153,25 +170,17 @@ func (s Stats) String() string {
 	}.String()
 }
 
-// Generate runs the full test-generation flow — flow paths (stuck-at-0),
-// cut-sets (stuck-at-1) and control-leakage vectors — and returns the
-// resulting Plan. The default configuration matches the paper's evaluation:
-// hierarchical 5x5 decomposition with the automatic engines.
-//
-// Cancelling ctx aborts generation promptly (between ILP solver nodes for
-// the exact engines) and returns an error wrapping ctx.Err().
-func Generate(ctx context.Context, a *Array, opts ...GenOption) (*Plan, error) {
-	cfg := genConfig{blockSize: 5}
-	for _, opt := range opts {
-		opt(&cfg)
-	}
+// coreConfig maps the public generation options onto the internal pipeline
+// configuration, rejecting unknown engine selections. The progress callback
+// is wired separately by the service (it fans events out per job).
+func (c genConfig) coreConfig() (core.Config, error) {
 	coreCfg := core.Config{
-		Hierarchical: !cfg.direct,
-		BlockSize:    cfg.blockSize,
-		SkipLeakage:  cfg.skipLeak,
-		Workers:      cfg.workers,
+		Hierarchical: !c.direct,
+		BlockSize:    c.blockSize,
+		SkipLeakage:  c.skipLeak,
+		Workers:      c.workers,
 	}
-	switch cfg.pathEngine {
+	switch c.pathEngine {
 	case PathEngineAuto:
 		coreCfg.FlowPath.Engine = flowpath.EngineAuto
 	case PathEngineSerpentine:
@@ -181,9 +190,9 @@ func Generate(ctx context.Context, a *Array, opts ...GenOption) (*Plan, error) {
 	case PathEngineILPMonolithic:
 		coreCfg.FlowPath.Engine = flowpath.EngineILPMonolithic
 	default:
-		return nil, fmt.Errorf("fpva: unknown path engine %d", int(cfg.pathEngine))
+		return core.Config{}, fmt.Errorf("fpva: unknown path engine %d", int(c.pathEngine))
 	}
-	switch cfg.cutEngine {
+	switch c.cutEngine {
 	case CutEngineAuto:
 		coreCfg.CutSet.Engine = cutset.EngineAuto
 	case CutEngineDual:
@@ -191,23 +200,72 @@ func Generate(ctx context.Context, a *Array, opts ...GenOption) (*Plan, error) {
 	case CutEngineILP:
 		coreCfg.CutSet.Engine = cutset.EngineILP
 	default:
-		return nil, fmt.Errorf("fpva: unknown cut engine %d", int(cfg.cutEngine))
+		return core.Config{}, fmt.Errorf("fpva: unknown cut engine %d", int(c.cutEngine))
 	}
-	if cfg.progress != nil {
-		p := cfg.progress
-		coreCfg.OnPhase = func(ph core.Phase, done bool) {
-			kind := PhaseStarted
-			if done {
-				kind = PhaseFinished
-			}
-			p(Event{Kind: kind, Phase: Phase(ph)})
-		}
+	return coreCfg, nil
+}
+
+// ParsePathEngine maps the command-line engine names ("auto", "serpentine",
+// "ilp-iterative", "ilp-monolithic") to a PathEngine.
+func ParsePathEngine(s string) (PathEngine, error) {
+	switch s {
+	case "auto":
+		return PathEngineAuto, nil
+	case "serpentine":
+		return PathEngineSerpentine, nil
+	case "ilp-iterative":
+		return PathEngineILPIterative, nil
+	case "ilp-monolithic":
+		return PathEngineILPMonolithic, nil
 	}
-	ts, err := core.Generate(ctx, a.g, coreCfg)
+	return 0, fmt.Errorf("fpva: unknown path engine %q", s)
+}
+
+// ParseCutEngine maps the command-line engine names ("auto", "dual", "ilp")
+// to a CutEngine.
+func ParseCutEngine(s string) (CutEngine, error) {
+	switch s {
+	case "auto":
+		return CutEngineAuto, nil
+	case "dual":
+		return CutEngineDual, nil
+	case "ilp":
+		return CutEngineILP, nil
+	}
+	return 0, fmt.Errorf("fpva: unknown cut engine %q", s)
+}
+
+// Generate runs the full test-generation flow — flow paths (stuck-at-0),
+// cut-sets (stuck-at-1) and control-leakage vectors — and returns the
+// resulting Plan. The default configuration matches the paper's evaluation:
+// hierarchical 5x5 decomposition with the automatic engines.
+//
+// Generate is a thin wrapper over the process-wide DefaultService: a repeat
+// call for a content-identical array and configuration is served from the
+// plan cache (phase events replay instantly), and concurrent identical
+// calls share one solve. Construct a private Service to opt out or to tune
+// the cache and worker pool.
+//
+// Cancelling ctx aborts generation promptly (between ILP solver nodes for
+// the exact engines) and returns an error wrapping ctx.Err().
+func Generate(ctx context.Context, a *Array, opts ...GenOption) (*Plan, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	svc := DefaultService()
+	job, err := svc.SubmitGenerate(ctx, a, opts...)
 	if err != nil {
 		return nil, err
 	}
-	return &Plan{a: a, ts: ts, geometry: true}, nil
+	// The one-shot wrapper keeps no handle: drop the job from the service's
+	// tracking so library callers do not accumulate state in the default
+	// service. (If the job is not terminal yet — ctx canceled below — the
+	// retention cap reaps it instead.)
+	defer svc.Forget(job.ID())
+	if err := job.Wait(ctx); err != nil {
+		return nil, err
+	}
+	return job.Plan()
 }
 
 // BaselinePlan materializes the paper's Sec. IV comparison baseline: one

@@ -37,6 +37,7 @@ func (p *Plan) Stats() Stats {
 		NV: s.NV, NP: s.NP, NC: s.NC, NL: s.NL, N: s.N,
 		TP: s.TP, TC: s.TC, TL: s.TL, T: s.T,
 		PathILPNonOptimal: s.PathILPNonOptimal, CutILPNonOptimal: s.CutILPNonOptimal,
+		ILPSolves: s.ILPSolves, ILPNodes: s.ILPNodes, SolverWall: s.SolverWall,
 	}
 }
 
@@ -157,6 +158,10 @@ func WithCampaignProgress(p Progress) CampaignOption {
 type CampaignResult struct {
 	Trials   int
 	Detected int
+	// Sims counts vector evaluations performed across all trials (a trial
+	// stops at its first detecting vector). Like the rest of the result it
+	// is bit-identical for any worker count.
+	Sims int
 	// Escapes holds up to MaxEscapes undetected fault sets (lowest trial
 	// indices first).
 	Escapes [][]Fault
@@ -202,7 +207,7 @@ func (p *Plan) Campaign(ctx context.Context, opts ...CampaignOption) (CampaignRe
 		}
 	}
 	res, err := p.ts.Campaign(ctx, simCfg)
-	out := CampaignResult{Trials: res.Trials, Detected: res.Detected}
+	out := CampaignResult{Trials: res.Trials, Detected: res.Detected, Sims: res.Sims}
 	for _, esc := range res.Escapes {
 		fs := make([]Fault, len(esc))
 		for i, f := range esc {

@@ -1,0 +1,642 @@
+package fpva
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Service is the long-lived, concurrent entry point of the pipeline: one
+// Service per process owns a plan cache, a bounded worker pool, and the
+// lifecycle of every submitted job.
+//
+//	svc := fpva.NewService()
+//	defer svc.Close()
+//	job, _ := svc.SubmitGenerate(ctx, array)
+//	if err := job.Wait(ctx); err != nil { ... }
+//	plan, _ := job.Plan()
+//
+// Identical generate submissions are deduplicated twice over: completed
+// plans are served from a content-addressed LRU cache (the key hashes the
+// array's v1 wire encoding plus every option that can change the vectors),
+// and N concurrent requests for the same key trigger exactly one solve —
+// followers attach to the in-flight computation and observe its progress
+// events. The package-level Generate function is a thin wrapper over a
+// shared default service, so plain library callers get the same behaviour.
+//
+// A Service is safe for concurrent use and holds no goroutines while idle.
+type Service struct {
+	workers int
+	sem     chan struct{} // worker-pool slots
+
+	mu       sync.Mutex
+	cache    *planCache // nil when caching is disabled
+	flights  map[string]*flight
+	jobs     map[string]*Job
+	order    []*Job // submission order, for Jobs()
+	seq      int
+	terminal int // terminal jobs currently retained
+	closed   bool
+
+	retain int // terminal-job retention cap; <= 0 keeps all
+
+	// counters (guarded by mu)
+	submitted               int
+	hits, misses, coalesced int
+	solves                  int
+	solverWall              time.Duration
+	campaigns               int
+	campaignWall            time.Duration
+	verifies                int
+
+	wg sync.WaitGroup
+}
+
+// ServiceOption customizes NewService.
+type ServiceOption func(*serviceConfig)
+
+type serviceConfig struct {
+	workers    int
+	cacheBytes int64
+	retain     int
+}
+
+// DefaultJobRetention is the terminal-job retention cap of a service built
+// without WithJobRetention.
+const DefaultJobRetention = 4096
+
+// WithServiceWorkers bounds how many jobs execute concurrently (default:
+// runtime.NumCPU()). Queued jobs stay JobPending until a slot frees up.
+func WithServiceWorkers(n int) ServiceOption { return func(c *serviceConfig) { c.workers = n } }
+
+// WithCacheBytes sets the plan-cache byte budget (default DefaultCacheBytes;
+// <= 0 disables caching). An entry's cost is the length of its v1 wire
+// encoding.
+func WithCacheBytes(n int64) ServiceOption { return func(c *serviceConfig) { c.cacheBytes = n } }
+
+// WithJobRetention caps how many terminal jobs the service keeps for later
+// lookup (default DefaultJobRetention; <= 0 keeps all). When a job turns
+// terminal beyond the cap, the oldest terminal jobs are dropped from Job /
+// Jobs tracking — their handles keep working for whoever holds them.
+func WithJobRetention(n int) ServiceOption { return func(c *serviceConfig) { c.retain = n } }
+
+// NewService builds a Service. Close it when done to cancel outstanding
+// jobs and wait for their workers to drain.
+func NewService(opts ...ServiceOption) *Service {
+	cfg := serviceConfig{
+		workers:    runtime.NumCPU(),
+		cacheBytes: DefaultCacheBytes,
+		retain:     DefaultJobRetention,
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.workers < 1 {
+		cfg.workers = 1
+	}
+	s := &Service{
+		workers: cfg.workers,
+		sem:     make(chan struct{}, cfg.workers),
+		flights: make(map[string]*flight),
+		jobs:    make(map[string]*Job),
+		retain:  cfg.retain,
+	}
+	if cfg.cacheBytes > 0 {
+		s.cache = newPlanCache(cfg.cacheBytes)
+	}
+	return s
+}
+
+var defaultService struct {
+	once sync.Once
+	s    *Service
+}
+
+// DefaultService returns the process-wide service backing the package-level
+// Generate wrapper, creating it on first use with default options.
+func DefaultService() *Service {
+	defaultService.once.Do(func() { defaultService.s = NewService() })
+	return defaultService.s
+}
+
+// ServiceStats is a point-in-time snapshot of a service's counters.
+type ServiceStats struct {
+	// JobsSubmitted counts every accepted submission over the service's
+	// lifetime; the per-state fields partition the currently retained jobs
+	// (see WithJobRetention) by state.
+	JobsSubmitted int
+	JobsPending   int
+	JobsRunning   int
+	JobsDone      int
+	JobsFailed    int
+	JobsCanceled  int
+
+	// CacheHits / CacheMisses count completed-plan lookups; CacheCoalesced
+	// counts generate jobs that attached to an in-flight identical solve
+	// (the singleflight path). CacheEntries/CacheBytes describe current
+	// occupancy against CacheCapBytes.
+	CacheHits      int
+	CacheMisses    int
+	CacheCoalesced int
+	CacheEntries   int
+	CacheBytes     int64
+	CacheCapBytes  int64
+
+	// Solves counts generation pipelines actually executed (cache misses
+	// that ran to completion); SolverWall is their cumulative wall time.
+	Solves     int
+	SolverWall time.Duration
+
+	// Campaigns / CampaignWall account completed campaign jobs; Verifies
+	// counts completed verification jobs.
+	Campaigns    int
+	CampaignWall time.Duration
+	Verifies     int
+}
+
+// Stats returns a snapshot of the service counters.
+func (s *Service) Stats() ServiceStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := ServiceStats{
+		JobsSubmitted: s.submitted,
+		CacheHits:     s.hits, CacheMisses: s.misses, CacheCoalesced: s.coalesced,
+		Solves: s.solves, SolverWall: s.solverWall,
+		Campaigns: s.campaigns, CampaignWall: s.campaignWall,
+		Verifies: s.verifies,
+	}
+	if s.cache != nil {
+		st.CacheEntries = s.cache.len()
+		st.CacheBytes = s.cache.bytes
+		st.CacheCapBytes = s.cache.capBytes
+	}
+	for _, j := range s.jobs {
+		switch j.State() {
+		case JobPending:
+			st.JobsPending++
+		case JobRunning:
+			st.JobsRunning++
+		case JobDone:
+			st.JobsDone++
+		case JobFailed:
+			st.JobsFailed++
+		case JobCanceled:
+			st.JobsCanceled++
+		}
+	}
+	return st
+}
+
+// Workers returns the size of the worker pool.
+func (s *Service) Workers() int { return s.workers }
+
+// Job returns a submitted job by ID.
+func (s *Service) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns all jobs in submission order.
+func (s *Service) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// Close cancels every outstanding job, waits for their workers to drain,
+// and rejects further submissions with ErrServiceClosed. It is idempotent.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	jobs := make([]*Job, len(s.order))
+	copy(jobs, s.order)
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.Cancel()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// register installs a new job under the service lock (inPlan, for
+// campaign/verify jobs, is set before the job becomes visible to lookups).
+// It fails once the service is closed.
+func (s *Service) register(kind JobKind, ctx context.Context, progress Progress, inPlan *Plan) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("fpva: %w", ErrServiceClosed)
+	}
+	s.seq++
+	j := newJob(s, fmt.Sprintf("j%06d", s.seq), kind, ctx, progress)
+	j.inPlan = inPlan
+	s.jobs[j.id] = j
+	s.order = append(s.order, j)
+	s.submitted++
+	s.wg.Add(1)
+	return j, nil
+}
+
+// noteTerminal is called exactly once per job as it turns terminal; beyond
+// the retention cap the oldest terminal jobs are dropped from tracking.
+func (s *Service) noteTerminal() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.terminal++
+	if s.retain <= 0 || s.terminal <= s.retain {
+		return
+	}
+	kept := s.order[:0]
+	for _, j := range s.order {
+		if s.terminal > s.retain && j.State().Terminal() {
+			delete(s.jobs, j.id)
+			s.terminal--
+			continue
+		}
+		kept = append(kept, j)
+	}
+	// Let the dropped tail be collected.
+	for i := len(kept); i < len(s.order); i++ {
+		s.order[i] = nil
+	}
+	s.order = kept
+}
+
+// Forget drops a terminal job from the service's tracking (Job / Jobs /
+// per-state stats); the handle itself keeps working. It reports whether
+// the job was known and terminal.
+func (s *Service) Forget(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok || !j.State().Terminal() {
+		return false
+	}
+	delete(s.jobs, id)
+	for i, job := range s.order {
+		if job == j {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.terminal--
+	return true
+}
+
+// acquireSlot blocks until a worker-pool slot is free or ctx is canceled.
+func (s *Service) acquireSlot(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Service) releaseSlot() { <-s.sem }
+
+// SubmitGenerate queues a test-generation job for the array. Options are
+// those of Generate; invalid engine selections fail synchronously. The
+// returned handle resolves to a *Plan via Job.Plan after Job.Wait.
+//
+// Submissions are deduplicated by content: a plan already in the cache
+// completes the job immediately (replaying the phase events), and a
+// submission identical to an in-flight one attaches to that solve instead
+// of starting its own.
+func (s *Service) SubmitGenerate(ctx context.Context, a *Array, opts ...GenOption) (*Job, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg := genConfig{blockSize: 5}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if _, err := cfg.coreConfig(); err != nil {
+		return nil, err
+	}
+	key, err := planKey(a, cfg)
+	if err != nil {
+		return nil, err
+	}
+	j, err := s.register(JobGenerate, ctx, cfg.progress, nil)
+	if err != nil {
+		return nil, err
+	}
+	go s.runGenerate(j, a, cfg, key)
+	return j, nil
+}
+
+// SubmitCampaign queues a fault-injection campaign job against the plan.
+// Options are those of Plan.Campaign.
+func (s *Service) SubmitCampaign(ctx context.Context, p *Plan, opts ...CampaignOption) (*Job, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var cfg campaignConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	j, err := s.register(JobCampaign, ctx, cfg.progress, p)
+	if err != nil {
+		return nil, err
+	}
+	go s.runCampaign(j, p, opts)
+	return j, nil
+}
+
+// SubmitVerify queues an exhaustive verification job: every single
+// stuck-at fault, then every distinct pair (maxPairs > 0 truncates the
+// O(nv^2) pair scan).
+func (s *Service) SubmitVerify(ctx context.Context, p *Plan, maxPairs int) (*Job, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	j, err := s.register(JobVerify, ctx, nil, p)
+	if err != nil {
+		return nil, err
+	}
+	go s.runVerify(j, p, maxPairs)
+	return j, nil
+}
+
+// flight is one in-flight generation shared by every job that asked for
+// the same cache key (singleflight). Its context is canceled only when all
+// attached jobs have canceled, so one impatient caller cannot abort a
+// solve others still want.
+type flight struct {
+	key    string
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// refs / subs / events / running are guarded by the service mutex.
+	// events lets a job that attaches mid-solve replay the phases it
+	// missed.
+	refs    int
+	subs    []*Job
+	events  []Event
+	running bool
+
+	done chan struct{}
+	plan *Plan
+	err  error
+}
+
+// runGenerate is a generate job's goroutine: cache lookup, flight
+// join-or-create, then wait for the shared result or the job's own
+// cancellation.
+func (s *Service) runGenerate(j *Job, a *Array, cfg genConfig, key string) {
+	defer s.wg.Done()
+	if err := j.ctx.Err(); err != nil {
+		j.finish(JobCanceled, fmt.Errorf("fpva: generate: %w", err))
+		return
+	}
+	s.mu.Lock()
+	if s.cache != nil {
+		if plan, events, ok := s.cache.get(key); ok {
+			s.hits++
+			s.mu.Unlock()
+			j.mu.Lock()
+			j.cacheHit = true
+			j.mu.Unlock()
+			j.setRunning()
+			// Replay the events the original solve recorded, so cached and
+			// cold callers observe the same progress sequence.
+			for _, e := range events {
+				j.emit(e)
+			}
+			j.finishPlan(plan)
+			return
+		}
+	}
+	fl, ok := s.flights[key]
+	if ok {
+		s.coalesced++
+		fl.refs++
+		// Catch-up handoff: replay recorded events outside the lock, then
+		// join the live subscriber list only once caught up — the flight
+		// never delivers to a job that is still replaying, so each follower
+		// observes the phase events in emission order.
+		replayed := 0
+		for {
+			pending := append([]Event(nil), fl.events[replayed:]...)
+			if len(pending) == 0 {
+				fl.subs = append(fl.subs, j)
+				if fl.running {
+					s.mu.Unlock()
+					j.setRunning()
+				} else {
+					s.mu.Unlock()
+				}
+				break
+			}
+			replayed += len(pending)
+			s.mu.Unlock()
+			for _, e := range pending {
+				j.emit(e)
+			}
+			s.mu.Lock()
+		}
+	} else {
+		s.misses++
+		fl = &flight{key: key, refs: 1, subs: []*Job{j}, done: make(chan struct{})}
+		fl.ctx, fl.cancel = context.WithCancel(context.Background())
+		s.flights[key] = fl
+		s.wg.Add(1)
+		go s.runFlight(fl, a, cfg, key)
+		s.mu.Unlock()
+	}
+	select {
+	case <-fl.done:
+		if fl.err != nil {
+			j.finish(j.classifyTerminal(), fl.err)
+		} else {
+			j.finishPlan(fl.plan)
+		}
+	case <-j.ctx.Done():
+		s.detach(fl, j)
+		j.finish(JobCanceled, fmt.Errorf("fpva: generate: %w", j.ctx.Err()))
+	}
+}
+
+// detach removes a canceled job from its flight; the last one out cancels
+// the solve and unpublishes the flight, so a later identical submission
+// starts fresh instead of joining a doomed solve.
+func (s *Service) detach(fl *flight, j *Job) {
+	s.mu.Lock()
+	for i, sub := range fl.subs {
+		if sub == j {
+			fl.subs = append(fl.subs[:i], fl.subs[i+1:]...)
+			fl.refs--
+			break
+		}
+	}
+	last := fl.refs == 0
+	if last && s.flights[fl.key] == fl {
+		delete(s.flights, fl.key)
+	}
+	s.mu.Unlock()
+	if last {
+		fl.cancel()
+	}
+}
+
+// runFlight executes one deduplicated generation: acquire a worker slot,
+// run the pipeline with progress fanned out to every attached job, store
+// the plan in the cache, and publish the result.
+func (s *Service) runFlight(fl *flight, a *Array, cfg genConfig, key string) {
+	defer s.wg.Done()
+	defer fl.cancel()
+	finish := func(plan *Plan, err error) {
+		s.mu.Lock()
+		// Guard against unpublishing a successor: detach may already have
+		// removed this flight and a new submission registered a fresh one
+		// under the same key.
+		if s.flights[key] == fl {
+			delete(s.flights, key)
+		}
+		s.mu.Unlock()
+		fl.plan, fl.err = plan, err
+		close(fl.done)
+	}
+	if err := s.acquireSlot(fl.ctx); err != nil {
+		finish(nil, fmt.Errorf("fpva: generate: %w", err))
+		return
+	}
+	defer s.releaseSlot()
+	s.mu.Lock()
+	fl.running = true
+	subs := append([]*Job(nil), fl.subs...)
+	s.mu.Unlock()
+	for _, j := range subs {
+		j.setRunning()
+	}
+	coreCfg, err := cfg.coreConfig()
+	if err != nil {
+		finish(nil, err)
+		return
+	}
+	coreCfg.OnPhase = func(ph core.Phase, done bool) {
+		kind := PhaseStarted
+		if done {
+			kind = PhaseFinished
+		}
+		fl.emit(s, Event{Kind: kind, Phase: Phase(ph)})
+	}
+	t0 := time.Now()
+	ts, err := core.Generate(fl.ctx, a.g, coreCfg)
+	wall := time.Since(t0)
+	if err != nil {
+		finish(nil, err)
+		return
+	}
+	plan := &Plan{a: a, ts: ts, geometry: true}
+	// Size the cache entry (the length of the plan's wire encoding, counted
+	// without materializing the bytes) before taking the service lock — a
+	// large plan must not stall unrelated submissions and stats — and only
+	// when there is a cache to put it in.
+	var size int64
+	if s.cache != nil {
+		var cw countWriter
+		if encErr := EncodePlan(&cw, plan); encErr == nil {
+			size = cw.n
+		}
+	}
+	s.mu.Lock()
+	s.solves++
+	s.solverWall += wall
+	if s.cache != nil && size > 0 {
+		s.cache.put(key, plan, size, append([]Event(nil), fl.events...))
+	}
+	s.mu.Unlock()
+	finish(plan, nil)
+}
+
+// countWriter discards writes, keeping only their total length.
+type countWriter struct{ n int64 }
+
+func (w *countWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
+}
+
+// emit records a flight event and fans it out to the currently attached
+// jobs (delivery happens outside the service lock: Progress callbacks are
+// user code).
+func (fl *flight) emit(s *Service, e Event) {
+	s.mu.Lock()
+	fl.events = append(fl.events, e)
+	subs := append([]*Job(nil), fl.subs...)
+	s.mu.Unlock()
+	for _, j := range subs {
+		j.emit(e)
+	}
+}
+
+// runCampaign is a campaign job's goroutine.
+func (s *Service) runCampaign(j *Job, p *Plan, opts []CampaignOption) {
+	defer s.wg.Done()
+	if err := s.acquireSlot(j.ctx); err != nil {
+		j.finish(JobCanceled, fmt.Errorf("fpva: campaign: %w", err))
+		return
+	}
+	defer s.releaseSlot()
+	j.setRunning()
+	all := append(append([]CampaignOption(nil), opts...),
+		WithCampaignProgress(func(e Event) { j.emit(e) }))
+	t0 := time.Now()
+	res, err := p.Campaign(j.ctx, all...)
+	wall := time.Since(t0)
+	j.mu.Lock()
+	j.camp = res
+	j.mu.Unlock()
+	if err != nil {
+		j.finish(j.classifyTerminal(), err)
+		return
+	}
+	s.mu.Lock()
+	s.campaigns++
+	s.campaignWall += wall
+	s.mu.Unlock()
+	j.finish(JobDone, nil)
+}
+
+// runVerify is a verification job's goroutine.
+func (s *Service) runVerify(j *Job, p *Plan, maxPairs int) {
+	defer s.wg.Done()
+	if err := s.acquireSlot(j.ctx); err != nil {
+		j.finish(JobCanceled, fmt.Errorf("fpva: verify: %w", err))
+		return
+	}
+	defer s.releaseSlot()
+	j.setRunning()
+	singles, err := p.VerifySingleFaults(j.ctx)
+	if err != nil {
+		j.finish(j.classifyTerminal(), err)
+		return
+	}
+	pairs, err := p.VerifyDoubleFaults(j.ctx, maxPairs)
+	if err != nil {
+		j.finish(j.classifyTerminal(), err)
+		return
+	}
+	j.mu.Lock()
+	j.verify = VerifyResult{SingleEscapes: singles, DoubleEscapes: pairs}
+	j.mu.Unlock()
+	s.mu.Lock()
+	s.verifies++
+	s.mu.Unlock()
+	j.finish(JobDone, nil)
+}

@@ -81,6 +81,11 @@ type Stats struct {
 	// node budget: the accepted paths/cuts are feasible but not proven
 	// optimal. Zero when the exact engines finished (or were not used).
 	PathILPNonOptimal, CutILPNonOptimal int
+	// ILPSolves / ILPNodes / SolverWall aggregate the branch-and-bound
+	// accounting across both ILP engines (zero when the combinatorial
+	// engines served every family).
+	ILPSolves, ILPNodes int
+	SolverWall          time.Duration
 }
 
 func (s Stats) String() string {
@@ -162,6 +167,9 @@ func Generate(ctx context.Context, a *grid.Array, cfg Config) (*TestSet, error) 
 	ts.PathVectors = fp.Vectors(a)
 	ts.UncoveredPath = fp.Uncovered
 	ts.Stats.PathILPNonOptimal = fp.ILP.NonOptimal
+	ts.Stats.ILPSolves += fp.ILP.Solves
+	ts.Stats.ILPNodes += fp.ILP.Nodes
+	ts.Stats.SolverWall += fp.ILP.Wall
 	phase(PhaseFlowPaths, true)
 
 	phase(PhaseCutSets, false)
@@ -175,6 +183,9 @@ func Generate(ctx context.Context, a *grid.Array, cfg Config) (*TestSet, error) 
 	ts.CutVectors = cs.Vectors(a)
 	ts.UncoveredCut = cs.Uncovered
 	ts.Stats.CutILPNonOptimal = cs.ILP.NonOptimal
+	ts.Stats.ILPSolves += cs.ILP.Solves
+	ts.Stats.ILPNodes += cs.ILP.Nodes
+	ts.Stats.SolverWall += cs.ILP.Wall
 	phase(PhaseCutSets, true)
 
 	if !cfg.SkipLeakage {

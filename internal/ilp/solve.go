@@ -6,6 +6,7 @@ import (
 	"context"
 	"math"
 	"sync"
+	"time"
 
 	"repro/internal/lp"
 )
@@ -16,6 +17,9 @@ type Solution struct {
 	X      []float64 // valid for Optimal and Feasible
 	Obj    float64
 	Nodes  int
+	// Wall is the wall-clock time the solve took (accounting only; it is
+	// not part of the deterministic contract).
+	Wall time.Duration
 	// WarmStart is a reusable handle for solving another model of the same
 	// shape (same variable and constraint counts — e.g. the next round of an
 	// iterative set-cover with a different objective, or the same cut model
@@ -50,9 +54,10 @@ type WarmStart struct {
 // Stats accumulates solve-level accounting across a sequence of Solve
 // calls; the generator packages embed it in their Results.
 type Stats struct {
-	Solves     int // ILP solves performed
-	Nodes      int // branch-and-bound nodes across all solves
-	NonOptimal int // solves that stopped early: feasible, not proven optimal
+	Solves     int           // ILP solves performed
+	Nodes      int           // branch-and-bound nodes across all solves
+	NonOptimal int           // solves that stopped early: feasible, not proven optimal
+	Wall       time.Duration // cumulative solver wall-clock time
 }
 
 // Observe folds one solve into the stats. Zero-node solutions (error paths
@@ -63,6 +68,7 @@ func (s *Stats) Observe(sol Solution) {
 	}
 	s.Solves++
 	s.Nodes += sol.Nodes
+	s.Wall += sol.Wall
 	if sol.Status == Feasible {
 		s.NonOptimal++
 	}
@@ -169,6 +175,7 @@ func (m *Model) Solve(ctx context.Context, opt Options) Solution {
 	if len(m.vars) == 0 {
 		return Solution{Status: Optimal, X: nil, Obj: 0}
 	}
+	t0 := time.Now()
 	prob := m.compileLP()
 	s := &searcher{
 		m:        m,
@@ -213,7 +220,9 @@ func (m *Model) Solve(ctx context.Context, opt Options) Solution {
 		}
 		wg.Wait()
 	}
-	return s.assemble()
+	sol := s.assemble()
+	sol.Wall = time.Since(t0)
+	return sol
 }
 
 // work is one worker's loop: pop the best node, solve its relaxation, and

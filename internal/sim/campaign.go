@@ -54,6 +54,11 @@ type CampaignConfig struct {
 type CampaignResult struct {
 	Trials   int
 	Detected int
+	// Sims counts vector evaluations performed across all trials (a trial
+	// stops at its first detecting vector). For a fixed seed and a completed
+	// campaign it is identical for any worker count, like the rest of the
+	// result.
+	Sims int
 	// Escapes holds up to MaxEscapes undetected fault sets (lowest trial
 	// indices first) for diagnosis.
 	Escapes [][]Fault
@@ -241,6 +246,7 @@ func (cv *CompiledVectors) RunCampaign(ctx context.Context, cfg CampaignConfig) 
 	var (
 		next      atomic.Int64
 		detected  atomic.Int64
+		sims      atomic.Int64
 		completed atomic.Int64
 		mu        sync.Mutex
 		escapes   []escape
@@ -263,7 +269,7 @@ func (cv *CompiledVectors) RunCampaign(ctx context.Context, cfg CampaignConfig) 
 		sc := cv.s.getScratch()
 		defer cv.s.putScratch(sc)
 		rng := rand.New(&splitmix64{})
-		var det int64
+		var det, sim int64
 		var local []escape
 		for ctx.Err() == nil {
 			start := int(next.Add(block)) - block
@@ -277,18 +283,24 @@ func (cv *CompiledVectors) RunCampaign(ctx context.Context, cfg CampaignConfig) 
 			for trial := start; trial < end; trial++ {
 				rng.Seed(trialSeed(cfg.Seed, trial))
 				faults := randomFaults(rng, normal, cfg)
-				if cv.detectingVector(sc, faults) >= 0 {
+				if idx := cv.detectingVector(sc, faults); idx >= 0 {
 					det++
-				} else if len(local) < maxEscapes {
-					// A worker's trials ascend, so its first maxEscapes
-					// escapes are a superset of its share of the global ones.
-					local = append(local, escape{trial, faults})
+					sim += int64(idx) + 1
+				} else {
+					sim += int64(len(cv.vecs))
+					if len(local) < maxEscapes {
+						// A worker's trials ascend, so its first maxEscapes
+						// escapes are a superset of its share of the global
+						// ones.
+						local = append(local, escape{trial, faults})
+					}
 				}
 			}
 			completed.Add(int64(end - start))
 			report()
 		}
 		detected.Add(det)
+		sims.Add(sim)
 		if len(local) > 0 {
 			mu.Lock()
 			escapes = append(escapes, local...)
@@ -309,6 +321,7 @@ func (cv *CompiledVectors) RunCampaign(ctx context.Context, cfg CampaignConfig) 
 		wg.Wait()
 	}
 	res.Detected = int(detected.Load())
+	res.Sims = int(sims.Load())
 	sort.Slice(escapes, func(i, j int) bool { return escapes[i].trial < escapes[j].trial })
 	if len(escapes) > maxEscapes {
 		escapes = escapes[:maxEscapes]

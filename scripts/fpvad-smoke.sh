@@ -1,0 +1,109 @@
+#!/bin/sh
+# fpvad-smoke.sh: end-to-end daemon smoke test, run by CI and `make
+# smoke-daemon`. It boots fpvad on an ephemeral port, submits a 4x4
+# generate job (once through the fpvatest -daemon client, once through raw
+# curl), streams the NDJSON progress of both, fetches the plans, replays
+# one with fpvasim, and proves the upload round trip is bit-identical to
+# local `fpvatest -o` output.
+set -eu
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+	[ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+	rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+echo "== build"
+go build -o "$tmp/fpvad" ./cmd/fpvad
+go build -o "$tmp/fpvatest" ./cmd/fpvatest
+go build -o "$tmp/fpvasim" ./cmd/fpvasim
+
+echo "== boot fpvad"
+"$tmp/fpvad" -addr 127.0.0.1:0 >"$tmp/fpvad.log" 2>&1 &
+daemon_pid=$!
+base=""
+i=0
+while [ $i -lt 100 ]; do
+	base=$(sed -n 's|.*listening on \(http://[^ ]*\).*|\1|p' "$tmp/fpvad.log")
+	[ -n "$base" ] && break
+	i=$((i + 1))
+	sleep 0.1
+done
+if [ -z "$base" ]; then
+	echo "error: fpvad did not start" >&2
+	cat "$tmp/fpvad.log" >&2
+	exit 1
+fi
+curl -fsS "$base/healthz" >/dev/null
+echo "   up at $base"
+
+echo "== remote generate via fpvatest -daemon (submit + stream + fetch)"
+"$tmp/fpvatest" -daemon "$base" -rows 4 -cols 4 -progress \
+	-o "$tmp/remote-plan.json" 2>"$tmp/client-progress.log"
+grep -q "phase" "$tmp/client-progress.log" || {
+	echo "error: client saw no streamed progress" >&2
+	exit 1
+}
+
+echo "== raw curl flow: submit a 4x4 generate job"
+cat >"$tmp/mkarray.go" <<'EOF'
+package main
+
+import (
+	"os"
+
+	"repro/fpva"
+)
+
+func main() {
+	a, err := fpva.NewArray(4, 4)
+	if err != nil {
+		panic(err)
+	}
+	if err := fpva.EncodeArray(os.Stdout, a); err != nil {
+		panic(err)
+	}
+}
+EOF
+go run "$tmp/mkarray.go" >"$tmp/array.json"
+printf '{"kind":"generate","array":%s}' "$(cat "$tmp/array.json")" >"$tmp/gen-req.json"
+curl -fsS -X POST --data-binary @"$tmp/gen-req.json" "$base/v1/jobs" >"$tmp/submit.json"
+id=$(tr -d ' \n' <"$tmp/submit.json" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+[ -n "$id" ] || { echo "error: no job id in $(cat "$tmp/submit.json")" >&2; exit 1; }
+echo "   job $id"
+
+echo "== stream NDJSON progress until the job finishes"
+curl -fsSN "$base/v1/jobs/$id/events" >"$tmp/events.ndjson"
+grep -q '"event":"phase-started"' "$tmp/events.ndjson"
+grep -q '"state":"done"' "$tmp/events.ndjson"
+
+echo "== fetch the plan and replay it with fpvasim"
+curl -fsS "$base/v1/jobs/$id/result" >"$tmp/curl-plan.json"
+# Both 4x4 jobs hit the same cache entry, so the served bytes agree.
+cmp "$tmp/remote-plan.json" "$tmp/curl-plan.json"
+"$tmp/fpvasim" -plan "$tmp/curl-plan.json" -trials 200 -faults 2 | grep -q "faults"
+
+echo "== plan upload round trip is bit-identical to fpvatest -o"
+"$tmp/fpvatest" -rows 4 -cols 4 -o "$tmp/local-plan.json" >/dev/null
+printf '{"kind":"campaign","plan":%s,"campaign":{"trials":500,"faults":2,"seed":7}}' \
+	"$(cat "$tmp/local-plan.json")" >"$tmp/camp-req.json"
+curl -fsS -X POST --data-binary @"$tmp/camp-req.json" "$base/v1/jobs" >"$tmp/camp-submit.json"
+cid=$(tr -d ' \n' <"$tmp/camp-submit.json" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+curl -fsS "$base/v1/jobs/$cid/plan" >"$tmp/roundtrip-plan.json"
+cmp "$tmp/local-plan.json" "$tmp/roundtrip-plan.json"
+curl -fsSN "$base/v1/jobs/$cid/events" >/dev/null # wait for the campaign
+curl -fsS "$base/v1/jobs/$cid/result" | grep -q '"detected": 500'
+
+echo "== service stats"
+curl -fsS "$base/v1/stats" | tee "$tmp/stats.json" | grep -q '"solves": 1'
+
+echo "== graceful shutdown"
+kill "$daemon_pid"
+wait "$daemon_pid" || { echo "error: fpvad exited non-zero" >&2; cat "$tmp/fpvad.log" >&2; exit 1; }
+daemon_pid=""
+grep -q "shut down" "$tmp/fpvad.log"
+
+echo "fpvad smoke ok"
