@@ -1,10 +1,12 @@
 GO ?= go
 
-.PHONY: all build test check check-imports fmt vet bench bench-smoke bench-json fuzz-smoke smoke-daemon clean
+.PHONY: all build test check check-imports fmt vet bench bench-smoke bench-json bench-diff bench-ci fuzz-smoke smoke-daemon clean
 
 # Where `make bench-json` records the benchmark suite (bumped per PR so the
 # repo keeps its performance trajectory).
-BENCH_OUT ?= BENCH_pr4.json
+BENCH_OUT ?= BENCH_pr5.json
+# The previous recording, for `make bench-diff`.
+BENCH_PREV ?= BENCH_pr4.json
 
 all: check
 
@@ -42,6 +44,20 @@ bench:
 # its own performance trajectory (see EXPERIMENTS.md).
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem -json . > $(BENCH_OUT)
+
+# Per-benchmark ns/op and allocs/op deltas between two recordings.
+bench-diff:
+	$(GO) run scripts/benchdiff.go $(BENCH_PREV) $(BENCH_OUT)
+
+# CI regression gate: re-run a fast benchmark subset and fail on a >30%
+# ns/op regression against the committed baseline recording. The baseline
+# is machine-dependent, so this is a coarse tripwire for order-of-magnitude
+# regressions, not a precision gate; re-record BENCH_OUT when the committed
+# numbers drift from the CI runner class.
+bench-ci:
+	$(GO) test -run '^$$' -bench 'Campaign_1Fault$$|Table1_5x5|Ablation_PathILPIterative$$|Ablation_CutILP$$' \
+		-benchtime 5x -benchmem -json . > /tmp/bench-ci.json
+	$(GO) run scripts/benchdiff.go -max-ns-regress 30 $(BENCH_OUT) /tmp/bench-ci.json
 
 # Short fuzz runs of the solver-stack and wire-codec fuzz targets; the
 # committed corpus under testdata/fuzz always runs as part of `go test`.

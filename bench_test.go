@@ -222,9 +222,11 @@ func BenchmarkAblation_PathILPIterative(b *testing.B) {
 
 // The warm-started branch-and-bound runs a worker pool; the returned
 // solution (status, objective, vector) is bit-identical to the serial run
-// for any worker count — only node accounting is schedule-dependent.
+// for any worker count — only node accounting is schedule-dependent. The
+// pool is pinned at 4 workers so the recorded speedups compare across
+// machines.
 func BenchmarkAblation_PathILPIterative_Parallel(b *testing.B) {
-	benchPathILPIterative(b, runtime.NumCPU())
+	benchPathILPIterative(b, 4)
 }
 
 func benchPathILPIterative(b *testing.B, workers int) {
@@ -262,13 +264,21 @@ func BenchmarkAblation_PathILPMonolithic(b *testing.B) {
 
 // Ablation: cut-set generation via the paper's complementary ILP over the
 // dual graph (constraint (9) as model rows), one warm-started solve per
-// target valve.
-func BenchmarkAblation_CutILP(b *testing.B) {
+// target valve. The _Parallel variant runs the branch-and-bound on four
+// workers; the cuts are bit-identical to the serial run.
+func BenchmarkAblation_CutILP(b *testing.B) { benchCutILP(b, 1) }
+
+func BenchmarkAblation_CutILP_Parallel(b *testing.B) { benchCutILP(b, 4) }
+
+func benchCutILP(b *testing.B, workers int) {
 	a := grid.MustNewStandard(5, 5)
 	var res *cutset.Result
 	var err error
 	for i := 0; i < b.N; i++ {
-		res, err = cutset.Generate(context.Background(), a, cutset.Options{Engine: cutset.EngineILP})
+		res, err = cutset.Generate(context.Background(), a, cutset.Options{
+			Engine: cutset.EngineILP,
+			ILP:    ilp.Options{Workers: workers},
+		})
 		if err != nil {
 			b.Fatal(err)
 		}

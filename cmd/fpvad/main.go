@@ -8,6 +8,7 @@
 //	fpvad                          serve on 127.0.0.1:8471
 //	fpvad -addr :9000 -workers 8   tune the bind address and worker pool
 //	fpvad -cache-mb 256            raise the plan-cache byte budget
+//	fpvad -pprof-addr 127.0.0.1:6060  expose net/http/pprof (loopback only)
 //
 // API (all payloads JSON; plans and arrays use the v1 wire format):
 //
@@ -35,11 +36,13 @@ import (
 	"io"
 	"net"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/cmd/internal/api"
 	"repro/cmd/internal/cli"
 	"repro/fpva"
 )
@@ -48,9 +51,10 @@ import (
 const maxBodyBytes = 32 << 20
 
 type options struct {
-	addr    string
-	workers int
-	cacheMB int
+	addr      string
+	workers   int
+	cacheMB   int
+	pprofAddr string
 }
 
 func main() {
@@ -88,6 +92,7 @@ func parseFlags(args []string, stderr io.Writer) (options, error) {
 	fs.StringVar(&opt.addr, "addr", "127.0.0.1:8471", "listen address (use :0 for an ephemeral port)")
 	fs.IntVar(&opt.workers, "workers", 0, "concurrent jobs (0 = all CPUs)")
 	fs.IntVar(&opt.cacheMB, "cache-mb", 64, "plan-cache byte budget in MiB (0 disables caching)")
+	fs.StringVar(&opt.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this loopback address (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return opt, err
@@ -106,7 +111,30 @@ func parseFlags(args []string, stderr io.Writer) (options, error) {
 		fmt.Fprintln(stderr, "fpvad: -cache-mb must be >= 0")
 		return opt, usagef("-cache-mb must be >= 0")
 	}
+	if opt.pprofAddr != "" {
+		if err := checkLoopback(opt.pprofAddr); err != nil {
+			fmt.Fprintln(stderr, "fpvad:", err)
+			return opt, usagef("%v", err)
+		}
+	}
 	return opt, nil
+}
+
+// checkLoopback rejects pprof bind addresses that would expose the
+// profiling endpoints (heap contents, goroutine dumps) beyond the local
+// machine.
+func checkLoopback(addr string) error {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		return fmt.Errorf("-pprof-addr %q: %v", addr, err)
+	}
+	if host == "localhost" {
+		return nil
+	}
+	if ip := net.ParseIP(host); ip != nil && ip.IsLoopback() {
+		return nil
+	}
+	return fmt.Errorf("-pprof-addr %q is not loopback; profiling is local-only", addr)
 }
 
 func run(ctx context.Context, w io.Writer, opt options) error {
@@ -123,6 +151,20 @@ func run(ctx context.Context, w io.Writer, opt options) error {
 	srv := &http.Server{Handler: newServer(svc)}
 	fmt.Fprintf(w, "fpvad: listening on http://%s (%d workers, %d MiB plan cache)\n",
 		ln.Addr(), svc.Workers(), opt.cacheMB)
+	var pprofSrv *http.Server
+	if opt.pprofAddr != "" {
+		pln, err := net.Listen("tcp", opt.pprofAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		// The job API runs on its own mux, so the default mux carries only
+		// the net/http/pprof registrations — serve it on the loopback-only
+		// profiling listener.
+		pprofSrv = &http.Server{Handler: http.DefaultServeMux}
+		fmt.Fprintf(w, "fpvad: pprof on http://%s/debug/pprof/\n", pln.Addr())
+		go pprofSrv.Serve(pln)
+	}
 	shutdownDone := make(chan struct{})
 	go func() {
 		defer close(shutdownDone)
@@ -134,6 +176,9 @@ func run(ctx context.Context, w io.Writer, opt options) error {
 		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		srv.Shutdown(shutCtx)
+		if pprofSrv != nil {
+			pprofSrv.Shutdown(shutCtx)
+		}
 	}()
 	if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
 		return err
@@ -166,150 +211,13 @@ func newServer(svc *fpva.Service) http.Handler {
 	return mux
 }
 
-// submitRequest is the POST /v1/jobs payload. Exactly one of Array (for
-// generate) and Plan (for campaign/verify) must be present, in the v1
-// wire format.
-type submitRequest struct {
-	Kind     string          `json:"kind"`
-	Array    json.RawMessage `json:"array,omitempty"`
-	Plan     json.RawMessage `json:"plan,omitempty"`
-	Generate *generateParams `json:"generate,omitempty"`
-	Campaign *campaignParams `json:"campaign,omitempty"`
-	Verify   *verifyParams   `json:"verify,omitempty"`
-}
-
-type generateParams struct {
-	Direct        bool   `json:"direct,omitempty"`
-	Block         int    `json:"block,omitempty"`
-	SkipLeakage   bool   `json:"skipLeakage,omitempty"`
-	PathEngine    string `json:"pathEngine,omitempty"`
-	CutEngine     string `json:"cutEngine,omitempty"`
-	SolverWorkers int    `json:"solverWorkers,omitempty"`
-}
-
-type campaignParams struct {
-	Trials     int   `json:"trials,omitempty"`
-	Faults     int   `json:"faults,omitempty"`
-	Seed       int64 `json:"seed,omitempty"`
-	Workers    int   `json:"workers,omitempty"`
-	MaxEscapes int   `json:"maxEscapes,omitempty"`
-	Leaks      bool  `json:"leaks,omitempty"`
-}
-
-type verifyParams struct {
-	MaxPairs int `json:"maxPairs,omitempty"`
-}
-
-// jobJSON is the job-status resource.
-type jobJSON struct {
-	ID       string `json:"id"`
-	Kind     string `json:"kind"`
-	State    string `json:"state"`
-	CacheHit bool   `json:"cacheHit,omitempty"`
-	Error    string `json:"error,omitempty"`
-}
-
-func jobStatus(j *fpva.Job) jobJSON {
-	out := jobJSON{ID: j.ID(), Kind: j.Kind().String(), State: j.State().String(), CacheHit: j.CacheHit()}
-	if err := j.Err(); err != nil {
-		out.Error = err.Error()
-	}
-	return out
-}
-
-// eventJSON is one NDJSON progress line.
-type eventJSON struct {
-	Event string `json:"event"`
-	Phase string `json:"phase,omitempty"`
-	Done  int    `json:"done,omitempty"`
-	Total int    `json:"total,omitempty"`
-}
-
-func eventToJSON(e fpva.Event) eventJSON {
-	out := eventJSON{Event: e.Kind.String()}
-	switch e.Kind {
-	case fpva.PhaseStarted, fpva.PhaseFinished:
-		out.Phase = e.Phase.String()
-	case fpva.CampaignTick:
-		out.Done, out.Total = e.TrialsDone, e.TrialsTotal
-	}
-	return out
-}
-
-// edgeJSON / faultJSON are the report-side fault encoding.
-type edgeJSON struct {
-	Orient string `json:"o"`
-	R      int    `json:"r"`
-	C      int    `json:"c"`
-}
-
-type faultJSON struct {
-	Kind string    `json:"kind"`
-	A    edgeJSON  `json:"a"`
-	B    *edgeJSON `json:"b,omitempty"`
-}
-
-func edgeToJSON(e fpva.Edge) edgeJSON {
-	return edgeJSON{Orient: e.Orient.String(), R: e.R, C: e.C}
-}
-
-func faultToJSON(f fpva.Fault) faultJSON {
-	out := faultJSON{Kind: f.Kind.String(), A: edgeToJSON(f.A)}
-	if f.Kind == fpva.ControlLeak {
-		b := edgeToJSON(f.B)
-		out.B = &b
-	}
-	return out
-}
-
-// campaignReport is the GET result payload of a campaign job.
-type campaignReport struct {
-	Format   string        `json:"format"` // "fpva.campaign"
-	Version  int           `json:"version"`
-	Trials   int           `json:"trials"`
-	Detected int           `json:"detected"`
-	Rate     float64       `json:"rate"`
-	Sims     int           `json:"sims"`
-	Escapes  [][]faultJSON `json:"escapes,omitempty"`
-}
-
-// verifyReport is the GET result payload of a verify job.
-type verifyReport struct {
-	Format        string         `json:"format"` // "fpva.verify"
-	Version       int            `json:"version"`
-	SingleEscapes []faultJSON    `json:"singleEscapes"`
-	DoubleEscapes [][2]faultJSON `json:"doubleEscapes"`
-}
-
 func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// serviceStatsJSON mirrors fpva.ServiceStats with wire-style field names
-// (durations in nanoseconds).
-type serviceStatsJSON struct {
-	JobsSubmitted  int   `json:"jobsSubmitted"`
-	JobsPending    int   `json:"jobsPending"`
-	JobsRunning    int   `json:"jobsRunning"`
-	JobsDone       int   `json:"jobsDone"`
-	JobsFailed     int   `json:"jobsFailed"`
-	JobsCanceled   int   `json:"jobsCanceled"`
-	CacheHits      int   `json:"cacheHits"`
-	CacheMisses    int   `json:"cacheMisses"`
-	CacheCoalesced int   `json:"cacheCoalesced"`
-	CacheEntries   int   `json:"cacheEntries"`
-	CacheBytes     int64 `json:"cacheBytes"`
-	CacheCapBytes  int64 `json:"cacheCapBytes"`
-	Solves         int   `json:"solves"`
-	SolverWallNs   int64 `json:"solverWallNs"`
-	Campaigns      int   `json:"campaigns"`
-	CampaignWallNs int64 `json:"campaignWallNs"`
-	Verifies       int   `json:"verifies"`
-}
-
 func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 	st := s.svc.Stats()
-	writeJSON(w, http.StatusOK, serviceStatsJSON{
+	writeJSON(w, http.StatusOK, api.ServiceStats{
 		JobsSubmitted: st.JobsSubmitted,
 		JobsPending:   st.JobsPending, JobsRunning: st.JobsRunning,
 		JobsDone: st.JobsDone, JobsFailed: st.JobsFailed, JobsCanceled: st.JobsCanceled,
@@ -333,7 +241,7 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
 		return
 	}
-	var req submitRequest
+	var req api.SubmitRequest
 	if err := json.Unmarshal(body, &req); err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("parse request: %w", err))
 		return
@@ -351,7 +259,7 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, statusForSubmitError(err), err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, jobStatus(job))
+	writeJSON(w, http.StatusAccepted, api.JobStatus(job))
 }
 
 // statusForSubmitError: malformed payloads are the client's fault; only a
@@ -363,7 +271,7 @@ func statusForSubmitError(err error) int {
 	return http.StatusBadRequest
 }
 
-func (s *server) submitGenerate(req submitRequest) (*fpva.Job, error) {
+func (s *server) submitGenerate(req api.SubmitRequest) (*fpva.Job, error) {
 	if len(req.Array) == 0 {
 		return nil, fmt.Errorf("generate job needs an %q payload", "array")
 	}
@@ -405,7 +313,7 @@ func (s *server) submitGenerate(req submitRequest) (*fpva.Job, error) {
 	return s.svc.SubmitGenerate(context.Background(), a, opts...)
 }
 
-func (s *server) submitPlanJob(req submitRequest) (*fpva.Job, error) {
+func (s *server) submitPlanJob(req api.SubmitRequest) (*fpva.Job, error) {
 	if len(req.Plan) == 0 {
 		return nil, fmt.Errorf("%s job needs a %q payload", req.Kind, "plan")
 	}
@@ -446,9 +354,9 @@ func (s *server) submitPlanJob(req submitRequest) (*fpva.Job, error) {
 
 func (s *server) list(w http.ResponseWriter, r *http.Request) {
 	jobs := s.svc.Jobs()
-	out := make([]jobJSON, len(jobs))
+	out := make([]api.Job, len(jobs))
 	for i, j := range jobs {
-		out[i] = jobStatus(j)
+		out[i] = api.JobStatus(j)
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -465,7 +373,7 @@ func (s *server) lookup(w http.ResponseWriter, r *http.Request) (*fpva.Job, bool
 
 func (s *server) status(w http.ResponseWriter, r *http.Request) {
 	if j, ok := s.lookup(w, r); ok {
-		writeJSON(w, http.StatusOK, jobStatus(j))
+		writeJSON(w, http.StatusOK, api.JobStatus(j))
 	}
 }
 
@@ -475,7 +383,7 @@ func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j.Cancel()
-	writeJSON(w, http.StatusOK, jobStatus(j))
+	writeJSON(w, http.StatusOK, api.JobStatus(j))
 }
 
 // events streams the job's progress as NDJSON: every recorded event from
@@ -491,7 +399,7 @@ func (s *server) events(w http.ResponseWriter, r *http.Request) {
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	for e := range j.Stream(r.Context()) {
-		if enc.Encode(eventToJSON(e)) != nil {
+		if enc.Encode(api.EventStatus(e)) != nil {
 			return // client went away
 		}
 		if flusher != nil {
@@ -501,7 +409,7 @@ func (s *server) events(w http.ResponseWriter, r *http.Request) {
 	if r.Context().Err() != nil {
 		return
 	}
-	enc.Encode(jobStatus(j))
+	enc.Encode(api.JobStatus(j))
 	if flusher != nil {
 		flusher.Flush()
 	}
@@ -537,15 +445,15 @@ func (s *server) result(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusInternalServerError, err)
 			return
 		}
-		rep := campaignReport{
+		rep := api.CampaignReport{
 			Format: "fpva.campaign", Version: fpva.CodecVersion,
 			Trials: res.Trials, Detected: res.Detected,
 			Rate: res.DetectionRate(), Sims: res.Sims,
 		}
 		for _, esc := range res.Escapes {
-			fs := make([]faultJSON, len(esc))
+			fs := make([]api.Fault, len(esc))
 			for i, f := range esc {
-				fs[i] = faultToJSON(f)
+				fs[i] = api.FaultStatus(f)
 			}
 			rep.Escapes = append(rep.Escapes, fs)
 		}
@@ -556,16 +464,16 @@ func (s *server) result(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusInternalServerError, err)
 			return
 		}
-		rep := verifyReport{
+		rep := api.VerifyReport{
 			Format: "fpva.verify", Version: fpva.CodecVersion,
-			SingleEscapes: []faultJSON{}, DoubleEscapes: [][2]faultJSON{},
+			SingleEscapes: []api.Fault{}, DoubleEscapes: [][2]api.Fault{},
 		}
 		for _, f := range res.SingleEscapes {
-			rep.SingleEscapes = append(rep.SingleEscapes, faultToJSON(f))
+			rep.SingleEscapes = append(rep.SingleEscapes, api.FaultStatus(f))
 		}
 		for _, pair := range res.DoubleEscapes {
 			rep.DoubleEscapes = append(rep.DoubleEscapes,
-				[2]faultJSON{faultToJSON(pair[0]), faultToJSON(pair[1])})
+				[2]api.Fault{api.FaultStatus(pair[0]), api.FaultStatus(pair[1])})
 		}
 		writeJSON(w, http.StatusOK, rep)
 	}
@@ -585,15 +493,19 @@ func (s *server) plan(w http.ResponseWriter, r *http.Request) {
 	s.writePlan(w, j)
 }
 
+// writePlan serves the job's plan in the v1 wire format straight from the
+// service's cached encoding (PlanBytes): the bytes were produced once when
+// the solve finished, so a fetch is a single Write with no re-encode.
 func (s *server) writePlan(w http.ResponseWriter, j *fpva.Job) {
-	plan, err := j.Plan()
+	wire, err := j.PlanBytes()
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", fmt.Sprint(len(wire)))
 	w.WriteHeader(http.StatusOK)
-	fpva.EncodePlan(w, plan)
+	w.Write(wire)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

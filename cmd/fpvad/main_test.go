@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/cmd/internal/api"
 	"repro/fpva"
 )
 
@@ -55,7 +56,7 @@ func getBody(t *testing.T, url string) (int, []byte) {
 	return resp.StatusCode, b
 }
 
-func waitDone(t *testing.T, base, id string) jobJSON {
+func waitDone(t *testing.T, base, id string) api.Job {
 	t.Helper()
 	deadline := time.Now().Add(30 * time.Second)
 	for time.Now().Before(deadline) {
@@ -63,7 +64,7 @@ func waitDone(t *testing.T, base, id string) jobJSON {
 		if code != http.StatusOK {
 			t.Fatalf("status poll: %d %s", code, b)
 		}
-		var j jobJSON
+		var j api.Job
 		if err := json.Unmarshal(b, &j); err != nil {
 			t.Fatal(err)
 		}
@@ -74,7 +75,7 @@ func waitDone(t *testing.T, base, id string) jobJSON {
 		time.Sleep(5 * time.Millisecond)
 	}
 	t.Fatal("job never finished")
-	return jobJSON{}
+	return api.Job{}
 }
 
 func encodeArray(t *testing.T, rows, cols int) string {
@@ -99,7 +100,7 @@ func TestGenerateJobLifecycle(t *testing.T) {
 	if code != http.StatusAccepted {
 		t.Fatalf("submit: %d %s", code, b)
 	}
-	var j jobJSON
+	var j api.Job
 	if err := json.Unmarshal(b, &j); err != nil {
 		t.Fatal(err)
 	}
@@ -117,11 +118,11 @@ func TestGenerateJobLifecycle(t *testing.T) {
 		t.Errorf("events content type %q", ct)
 	}
 	var phases, lines int
-	var last jobJSON
+	var last api.Job
 	sc := bufio.NewScanner(resp.Body)
 	for sc.Scan() {
 		lines++
-		var e eventJSON
+		var e api.Event
 		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
 			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
 		}
@@ -180,7 +181,7 @@ func TestPlanRoundTripBitIdentical(t *testing.T) {
 	if code != http.StatusAccepted {
 		t.Fatalf("submit: %d %s", code, b)
 	}
-	var j jobJSON
+	var j api.Job
 	if err := json.Unmarshal(b, &j); err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +200,7 @@ func TestPlanRoundTripBitIdentical(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("campaign result: %d %s", code, b)
 	}
-	var rep campaignReport
+	var rep api.CampaignReport
 	if err := json.Unmarshal(b, &rep); err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +240,7 @@ func TestVerifyJob(t *testing.T) {
 	if code != http.StatusAccepted {
 		t.Fatalf("submit: %d %s", code, b)
 	}
-	var j jobJSON
+	var j api.Job
 	if err := json.Unmarshal(b, &j); err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +251,7 @@ func TestVerifyJob(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("verify result: %d %s", code, b)
 	}
-	var rep verifyReport
+	var rep api.VerifyReport
 	if err := json.Unmarshal(b, &rep); err != nil {
 		t.Fatal(err)
 	}
@@ -312,7 +313,7 @@ func TestStatsAndList(t *testing.T) {
 		if code != http.StatusAccepted {
 			t.Fatalf("submit %d: %d %s", i, code, b)
 		}
-		var j jobJSON
+		var j api.Job
 		if err := json.Unmarshal(b, &j); err != nil {
 			t.Fatal(err)
 		}
@@ -322,7 +323,7 @@ func TestStatsAndList(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("stats: %d %s", code, b)
 	}
-	var st serviceStatsJSON
+	var st api.ServiceStats
 	if err := json.Unmarshal(b, &st); err != nil {
 		t.Fatal(err)
 	}
@@ -336,7 +337,7 @@ func TestStatsAndList(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("list: %d %s", code, b)
 	}
-	var jobs []jobJSON
+	var jobs []api.Job
 	if err := json.Unmarshal(b, &jobs); err != nil {
 		t.Fatal(err)
 	}
@@ -358,7 +359,7 @@ func TestCancelEndpoint(t *testing.T) {
 	if code != http.StatusAccepted {
 		t.Fatalf("submit: %d %s", code, b)
 	}
-	var j jobJSON
+	var j api.Job
 	if err := json.Unmarshal(b, &j); err != nil {
 		t.Fatal(err)
 	}
@@ -385,6 +386,10 @@ func TestParseFlags(t *testing.T) {
 		{"negative workers", []string{"-workers", "-1"}, 2},
 		{"negative cache", []string{"-cache-mb", "-5"}, 2},
 		{"stray arg", []string{"extra"}, 2},
+		{"pprof loopback ip", []string{"-pprof-addr", "127.0.0.1:0"}, 0},
+		{"pprof localhost", []string{"-pprof-addr", "localhost:6060"}, 0},
+		{"pprof public addr", []string{"-pprof-addr", "0.0.0.0:6060"}, 2},
+		{"pprof missing port", []string{"-pprof-addr", "127.0.0.1"}, 2},
 	} {
 		var errb strings.Builder
 		_, err := parseFlags(tc.args, &errb)

@@ -18,39 +18,9 @@ import (
 	"strings"
 	"time"
 
+	"repro/cmd/internal/api"
 	"repro/fpva"
 )
-
-// remoteSubmit mirrors fpvad's POST /v1/jobs generate payload.
-type remoteSubmit struct {
-	Kind     string           `json:"kind"`
-	Array    json.RawMessage  `json:"array"`
-	Generate remoteGenOptions `json:"generate"`
-}
-
-type remoteGenOptions struct {
-	Direct        bool   `json:"direct,omitempty"`
-	Block         int    `json:"block,omitempty"`
-	PathEngine    string `json:"pathEngine,omitempty"`
-	CutEngine     string `json:"cutEngine,omitempty"`
-	SolverWorkers int    `json:"solverWorkers,omitempty"`
-}
-
-// remoteJob mirrors fpvad's job-status resource.
-type remoteJob struct {
-	ID    string `json:"id"`
-	State string `json:"state"`
-	Error string `json:"error"`
-}
-
-// remoteEvent mirrors one NDJSON progress line; a line without an event
-// field is the terminal status record.
-type remoteEvent struct {
-	Event string `json:"event"`
-	Phase string `json:"phase"`
-	Done  int    `json:"done"`
-	Total int    `json:"total"`
-}
 
 // runRemote drives one generate job on a remote fpvad: submit, follow the
 // progress stream to completion, fetch the plan, then report locally.
@@ -68,10 +38,10 @@ func runRemote(ctx context.Context, w io.Writer, opt options) error {
 	if err := fpva.EncodeArray(&arrBuf, a); err != nil {
 		return err
 	}
-	body, err := json.Marshal(remoteSubmit{
+	body, err := json.Marshal(api.SubmitRequest{
 		Kind:  "generate",
 		Array: arrBuf.Bytes(),
-		Generate: remoteGenOptions{
+		Generate: &api.GenerateParams{
 			Direct:        opt.direct,
 			Block:         opt.blockSize,
 			PathEngine:    opt.pathEng,
@@ -139,8 +109,8 @@ func cancelRemote(base, id string) {
 	}
 }
 
-func submitRemote(ctx context.Context, base string, body []byte) (remoteJob, error) {
-	var job remoteJob
+func submitRemote(ctx context.Context, base string, body []byte) (api.Job, error) {
+	var job api.Job
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/jobs", bytes.NewReader(body))
 	if err != nil {
 		return job, err
@@ -166,8 +136,8 @@ func submitRemote(ctx context.Context, base string, body []byte) (remoteJob, err
 
 // followRemote consumes the NDJSON event stream until the terminal status
 // line, optionally echoing progress to stderr.
-func followRemote(ctx context.Context, base, id string, progress bool) (remoteJob, error) {
-	var final remoteJob
+func followRemote(ctx context.Context, base, id string, progress bool) (api.Job, error) {
+	var final api.Job
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+id+"/events", nil)
 	if err != nil {
 		return final, err
@@ -183,7 +153,7 @@ func followRemote(ctx context.Context, base, id string, progress bool) (remoteJo
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	for sc.Scan() {
-		var e remoteEvent
+		var e api.Event
 		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
 			return final, fmt.Errorf("event stream line %q: %w", sc.Text(), err)
 		}

@@ -1,0 +1,163 @@
+// Package api is the JSON contract of the fpvad job API, shared by the
+// daemon (cmd/fpvad) and its clients (fpvatest -daemon). Keeping one set
+// of request/response shapes means daemon and client cannot drift apart —
+// previously the client re-declared the structs it needed and only the CI
+// daemon smoke guarded compatibility.
+//
+// Plans and arrays ride inside these messages in the fpva v1 wire format
+// (json.RawMessage passthrough); everything else is plain JSON.
+package api
+
+import (
+	"encoding/json"
+
+	"repro/fpva"
+)
+
+// SubmitRequest is the POST /v1/jobs payload. Exactly one of Array (for
+// generate) and Plan (for campaign/verify) must be present, in the v1
+// wire format.
+type SubmitRequest struct {
+	Kind     string          `json:"kind"`
+	Array    json.RawMessage `json:"array,omitempty"`
+	Plan     json.RawMessage `json:"plan,omitempty"`
+	Generate *GenerateParams `json:"generate,omitempty"`
+	Campaign *CampaignParams `json:"campaign,omitempty"`
+	Verify   *VerifyParams   `json:"verify,omitempty"`
+}
+
+// GenerateParams tunes a generate job.
+type GenerateParams struct {
+	Direct        bool   `json:"direct,omitempty"`
+	Block         int    `json:"block,omitempty"`
+	SkipLeakage   bool   `json:"skipLeakage,omitempty"`
+	PathEngine    string `json:"pathEngine,omitempty"`
+	CutEngine     string `json:"cutEngine,omitempty"`
+	SolverWorkers int    `json:"solverWorkers,omitempty"`
+}
+
+// CampaignParams tunes a campaign job.
+type CampaignParams struct {
+	Trials     int   `json:"trials,omitempty"`
+	Faults     int   `json:"faults,omitempty"`
+	Seed       int64 `json:"seed,omitempty"`
+	Workers    int   `json:"workers,omitempty"`
+	MaxEscapes int   `json:"maxEscapes,omitempty"`
+	Leaks      bool  `json:"leaks,omitempty"`
+}
+
+// VerifyParams tunes a verify job.
+type VerifyParams struct {
+	MaxPairs int `json:"maxPairs,omitempty"`
+}
+
+// Job is the job-status resource (also the terminal line of an event
+// stream).
+type Job struct {
+	ID       string `json:"id"`
+	Kind     string `json:"kind,omitempty"`
+	State    string `json:"state"`
+	CacheHit bool   `json:"cacheHit,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// JobStatus snapshots a job handle into its wire resource.
+func JobStatus(j *fpva.Job) Job {
+	out := Job{ID: j.ID(), Kind: j.Kind().String(), State: j.State().String(), CacheHit: j.CacheHit()}
+	if err := j.Err(); err != nil {
+		out.Error = err.Error()
+	}
+	return out
+}
+
+// Event is one NDJSON progress line. A line with an empty Event field is
+// not an event but the stream's terminal Job status record.
+type Event struct {
+	Event string `json:"event"`
+	Phase string `json:"phase,omitempty"`
+	Done  int    `json:"done,omitempty"`
+	Total int    `json:"total,omitempty"`
+}
+
+// EventStatus converts a progress event into its wire line.
+func EventStatus(e fpva.Event) Event {
+	out := Event{Event: e.Kind.String()}
+	switch e.Kind {
+	case fpva.PhaseStarted, fpva.PhaseFinished:
+		out.Phase = e.Phase.String()
+	case fpva.CampaignTick:
+		out.Done, out.Total = e.TrialsDone, e.TrialsTotal
+	}
+	return out
+}
+
+// Edge addresses one valve in reports.
+type Edge struct {
+	Orient string `json:"o"`
+	R      int    `json:"r"`
+	C      int    `json:"c"`
+}
+
+// Fault is the report-side fault encoding; B is present only for
+// control-leak faults.
+type Fault struct {
+	Kind string `json:"kind"`
+	A    Edge   `json:"a"`
+	B    *Edge  `json:"b,omitempty"`
+}
+
+// EdgeStatus converts a valve address.
+func EdgeStatus(e fpva.Edge) Edge {
+	return Edge{Orient: e.Orient.String(), R: e.R, C: e.C}
+}
+
+// FaultStatus converts a fault.
+func FaultStatus(f fpva.Fault) Fault {
+	out := Fault{Kind: f.Kind.String(), A: EdgeStatus(f.A)}
+	if f.Kind == fpva.ControlLeak {
+		b := EdgeStatus(f.B)
+		out.B = &b
+	}
+	return out
+}
+
+// CampaignReport is the GET result payload of a campaign job.
+type CampaignReport struct {
+	Format   string    `json:"format"` // "fpva.campaign"
+	Version  int       `json:"version"`
+	Trials   int       `json:"trials"`
+	Detected int       `json:"detected"`
+	Rate     float64   `json:"rate"`
+	Sims     int       `json:"sims"`
+	Escapes  [][]Fault `json:"escapes,omitempty"`
+}
+
+// VerifyReport is the GET result payload of a verify job.
+type VerifyReport struct {
+	Format        string     `json:"format"` // "fpva.verify"
+	Version       int        `json:"version"`
+	SingleEscapes []Fault    `json:"singleEscapes"`
+	DoubleEscapes [][2]Fault `json:"doubleEscapes"`
+}
+
+// ServiceStats mirrors fpva.ServiceStats with wire-style field names
+// (durations in nanoseconds).
+type ServiceStats struct {
+	JobsSubmitted  int   `json:"jobsSubmitted"`
+	JobsPending    int   `json:"jobsPending"`
+	JobsRunning    int   `json:"jobsRunning"`
+	JobsDone       int   `json:"jobsDone"`
+	JobsFailed     int   `json:"jobsFailed"`
+	JobsCanceled   int   `json:"jobsCanceled"`
+	CacheHits      int   `json:"cacheHits"`
+	CacheMisses    int   `json:"cacheMisses"`
+	CacheCoalesced int   `json:"cacheCoalesced"`
+	CacheEntries   int   `json:"cacheEntries"`
+	CacheBytes     int64 `json:"cacheBytes"`
+	CacheCapBytes  int64 `json:"cacheCapBytes"`
+	Solves         int   `json:"solves"`
+	SolverWallNs   int64 `json:"solverWallNs"`
+	Campaigns      int   `json:"campaigns"`
+	CampaignWallNs int64 `json:"campaignWallNs"`
+	Verifies       int   `json:"verifies"`
+}

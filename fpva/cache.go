@@ -30,14 +30,16 @@ func planKey(a *Array, cfg genConfig) (string, error) {
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
-// cacheEntry is one cached plan with its accounted size (the length of its
-// v1 wire encoding, so the byte budget measures real payload, not Go
-// object overhead) and the progress events its solve emitted, replayed on
-// every hit so cached and cold callers observe the same sequence.
+// cacheEntry is one cached plan together with its v1 wire encoding — the
+// exact bytes fpvad serves from /plan, encoded once when the solve
+// finished — and the progress events the solve emitted, replayed on every
+// hit so cached and cold callers observe the same sequence. The byte
+// budget is charged the wire length, so it measures real payload, not Go
+// object overhead.
 type cacheEntry struct {
 	key    string
 	plan   *Plan
-	size   int64
+	wire   []byte
 	events []Event
 }
 
@@ -54,31 +56,32 @@ func newPlanCache(capBytes int64) *planCache {
 	return &planCache{capBytes: capBytes, ll: list.New(), index: make(map[string]*list.Element)}
 }
 
-// get returns the cached plan and its recorded solve events for key,
-// bumping the entry to most recently used.
-func (c *planCache) get(key string) (*Plan, []Event, bool) {
+// get returns the cached plan, its wire bytes, and its recorded solve
+// events for key, bumping the entry to most recently used.
+func (c *planCache) get(key string) (*Plan, []byte, []Event, bool) {
 	el, ok := c.index[key]
 	if !ok {
-		return nil, nil, false
+		return nil, nil, nil, false
 	}
 	c.ll.MoveToFront(el)
 	ent := el.Value.(*cacheEntry)
-	return ent.plan, ent.events, true
+	return ent.plan, ent.wire, ent.events, true
 }
 
 // put inserts (or refreshes) a plan and evicts from the LRU tail until the
 // byte budget holds. A plan bigger than the whole budget is not cached.
-func (c *planCache) put(key string, plan *Plan, size int64, events []Event) {
-	if c.capBytes <= 0 || size > c.capBytes {
+func (c *planCache) put(key string, plan *Plan, wire []byte, events []Event) {
+	size := int64(len(wire))
+	if c.capBytes <= 0 || size == 0 || size > c.capBytes {
 		return
 	}
 	if el, ok := c.index[key]; ok {
 		ent := el.Value.(*cacheEntry)
-		c.bytes += size - ent.size
-		ent.plan, ent.size, ent.events = plan, size, events
+		c.bytes += size - int64(len(ent.wire))
+		ent.plan, ent.wire, ent.events = plan, wire, events
 		c.ll.MoveToFront(el)
 	} else {
-		c.index[key] = c.ll.PushFront(&cacheEntry{key: key, plan: plan, size: size, events: events})
+		c.index[key] = c.ll.PushFront(&cacheEntry{key: key, plan: plan, wire: wire, events: events})
 		c.bytes += size
 	}
 	for c.bytes > c.capBytes {
@@ -89,7 +92,7 @@ func (c *planCache) put(key string, plan *Plan, size int64, events []Event) {
 		ent := back.Value.(*cacheEntry)
 		c.ll.Remove(back)
 		delete(c.index, ent.key)
-		c.bytes -= ent.size
+		c.bytes -= int64(len(ent.wire))
 	}
 }
 

@@ -1,6 +1,7 @@
 package fpva
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"sync"
@@ -108,7 +109,8 @@ type Job struct {
 	events   []Event
 	notify   chan struct{} // closed and replaced on every append
 	err      error
-	plan     *Plan // generate result
+	plan     *Plan  // generate result
+	wire     []byte // v1 wire encoding of plan, when the service had one
 	camp     CampaignResult
 	verify   VerifyResult
 	done     chan struct{}
@@ -237,6 +239,40 @@ func (j *Job) Plan() (*Plan, error) {
 	return j.plan, nil
 }
 
+// PlanBytes returns the job's plan in the v1 wire format. For generate
+// jobs on a caching service these are the exact bytes encoded once when
+// the solve finished (or retrieved from the cache), so serving them — as
+// fpvad's /plan handler does — performs no re-encoding; they are
+// bit-identical to EncodePlan of the same plan. The returned slice is
+// shared and must not be modified. When no cached encoding exists
+// (caching disabled, or a campaign/verify input plan) the plan is encoded
+// on demand.
+func (j *Job) PlanBytes() ([]byte, error) {
+	plan, err := j.Plan()
+	if err != nil {
+		return nil, err
+	}
+	j.mu.Lock()
+	wire := j.wire
+	j.mu.Unlock()
+	if wire != nil {
+		return wire, nil
+	}
+	var buf bytes.Buffer
+	if err := EncodePlan(&buf, plan); err != nil {
+		return nil, err
+	}
+	// Memoize the fallback encoding: the plan is immutable, so later
+	// fetches (fpvad /plan, /result) reuse these bytes too.
+	j.mu.Lock()
+	if j.wire == nil {
+		j.wire = buf.Bytes()
+	}
+	wire = j.wire
+	j.mu.Unlock()
+	return wire, nil
+}
+
 // Campaign returns the result of a finished JobCampaign.
 func (j *Job) Campaign() (CampaignResult, error) {
 	if j.kind != JobCampaign {
@@ -311,14 +347,17 @@ func (j *Job) finish(state JobState, err error) {
 	j.svc.noteTerminal()
 }
 
-// finishPlan completes a generate job successfully.
-func (j *Job) finishPlan(p *Plan) {
+// finishPlan completes a generate job successfully. wire, when non-nil,
+// is the plan's v1 encoding (from the solve or the cache), retained so
+// PlanBytes can serve it without re-encoding.
+func (j *Job) finishPlan(p *Plan, wire []byte) {
 	j.mu.Lock()
 	if j.state.Terminal() {
 		j.mu.Unlock()
 		return
 	}
 	j.plan = p
+	j.wire = wire
 	j.mu.Unlock()
 	j.finish(JobDone, nil)
 }

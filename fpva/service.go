@@ -1,6 +1,7 @@
 package fpva
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"runtime"
@@ -391,6 +392,7 @@ type flight struct {
 
 	done chan struct{}
 	plan *Plan
+	wire []byte // v1 wire encoding of plan (caching services only)
 	err  error
 }
 
@@ -405,7 +407,7 @@ func (s *Service) runGenerate(j *Job, a *Array, cfg genConfig, key string) {
 	}
 	s.mu.Lock()
 	if s.cache != nil {
-		if plan, events, ok := s.cache.get(key); ok {
+		if plan, wire, events, ok := s.cache.get(key); ok {
 			s.hits++
 			s.mu.Unlock()
 			j.mu.Lock()
@@ -417,7 +419,7 @@ func (s *Service) runGenerate(j *Job, a *Array, cfg genConfig, key string) {
 			for _, e := range events {
 				j.emit(e)
 			}
-			j.finishPlan(plan)
+			j.finishPlan(plan, wire)
 			return
 		}
 	}
@@ -463,7 +465,7 @@ func (s *Service) runGenerate(j *Job, a *Array, cfg genConfig, key string) {
 		if fl.err != nil {
 			j.finish(j.classifyTerminal(), fl.err)
 		} else {
-			j.finishPlan(fl.plan)
+			j.finishPlan(fl.plan, fl.wire)
 		}
 	case <-j.ctx.Done():
 		s.detach(fl, j)
@@ -543,33 +545,24 @@ func (s *Service) runFlight(fl *flight, a *Array, cfg genConfig, key string) {
 		return
 	}
 	plan := &Plan{a: a, ts: ts, geometry: true}
-	// Size the cache entry (the length of the plan's wire encoding, counted
-	// without materializing the bytes) before taking the service lock — a
-	// large plan must not stall unrelated submissions and stats — and only
-	// when there is a cache to put it in.
-	var size int64
+	// Materialize the wire bytes once, outside the service lock — a large
+	// plan must not stall unrelated submissions and stats. These exact
+	// bytes back every later fetch: the cache entry, Job.PlanBytes, and
+	// fpvad's /plan handler all serve them without re-encoding.
 	if s.cache != nil {
-		var cw countWriter
-		if encErr := EncodePlan(&cw, plan); encErr == nil {
-			size = cw.n
+		var buf bytes.Buffer
+		if encErr := EncodePlan(&buf, plan); encErr == nil {
+			fl.wire = buf.Bytes()
 		}
 	}
 	s.mu.Lock()
 	s.solves++
 	s.solverWall += wall
-	if s.cache != nil && size > 0 {
-		s.cache.put(key, plan, size, append([]Event(nil), fl.events...))
+	if s.cache != nil && fl.wire != nil {
+		s.cache.put(key, plan, fl.wire, append([]Event(nil), fl.events...))
 	}
 	s.mu.Unlock()
 	finish(plan, nil)
-}
-
-// countWriter discards writes, keeping only their total length.
-type countWriter struct{ n int64 }
-
-func (w *countWriter) Write(p []byte) (int, error) {
-	w.n += int64(len(p))
-	return len(p), nil
 }
 
 // emit records a flight event and fans it out to the currently attached

@@ -1,0 +1,59 @@
+package fpva
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// TestPlanBytesBitIdenticalToEncodePlan pins the served-from-cache
+// contract: the bytes a generate job hands out (and fpvad writes to the
+// network) are exactly EncodePlan of the job's plan — for the cold solve,
+// for a cache hit, and for a service with caching disabled (the on-demand
+// fallback).
+func TestPlanBytesBitIdenticalToEncodePlan(t *testing.T) {
+	a, err := NewArray(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(t *testing.T, svc *Service, wantHit bool) {
+		t.Helper()
+		j, err := svc.SubmitGenerate(context.Background(), a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if j.CacheHit() != wantHit {
+			t.Fatalf("cacheHit = %v, want %v", j.CacheHit(), wantHit)
+		}
+		plan, err := j.Plan()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wire, err := j.PlanBytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want bytes.Buffer
+		if err := EncodePlan(&want, plan); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wire, want.Bytes()) {
+			t.Fatalf("PlanBytes differs from EncodePlan: %d vs %d bytes", len(wire), want.Len())
+		}
+		// The cached encoding must decode to an equivalent plan.
+		if _, err := DecodePlan(bytes.NewReader(wire)); err != nil {
+			t.Fatalf("cached wire bytes do not decode: %v", err)
+		}
+	}
+	svc := NewService(WithServiceWorkers(1))
+	defer svc.Close()
+	check(t, svc, false) // cold solve
+	check(t, svc, true)  // cache hit serves the same stored bytes
+
+	nocache := NewService(WithServiceWorkers(1), WithCacheBytes(0))
+	defer nocache.Close()
+	check(t, nocache, false) // on-demand fallback
+}

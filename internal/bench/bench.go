@@ -204,9 +204,10 @@ func BaselineVectors(a *grid.Array) ([]*sim.Vector, error) {
 	if err != nil {
 		return nil, err
 	}
+	rt := flowpath.NewRouter(a)
 	var out []*sim.Vector
 	for _, v := range a.NormalValves() {
-		if p := flowpath.ThroughAvoiding(a, v, nil); p != nil {
+		if p := rt.ThroughAvoiding(v, nil); p != nil {
 			out = append(out, p.Vector(a, fmt.Sprintf("base-open-%d", v)))
 		}
 		if c := cutThrough(v); c != nil {

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/cutset"
+	"repro/internal/flowpath"
+	"repro/internal/grid"
+	"repro/internal/ilp"
+)
+
+// TestSolverWorkersBitIdenticalEndToEnd pins the parallel-solver contract
+// at the generator level: the exact ILP engines must emit byte-for-byte
+// identical paths and cuts for any branch-and-bound worker count, because
+// the service cache deliberately shares one entry across worker settings.
+func TestSolverWorkersBitIdenticalEndToEnd(t *testing.T) {
+	a, err := grid.NewStandard(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.SetChannelH(1, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	type run struct {
+		paths [][]grid.ValveID
+		cuts  [][]grid.ValveID
+	}
+	generate := func(workers int) run {
+		t.Helper()
+		fp, err := flowpath.Generate(context.Background(), a, flowpath.Options{
+			Engine: flowpath.EngineILPIterative,
+			ILP:    ilp.Options{Workers: workers},
+		})
+		if err != nil {
+			t.Fatalf("workers=%d flowpath: %v", workers, err)
+		}
+		cs, err := cutset.Generate(context.Background(), a, cutset.Options{
+			Engine: cutset.EngineILP,
+			ILP:    ilp.Options{Workers: workers},
+		})
+		if err != nil {
+			t.Fatalf("workers=%d cutset: %v", workers, err)
+		}
+		var r run
+		for _, p := range fp.Paths {
+			r.paths = append(r.paths, append([]grid.ValveID(nil), p.Valves...))
+		}
+		for _, c := range cs.Cuts {
+			r.cuts = append(r.cuts, append([]grid.ValveID(nil), c.Valves...))
+		}
+		return r
+	}
+	base := generate(1)
+	if len(base.paths) == 0 || len(base.cuts) == 0 {
+		t.Fatalf("degenerate baseline: %d paths, %d cuts", len(base.paths), len(base.cuts))
+	}
+	for _, workers := range []int{2, 4} {
+		got := generate(workers)
+		if len(got.paths) != len(base.paths) {
+			t.Fatalf("workers=%d: %d paths vs %d serial", workers, len(got.paths), len(base.paths))
+		}
+		for i := range base.paths {
+			if len(got.paths[i]) != len(base.paths[i]) {
+				t.Fatalf("workers=%d path %d: %v vs %v", workers, i, got.paths[i], base.paths[i])
+			}
+			for k := range base.paths[i] {
+				if got.paths[i][k] != base.paths[i][k] {
+					t.Fatalf("workers=%d path %d: %v vs %v", workers, i, got.paths[i], base.paths[i])
+				}
+			}
+		}
+		if len(got.cuts) != len(base.cuts) {
+			t.Fatalf("workers=%d: %d cuts vs %d serial", workers, len(got.cuts), len(base.cuts))
+		}
+		for i := range base.cuts {
+			if len(got.cuts[i]) != len(base.cuts[i]) {
+				t.Fatalf("workers=%d cut %d: %v vs %v", workers, i, got.cuts[i], base.cuts[i])
+			}
+			for k := range base.cuts[i] {
+				if got.cuts[i][k] != base.cuts[i][k] {
+					t.Fatalf("workers=%d cut %d: %v vs %v", workers, i, got.cuts[i], base.cuts[i])
+				}
+			}
+		}
+	}
+}

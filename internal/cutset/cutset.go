@@ -94,6 +94,9 @@ type dual struct {
 	a    *grid.Array
 	g    *graph.Graph
 	A, B int // terminal nodes (the two boundary arcs)
+
+	cutM *cutILPModel // lazily built shared ILP model (EngineILP)
+	sc   *graph.DijkstraScratch
 }
 
 // cornerIndex maps lattice corner (i, j), 0<=i<=nr, 0<=j<=nc.
@@ -306,7 +309,8 @@ func (d *dual) cutThroughBanned(target grid.ValveID, uncovered map[grid.ValveID]
 }
 
 // segment runs Dijkstra src->dst avoiding the banned node and the avoid
-// set; it returns dual edge indices.
+// set; it returns dual edge indices. The Dijkstra scratch is owned by the
+// dual and shared across the whole generation run.
 func (d *dual) segment(src, dst, banned int, avoid map[int]bool, weight func(int) float64) []int {
 	if src == dst {
 		return []int{}
@@ -323,7 +327,10 @@ func (d *dual) segment(src, dst, banned int, avoid map[int]bool, weight func(int
 		}
 		return weight(e)
 	}
-	return d.g.DijkstraPathEdges(src, dst, wf)
+	if d.sc == nil {
+		d.sc = d.g.NewDijkstraScratch()
+	}
+	return d.g.DijkstraPathEdgesInto(d.sc, src, dst, wf, nil)
 }
 
 // nodesOf collects the nodes a dual edge sequence visits, starting at src.

@@ -72,14 +72,22 @@ func Generate(ctx context.Context, a *grid.Array, opt Options) (*Result, error) 
 		uncovered[id] = true
 	}
 	res := &Result{}
+	// One reusable command vector and repair scratch serve every candidate:
+	// the accept path runs a few hundred testability probes per cut, and
+	// rebuilding a full-array vector per probe was a dominant allocation
+	// source on the 30x30 row.
+	vec := sim.NewVector(a, sim.CutSet, "check")
+	rep := newRepairScratch(a)
+	var members []grid.ValveID
 	accept := func(c *Cut) bool {
 		if !opt.NoRepair {
-			repairConstraint9(a, c)
+			rep.repair(a, c)
 		}
-		if Validate(a, s, c) != nil {
+		cutVectorInto(a, c, vec)
+		if s.VerifyCutVector(vec) != nil {
 			return false
 		}
-		members := testableMembers(a, s, c)
+		members = testableMembersVec(s, c, vec, members[:0])
 		newCov := 0
 		for _, id := range members {
 			if uncovered[id] {
@@ -108,7 +116,7 @@ func Generate(ctx context.Context, a *grid.Array, opt Options) (*Result, error) 
 				return nil, err
 			}
 			target := minValve(uncovered)
-			if !d.coverOne(a, s, opt, target, uncovered, accept) {
+			if !d.coverOne(a, s, opt, rep, target, uncovered, accept) {
 				res.Uncovered = append(res.Uncovered, target)
 				delete(uncovered, target)
 			}
@@ -144,7 +152,7 @@ func Generate(ctx context.Context, a *grid.Array, opt Options) (*Result, error) 
 // coverOne tries to produce an accepted cut testing the target: jittered
 // reroutes first, then corner bans steering the curve away from U-turns
 // whose constraint-(9) repair would seal the target in.
-func (d *dual) coverOne(a *grid.Array, s *sim.Simulator, opt Options,
+func (d *dual) coverOne(a *grid.Array, s *sim.Simulator, opt Options, rep *repairScratch,
 	target grid.ValveID, uncovered map[grid.ValveID]bool, accept func(*Cut) bool) bool {
 	bans := map[int]bool{}
 	tc1, tc2 := valveCorners(a, target)
@@ -159,7 +167,7 @@ func (d *dual) coverOne(a *grid.Array, s *sim.Simulator, opt Options,
 		if c == nil {
 			continue
 		}
-		if stillTests(a, s, opt, c, target, uncovered) {
+		if stillTests(a, s, opt, rep, c, target, uncovered) {
 			return accept(c)
 		}
 		// Ban the far corners of whatever valves the repair would add.
@@ -169,7 +177,7 @@ func (d *dual) coverOne(a *grid.Array, s *sim.Simulator, opt Options,
 		for _, id := range probe.Valves {
 			before[id] = true
 		}
-		repairConstraint9(a, probe)
+		rep.repair(a, probe)
 		for _, id := range probe.Valves {
 			if before[id] {
 				continue
@@ -189,7 +197,7 @@ func (d *dual) coverOne(a *grid.Array, s *sim.Simulator, opt Options,
 // will undergo, still exposes a stuck-at-1 on the target valve. Used to
 // decide whether a candidate curve is worth accepting or a reroute is
 // needed.
-func stillTests(a *grid.Array, s *sim.Simulator, opt Options, c *Cut,
+func stillTests(a *grid.Array, s *sim.Simulator, opt Options, rep *repairScratch, c *Cut,
 	target grid.ValveID, uncovered map[grid.ValveID]bool) bool {
 	if !uncovered[target] {
 		return true
@@ -199,7 +207,7 @@ func stillTests(a *grid.Array, s *sim.Simulator, opt Options, c *Cut,
 		Walls:  append([]grid.ValveID(nil), c.Walls...),
 	}
 	if !opt.NoRepair {
-		repairConstraint9(a, probe)
+		rep.repair(a, probe)
 	}
 	return Validate(a, s, probe) == nil && Testable(a, s, probe, target)
 }
@@ -257,19 +265,42 @@ func lineCuts(a *grid.Array) []*Cut {
 	return out
 }
 
-// repairConstraint9 applies the paper's constraint (9) as a repair: if both
-// lattice corners of a Normal valve lie on the cut's separating curve, the
-// valve joins the cut. This removes the Fig. 5(c)/(d) two-fault masking
-// pattern, where a single stuck-at-1 valve bridging the curve could be
-// shielded by a stuck-at-0 valve elsewhere.
-func repairConstraint9(a *grid.Array, c *Cut) {
-	visited := make(map[int]bool)
-	member := make(map[grid.ValveID]bool)
+// repairScratch holds the dense marker arrays of repairConstraint9,
+// reusable across the many repair probes of one Generate run.
+type repairScratch struct {
+	visited []bool // corner index space
+	member  []bool // valve ID space
+	vlist   []int  // touched corners, for O(touched) reset
+	mlist   []grid.ValveID
+}
+
+func newRepairScratch(a *grid.Array) *repairScratch {
+	return &repairScratch{
+		visited: make([]bool, (a.NR()+1)*(a.NC()+1)),
+		member:  make([]bool, a.NumValves()),
+	}
+}
+
+// repair applies the paper's constraint (9): if both lattice corners of a
+// Normal valve lie on the cut's separating curve, the valve joins the cut.
+// This removes the Fig. 5(c)/(d) two-fault masking pattern, where a single
+// stuck-at-1 valve bridging the curve could be shielded by a stuck-at-0
+// valve elsewhere.
+func (rs *repairScratch) repair(a *grid.Array, c *Cut) {
 	mark := func(id grid.ValveID) {
 		c1, c2 := valveCorners(a, id)
-		visited[c1] = true
-		visited[c2] = true
-		member[id] = true
+		if !rs.visited[c1] {
+			rs.visited[c1] = true
+			rs.vlist = append(rs.vlist, c1)
+		}
+		if !rs.visited[c2] {
+			rs.visited[c2] = true
+			rs.vlist = append(rs.vlist, c2)
+		}
+		if !rs.member[id] {
+			rs.member[id] = true
+			rs.mlist = append(rs.mlist, id)
+		}
 	}
 	for _, id := range c.Valves {
 		mark(id)
@@ -279,16 +310,42 @@ func repairConstraint9(a *grid.Array, c *Cut) {
 	}
 	// A single pass suffices: an added valve's corners are already visited.
 	for _, id := range a.NormalValves() {
-		if member[id] {
+		if rs.member[id] {
 			continue
 		}
 		c1, c2 := valveCorners(a, id)
-		if visited[c1] && visited[c2] {
+		if rs.visited[c1] && rs.visited[c2] {
 			c.Valves = append(c.Valves, id)
-			member[id] = true
+			rs.member[id] = true
+			rs.mlist = append(rs.mlist, id)
 		}
 	}
 	sort.Slice(c.Valves, func(i, j int) bool { return c.Valves[i] < c.Valves[j] })
+	for _, ci := range rs.vlist {
+		rs.visited[ci] = false
+	}
+	for _, id := range rs.mlist {
+		rs.member[id] = false
+	}
+	rs.vlist = rs.vlist[:0]
+	rs.mlist = rs.mlist[:0]
+}
+
+// repairConstraint9 is the one-shot form of repairScratch.repair.
+func repairConstraint9(a *grid.Array, c *Cut) {
+	newRepairScratch(a).repair(a, c)
+}
+
+// cutVectorInto writes the cut's command vector (members closed, every
+// other Normal valve open) into an existing vector, avoiding the per-probe
+// vector allocation of Cut.Vector.
+func cutVectorInto(a *grid.Array, c *Cut, vec *sim.Vector) {
+	for _, id := range a.NormalValves() {
+		vec.SetOpen(id, true)
+	}
+	for _, id := range c.Valves {
+		vec.SetOpen(id, false)
+	}
 }
 
 // Validate checks that closing the cut separates every source from every
@@ -302,24 +359,28 @@ func Validate(a *grid.Array, s *sim.Simulator, c *Cut) error {
 func Testable(a *grid.Array, s *sim.Simulator, c *Cut, x grid.ValveID) bool {
 	vec := c.Vector(a, "check")
 	vec.SetOpen(x, true)
-	for _, r := range s.Readings(vec, nil) {
-		if r {
-			return true
+	return s.SinkPressured(vec)
+}
+
+// testableMembersVec appends the cut's testable valves to out, probing over
+// a caller-owned vector that already holds the cut's command state (see
+// cutVectorInto); the vector is restored between probes.
+func testableMembersVec(s *sim.Simulator, c *Cut, vec *sim.Vector, out []grid.ValveID) []grid.ValveID {
+	for _, id := range c.Valves {
+		vec.SetOpen(id, true)
+		if s.SinkPressured(vec) {
+			out = append(out, id)
 		}
+		vec.SetOpen(id, false)
 	}
-	return false
+	return out
 }
 
 // testableMembers filters the cut's valves down to those whose stuck-at-1
 // fault the cut exposes.
 func testableMembers(a *grid.Array, s *sim.Simulator, c *Cut) []grid.ValveID {
-	var out []grid.ValveID
-	for _, id := range c.Valves {
-		if Testable(a, s, c, id) {
-			out = append(out, id)
-		}
-	}
-	return out
+	vec := c.Vector(a, "check")
+	return testableMembersVec(s, c, vec, nil)
 }
 
 // CoverageReport maps every Normal valve to the index of a cut that tests

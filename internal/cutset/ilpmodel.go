@@ -21,6 +21,18 @@ import (
 // mirrors (3)+(4) and bans disjoint dual loops; the objective maximizes
 // newly covered valves (coverage flavour of (2)).
 
+// cutILPModel is the dual-path ILP shared by every target of one Generate
+// run: the structure (rows, variables) is built exactly once, and each
+// target only rewrites the coverage objective and moves the bound fix, so
+// the compiled relaxation, its solver scratch, and the warm-start basis all
+// carry over from cut to cut.
+type cutILPModel struct {
+	m           ilp.Model
+	v           []ilp.VarID
+	edgeByValve map[grid.ValveID]int
+	prevFix     int // dual edge currently fixed to 1; -1 when none
+}
+
 // ilpCut builds one cut forced through target, maximizing newly covered
 // valves, with constraint (9) enforced inside the model. The target is
 // forced via a bound fix rather than an equality row, so the row structure
@@ -29,13 +41,12 @@ import (
 // for status accounting and warm-start threading.
 func (d *dual) ilpCut(ctx context.Context, target grid.ValveID, uncovered map[grid.ValveID]bool,
 	opts ilp.Options) (*Cut, ilp.Solution, error) {
+	cm := d.cutModel()
 	g := d.g
-	var m ilp.Model
-	bigM := float64(g.N() + 1)
-
-	v := make([]ilp.VarID, g.M())
-	f := make([]ilp.VarID, g.M())
-	edgeByValve := make(map[grid.ValveID]int)
+	te, ok := cm.edgeByValve[target]
+	if !ok {
+		return nil, ilp.Solution{}, fmt.Errorf("cutset: target valve %d not in dual", target)
+	}
 	for e := 0; e < g.M(); e++ {
 		vid := grid.ValveID(g.EdgeAt(e).Label)
 		obj := 0.0 // walls are free members
@@ -46,9 +57,49 @@ func (d *dual) ilpCut(ctx context.Context, target grid.ValveID, uncovered map[gr
 				obj = 1
 			}
 		}
-		v[e] = m.AddBinary(obj, fmt.Sprintf("v_%d", e))
+		cm.m.SetObj(cm.v[e], obj)
+	}
+	if cm.prevFix >= 0 {
+		cm.m.SetVarBounds(cm.v[cm.prevFix], 0, 1)
+	}
+	cm.m.FixVar(cm.v[te], 1)
+	cm.prevFix = te
+
+	sol := cm.m.Solve(ctx, opts)
+	if sol.Status == ilp.Canceled {
+		return nil, sol, ctx.Err()
+	}
+	if sol.Status != ilp.Optimal && sol.Status != ilp.Feasible {
+		return nil, sol, fmt.Errorf("cutset: dual-path ILP %v", sol.Status)
+	}
+	var edges []int
+	for e := 0; e < g.M(); e++ {
+		if sol.X[cm.v[e]] > 0.5 {
+			edges = append(edges, e)
+		}
+	}
+	return d.cutFromDualEdges(edges), sol, nil
+}
+
+// cutModel lazily builds the shared dual-path model structure.
+func (d *dual) cutModel() *cutILPModel {
+	if d.cutM != nil {
+		return d.cutM
+	}
+	g := d.g
+	cm := &cutILPModel{prevFix: -1}
+	m := &cm.m
+	bigM := float64(g.N() + 1)
+
+	cm.v = make([]ilp.VarID, g.M())
+	f := make([]ilp.VarID, g.M())
+	cm.edgeByValve = make(map[grid.ValveID]int, g.M())
+	v := cm.v
+	for e := 0; e < g.M(); e++ {
+		vid := grid.ValveID(g.EdgeAt(e).Label)
+		v[e] = m.AddBinary(0, fmt.Sprintf("v_%d", e))
 		f[e] = m.AddVar(-bigM, bigM, 0, false, fmt.Sprintf("f_%d", e))
-		edgeByValve[vid] = e
+		cm.edgeByValve[vid] = e
 		// Capacity: -M*v <= f <= M*v.
 		m.AddCons([]ilp.VarID{f[e], v[e]}, []float64{1, -bigM}, lp.LE, 0)
 		m.AddCons([]ilp.VarID{f[e], v[e]}, []float64{1, bigM}, lp.GE, 0)
@@ -112,24 +163,6 @@ func (d *dual) ilpCut(ctx context.Context, target grid.ValveID, uncovered map[gr
 		}
 		m.AddCons([]ilp.VarID{y1, y2, v[e]}, []float64{1, 1, -1}, lp.LE, 1)
 	}
-	te, ok := edgeByValve[target]
-	if !ok {
-		return nil, ilp.Solution{}, fmt.Errorf("cutset: target valve %d not in dual", target)
-	}
-	m.FixVar(v[te], 1)
-
-	sol := m.Solve(ctx, opts)
-	if sol.Status == ilp.Canceled {
-		return nil, sol, ctx.Err()
-	}
-	if sol.Status != ilp.Optimal && sol.Status != ilp.Feasible {
-		return nil, sol, fmt.Errorf("cutset: dual-path ILP %v", sol.Status)
-	}
-	var edges []int
-	for e := 0; e < g.M(); e++ {
-		if sol.X[v[e]] > 0.5 {
-			edges = append(edges, e)
-		}
-	}
-	return d.cutFromDualEdges(edges), sol, nil
+	d.cutM = cm
+	return cm
 }

@@ -190,9 +190,9 @@ func TestPatchingDisabled(t *testing.T) {
 
 func TestPathThroughSpecificValve(t *testing.T) {
 	a := grid.MustNewStandard(5, 5)
-	g := cellGraph(a)
+	rt := NewRouter(a)
 	target := a.VValve(2, 2)
-	p := pathThrough(a, g, a.HValve(0, 0), a.HValve(4, 5), target, nil)
+	p := rt.pathThrough(a.HValve(0, 0), a.HValve(4, 5), target, nil)
 	if p == nil {
 		t.Fatal("no path through target")
 	}

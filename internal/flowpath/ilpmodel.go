@@ -257,9 +257,10 @@ func (pm *pathModel) extract(x []float64) (*Path, error) {
 	return Build(a, srcPort, sinkPort, cells)
 }
 
-// ilpSinglePath solves for one path maximizing newly covered valves.
-// forced must be covered; nil uncovered means all Normal valves count.
-// The returned solution carries the solver status and warm-start handle.
+// ilpSinglePath solves one standalone path model maximizing newly covered
+// valves; forced (when not NoValve) must lie on the path, via a bound fix.
+// The iterative engine below does not use this — it keeps one persistent
+// model across rounds — but one-off forced-path queries and tests do.
 func ilpSinglePath(ctx context.Context, a *grid.Array, uncovered map[grid.ValveID]bool,
 	forced grid.ValveID, opts ilp.Options) (*Path, int, ilp.Solution, error) {
 	var m ilp.Model
@@ -302,10 +303,17 @@ func ilpSinglePath(ctx context.Context, a *grid.Array, uncovered map[grid.ValveI
 	return p, newCov, sol, nil
 }
 
-// ilpIterativePaths covers all Normal valves path by path. Each round's
-// model has the same shape (only the coverage objective changes), so every
-// round after the first warm-starts from the previous root basis.
+// ilpIterativePaths covers all Normal valves path by path. The model is
+// built once; each round only rewrites the coverage objective (-100 per
+// newly covered valve, +1 per edge as a shorter-path tie break) on the same
+// compiled relaxation and warm-starts from the previous root basis, so the
+// per-round cost is the branch-and-bound search alone, not a model rebuild.
 func ilpIterativePaths(ctx context.Context, a *grid.Array, opts ilp.Options) ([]*Path, ilp.Stats, error) {
+	var m ilp.Model
+	pm := addPathBlock(&m, a, "", func(grid.ValveID) float64 { return 1 })
+	sumEquals(&m, pm.entryVars(), 1)
+	sumEquals(&m, pm.exitVars(), 1)
+
 	uncovered := make(map[grid.ValveID]bool)
 	for _, e := range a.NormalValves() {
 		uncovered[e] = true
@@ -313,12 +321,32 @@ func ilpIterativePaths(ctx context.Context, a *grid.Array, opts ilp.Options) ([]
 	var paths []*Path
 	var stats ilp.Stats
 	for len(uncovered) > 0 {
-		p, newCov, sol, err := ilpSinglePath(ctx, a, uncovered, grid.NoValve, opts)
+		for _, e := range pm.edges {
+			if a.Kind(e) == grid.Normal && uncovered[e] {
+				m.SetObj(pm.v[e], -100)
+			} else {
+				m.SetObj(pm.v[e], 1)
+			}
+		}
+		sol := m.Solve(ctx, opts)
 		stats.Observe(sol)
+		if sol.Status == ilp.Canceled {
+			return paths, stats, ctx.Err()
+		}
+		if sol.Status != ilp.Optimal && sol.Status != ilp.Feasible {
+			return paths, stats, fmt.Errorf("flowpath: single-path ILP %v", sol.Status)
+		}
+		p, err := pm.extract(sol.X)
 		if err != nil {
 			return paths, stats, err
 		}
 		opts.WarmStart = sol.WarmStart
+		newCov := 0
+		for _, e := range p.CoveredNormal(a) {
+			if uncovered[e] {
+				newCov++
+			}
+		}
 		if newCov == 0 {
 			break // remaining valves unreachable by any path
 		}

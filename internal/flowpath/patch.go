@@ -15,6 +15,24 @@ import (
 // so each patch path opportunistically covers as many remaining valves as
 // possible — this keeps the patch path count low.
 
+// Router answers forced-through path queries over one array. It owns the
+// cell-adjacency graph and the Dijkstra scratch, so a loop issuing many
+// queries (leakage vectors, baseline vectors, patch passes) builds the
+// graph once instead of once per query — on a 30x30 array that alone was
+// half the allocation volume of a full Table I row.
+type Router struct {
+	a  *grid.Array
+	g  *graph.Graph
+	sc *graph.DijkstraScratch
+	eb []int // edge-path buffer reused across queries
+}
+
+// NewRouter builds the routing state for the array.
+func NewRouter(a *grid.Array) *Router {
+	g := cellGraph(a)
+	return &Router{a: a, g: g, sc: g.NewDijkstraScratch()}
+}
+
 // cellGraph builds the cell-adjacency graph over passable interior edges;
 // edge labels are valve IDs.
 func cellGraph(a *grid.Array) *graph.Graph {
@@ -41,7 +59,7 @@ func cellGraph(a *grid.Array) *graph.Graph {
 // segment finds a cheap simple path src->dst avoiding the given cells and
 // banned valves, preferring edges whose valves are still uncovered. It
 // returns the cell sequence (nil if unreachable).
-func segment(a *grid.Array, g *graph.Graph, src, dst grid.CellID,
+func (rt *Router) segment(src, dst grid.CellID,
 	uncovered map[grid.ValveID]bool, avoid map[grid.CellID]bool,
 	banned map[grid.ValveID]bool, jitter int) []grid.CellID {
 	if src == dst {
@@ -53,6 +71,7 @@ func segment(a *grid.Array, g *graph.Graph, src, dst grid.CellID,
 	if avoid[src] || avoid[dst] {
 		return nil
 	}
+	g := rt.g
 	weight := func(e int) float64 {
 		ed := g.EdgeAt(e)
 		if avoid[grid.CellID(ed.U)] || avoid[grid.CellID(ed.V)] || banned[grid.ValveID(ed.Label)] {
@@ -67,10 +86,11 @@ func segment(a *grid.Array, g *graph.Graph, src, dst grid.CellID,
 		}
 		return base
 	}
-	edges := g.DijkstraPathEdges(int(src), int(dst), weight)
+	edges := g.DijkstraPathEdgesInto(rt.sc, int(src), int(dst), weight, rt.eb[:0])
 	if edges == nil {
 		return nil
 	}
+	rt.eb = edges
 	cells := []grid.CellID{src}
 	cur := int(src)
 	for _, eid := range edges {
@@ -86,26 +106,27 @@ func segment(a *grid.Array, g *graph.Graph, src, dst grid.CellID,
 }
 
 // pathThrough builds a simple source->sink path forced through valve target.
-func pathThrough(a *grid.Array, g *graph.Graph, srcPort, sinkPort grid.ValveID,
+func (rt *Router) pathThrough(srcPort, sinkPort grid.ValveID,
 	target grid.ValveID, uncovered map[grid.ValveID]bool) *Path {
-	return pathThroughAvoiding(a, g, srcPort, sinkPort, target, uncovered, nil)
+	return rt.pathThroughJittered(srcPort, sinkPort, target, uncovered, nil, 0)
 }
 
-func pathThroughAvoiding(a *grid.Array, g *graph.Graph, srcPort, sinkPort grid.ValveID,
+func (rt *Router) pathThroughAvoiding(srcPort, sinkPort grid.ValveID,
 	target grid.ValveID, uncovered map[grid.ValveID]bool,
 	banned map[grid.ValveID]bool) *Path {
-	return pathThroughJittered(a, g, srcPort, sinkPort, target, uncovered, banned, 0)
+	return rt.pathThroughJittered(srcPort, sinkPort, target, uncovered, banned, 0)
 }
 
 // pathThroughJittered is pathThroughAvoiding with a deterministic weight
 // perturbation (jitter > 0), used to explore alternative routes when the
 // shortest one is shunted by a channel.
-func pathThroughJittered(a *grid.Array, g *graph.Graph, srcPort, sinkPort grid.ValveID,
+func (rt *Router) pathThroughJittered(srcPort, sinkPort grid.ValveID,
 	target grid.ValveID, uncovered map[grid.ValveID]bool,
 	banned map[grid.ValveID]bool, jitter int) *Path {
 	if banned[target] {
 		return nil
 	}
+	a := rt.a
 	u, w := a.EdgeCells(target)
 	if u == grid.NoCell || w == grid.NoCell {
 		return nil
@@ -121,7 +142,7 @@ func pathThroughJittered(a *grid.Array, g *graph.Graph, srcPort, sinkPort grid.V
 		if first != sinkCell {
 			avoid1[sinkCell] = true
 		}
-		seg1 := segment(a, g, srcCell, first, uncovered, avoid1, banned, jitter)
+		seg1 := rt.segment(srcCell, first, uncovered, avoid1, banned, jitter)
 		if seg1 == nil {
 			continue
 		}
@@ -129,7 +150,7 @@ func pathThroughJittered(a *grid.Array, g *graph.Graph, srcPort, sinkPort grid.V
 		for _, c := range seg1 {
 			avoid[c] = true
 		}
-		seg2 := segment(a, g, second, sinkCell, uncovered, avoid, banned, jitter)
+		seg2 := rt.segment(second, sinkCell, uncovered, avoid, banned, jitter)
 		if seg2 == nil {
 			continue
 		}
@@ -147,20 +168,20 @@ func pathThroughJittered(a *grid.Array, g *graph.Graph, srcPort, sinkPort grid.V
 // never traverses the banned valves. The leakage-vector generator uses it
 // to observe one valve of a control-channel pair while the other stays
 // commanded closed. Returns nil if no such path exists.
-func ThroughAvoiding(a *grid.Array, target grid.ValveID, banned map[grid.ValveID]bool) *Path {
-	return ThroughAvoidingJitter(a, target, banned, 0)
+func (rt *Router) ThroughAvoiding(target grid.ValveID, banned map[grid.ValveID]bool) *Path {
+	return rt.ThroughAvoidingJitter(target, banned, 0)
 }
 
 // ThroughAvoidingJitter is ThroughAvoiding with a deterministic weight
 // perturbation: jitter > 0 yields wiggly routes that alternate orientation
 // often, which lets one leakage vector split many control-lane pairs.
-func ThroughAvoidingJitter(a *grid.Array, target grid.ValveID, banned map[grid.ValveID]bool, jitter int) *Path {
+func (rt *Router) ThroughAvoidingJitter(target grid.ValveID, banned map[grid.ValveID]bool, jitter int) *Path {
+	a := rt.a
 	srcs, sinks := a.Sources(), a.Sinks()
 	if len(srcs) == 0 || len(sinks) == 0 {
 		return nil
 	}
-	g := cellGraph(a)
-	return pathThroughJittered(a, g, srcs[0].Valve, sinks[0].Valve, target, nil, banned, jitter)
+	return rt.pathThroughJittered(srcs[0].Valve, sinks[0].Valve, target, nil, banned, jitter)
 }
 
 // patchPaths covers the listed valves with forced-through paths, greedily
@@ -169,7 +190,7 @@ func ThroughAvoidingJitter(a *grid.Array, target grid.ValveID, banned map[grid.V
 // obstacles, or valves physically shunted by a parallel channel).
 func patchPaths(a *grid.Array, s *sim.Simulator, srcPort, sinkPort grid.ValveID,
 	missing []grid.ValveID) ([]*Path, []grid.ValveID) {
-	g := cellGraph(a)
+	rt := NewRouter(a)
 	uncovered := make(map[grid.ValveID]bool, len(missing))
 	for _, id := range missing {
 		uncovered[id] = true
@@ -202,16 +223,16 @@ func patchPaths(a *grid.Array, s *sim.Simulator, srcPort, sinkPort grid.ValveID,
 			var cand *Path
 			switch attempt {
 			case 0:
-				cand = pathThrough(a, g, srcPort, sinkPort, target, uncovered)
+				cand = rt.pathThrough(srcPort, sinkPort, target, uncovered)
 			case 1:
-				cand = pathThrough(a, g, srcPort, sinkPort, target, nil)
+				cand = rt.pathThrough(srcPort, sinkPort, target, nil)
 			case 2, 3, 4:
-				cand = pathThroughJittered(a, g, srcPort, sinkPort, target, nil, nil, attempt)
+				cand = rt.pathThroughJittered(srcPort, sinkPort, target, nil, nil, attempt)
 			default:
 				if strict == nil {
-					strict = channelAdjacentBans(a, g)
+					strict = channelAdjacentBans(a, rt.g)
 				}
-				cand = pathThroughAvoiding(a, g, srcPort, sinkPort, target, uncovered,
+				cand = rt.pathThroughAvoiding(srcPort, sinkPort, target, uncovered,
 					relaxAroundTarget(a, strict, target))
 			}
 			if cand != nil && tests(cand, target) {

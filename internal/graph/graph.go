@@ -194,20 +194,48 @@ func (g *Graph) Components(enabled func(e int) bool) ([]int, int) {
 	return comp, next
 }
 
+// DijkstraScratch holds the reusable working set of repeated Dijkstra runs
+// over one graph: distance/via/done arrays and the binary heap. Routing
+// loops that call Dijkstra thousands of times (path patching, leakage
+// vector construction) hold one scratch and allocate nothing per query.
+type DijkstraScratch struct {
+	dist []float64
+	via  []int
+	done []bool
+	h    heapF
+}
+
+// NewDijkstraScratch sizes a scratch for this graph.
+func (g *Graph) NewDijkstraScratch() *DijkstraScratch {
+	return &DijkstraScratch{
+		dist: make([]float64, g.n),
+		via:  make([]int, g.n),
+		done: make([]bool, g.n),
+		h:    heapF{node: make([]int, 0, g.n), prio: make([]float64, 0, g.n)},
+	}
+}
+
 // Dijkstra computes shortest path distances from src with per-edge weights
 // given by weight (return math.Inf(1) to disable an edge). It returns the
 // distance slice and the via-edge slice in the same convention as BFS.
 func (g *Graph) Dijkstra(src int, weight func(e int) float64) ([]float64, []int) {
-	dist := make([]float64, g.n)
-	via := make([]int, g.n)
-	done := make([]bool, g.n)
+	dist, via := g.DijkstraInto(g.NewDijkstraScratch(), src, weight)
+	return dist, via
+}
+
+// DijkstraInto is Dijkstra over caller-owned scratch; the returned slices
+// alias the scratch and are valid until its next use.
+func (g *Graph) DijkstraInto(sc *DijkstraScratch, src int, weight func(e int) float64) ([]float64, []int) {
+	dist, via, done := sc.dist, sc.via, sc.done
 	for i := range dist {
 		dist[i] = math.Inf(1)
 		via[i] = -1
+		done[i] = false
 	}
 	dist[src] = 0
 	via[src] = -2
-	h := &heapF{}
+	h := &sc.h
+	h.node, h.prio = h.node[:0], h.prio[:0]
 	h.push(src, 0)
 	for h.len() > 0 {
 		u, du := h.pop()
@@ -236,11 +264,18 @@ func (g *Graph) Dijkstra(src int, weight func(e int) float64) ([]float64, []int)
 // DijkstraPathEdges returns the edge indices of a minimum-weight path
 // src->dst, or nil if unreachable.
 func (g *Graph) DijkstraPathEdges(src, dst int, weight func(e int) float64) []int {
-	dist, via := g.Dijkstra(src, weight)
+	return g.DijkstraPathEdgesInto(g.NewDijkstraScratch(), src, dst, weight, nil)
+}
+
+// DijkstraPathEdgesInto is DijkstraPathEdges over caller-owned scratch,
+// appending the edge sequence to buf (pass buf[:0] to reuse its backing
+// array). It returns nil if dst is unreachable.
+func (g *Graph) DijkstraPathEdgesInto(sc *DijkstraScratch, src, dst int, weight func(e int) float64, buf []int) []int {
+	dist, via := g.DijkstraInto(sc, src, weight)
 	if math.IsInf(dist[dst], 1) {
 		return nil
 	}
-	var rev []int
+	rev := buf
 	u := dst
 	for u != src {
 		eid := via[u]
@@ -252,7 +287,8 @@ func (g *Graph) DijkstraPathEdges(src, dst int, weight func(e int) float64) []in
 			u = e.U
 		}
 	}
-	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+	// Reverse only the appended suffix, preserving any existing prefix.
+	for i, j := len(buf), len(rev)-1; i < j; i, j = i+1, j-1 {
 		rev[i], rev[j] = rev[j], rev[i]
 	}
 	return rev

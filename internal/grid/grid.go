@@ -19,7 +19,10 @@
 // Obstacle. Only Normal valves are units under test.
 package grid
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Orient distinguishes the two valve orientations on the lattice.
 type Orient uint8
@@ -106,6 +109,11 @@ type Array struct {
 	kinds    []Kind
 	obstacle []bool
 	ports    []Port
+
+	// normal caches NormalValves; mutators invalidate it. The pointer is
+	// atomic so concurrent readers (campaign workers, verify sweeps sharing
+	// one array) may trigger the lazy fill without a data race.
+	normal atomic.Pointer[[]ValveID]
 }
 
 // New returns a full nr x nc array: all interior edges are Normal valves,
@@ -262,6 +270,7 @@ func (a *Array) SetChannelH(r, c0, c1 int) (int, error) {
 		}
 		a.kinds[id] = Channel
 	}
+	a.normal.Store(nil)
 	return n, nil
 }
 
@@ -282,6 +291,7 @@ func (a *Array) SetChannelV(c, r0, r1 int) (int, error) {
 		}
 		a.kinds[id] = Channel
 	}
+	a.normal.Store(nil)
 	return n, nil
 }
 
@@ -303,6 +313,7 @@ func (a *Array) SetObstacle(r, c int) (int, error) {
 			a.kinds[v] = Wall
 		}
 	}
+	a.normal.Store(nil)
 	return n, nil
 }
 
@@ -374,14 +385,20 @@ func (a *Array) filterPorts(source bool) []Port {
 }
 
 // NormalValves returns the IDs of all Normal valves — the units under test —
-// in increasing ID order.
+// in increasing ID order. The slice is cached (rebuilt after mutations) and
+// must not be modified by the caller; coverage bookkeeping all over the
+// generators leans on this being allocation-free.
 func (a *Array) NormalValves() []ValveID {
-	var out []ValveID
+	if p := a.normal.Load(); p != nil {
+		return *p
+	}
+	out := make([]ValveID, 0, len(a.kinds))
 	for id, k := range a.kinds {
 		if k == Normal {
 			out = append(out, ValveID(id))
 		}
 	}
+	a.normal.Store(&out)
 	return out
 }
 

@@ -74,9 +74,22 @@ type constraint struct {
 }
 
 // Model is an ILP under construction. The zero value is ready to use.
+//
+// A Model may be re-solved after changing objectives (SetObj) or bounds
+// (SetVarBounds / FixVar) without structural cost: the compiled LP
+// relaxation and its solver scratch are cached across Solve calls and only
+// rebuilt when variables or constraints are added. This is the engine
+// behind the iterative generators, which solve hundreds of same-shape
+// models that differ only in objective and bound fixes. The flip side of
+// that caching: a Model is not safe for concurrent use — Solve calls (and
+// mutations) on one Model must be serialized by the caller. Solve's
+// internal workers parallelize a single search, not the Model.
 type Model struct {
 	vars []varInfo
 	cons []constraint
+
+	compiled *lp.Problem // cached relaxation; nil after structural changes
+	solvers  []*lp.Solver
 }
 
 // AddVar adds a variable with bounds [lb, ub] (use -Inf / Inf for
@@ -87,6 +100,7 @@ func (m *Model) AddVar(lb, ub, obj float64, integer bool, name string) VarID {
 		panic(fmt.Sprintf("ilp: var %q has lb %v > ub %v", name, lb, ub))
 	}
 	m.vars = append(m.vars, varInfo{lb: lb, ub: ub, integer: integer, obj: obj, name: name})
+	m.compiled, m.solvers = nil, nil
 	return VarID(len(m.vars) - 1)
 }
 
@@ -111,6 +125,13 @@ func (m *Model) SetVarBounds(v VarID, lb, ub float64) {
 // solves that fix different variables (enabling warm starts).
 func (m *Model) FixVar(v VarID, val float64) {
 	m.vars[v].lb, m.vars[v].ub = val, val
+}
+
+// SetObj replaces the objective coefficient of variable v (minimization).
+// Like bound changes, objective changes keep the compiled relaxation and
+// its warm-start applicability intact.
+func (m *Model) SetObj(v VarID, obj float64) {
+	m.vars[v].obj = obj
 }
 
 // NumVars returns the variable count.
@@ -138,6 +159,7 @@ func (m *Model) AddCons(idx []VarID, coef []float64, sense lp.Sense, rhs float64
 		coef:  append([]float64(nil), coef...),
 		sense: sense, rhs: rhs,
 	})
+	m.compiled, m.solvers = nil, nil
 }
 
 const intTol = 1e-6
@@ -228,19 +250,61 @@ func (m *Model) roundInPlace(x []float64) {
 	}
 }
 
-func (m *Model) tryRound(x []float64) []float64 {
-	cand := append([]float64(nil), x...)
-	m.roundInPlace(cand)
-	if m.Check(cand) != nil {
-		return nil
-	}
-	return cand
+// tryRoundInto rounds x's integer coordinates into dst and reports whether
+// the rounded point satisfies the model — the allocation-free rounding
+// heuristic of the branch-and-bound hot path.
+func (m *Model) tryRoundInto(dst, x []float64) bool {
+	copy(dst, x)
+	m.roundInPlace(dst)
+	return m.feasible(dst)
 }
 
-// compileLP builds the shared LP relaxation: variables map 1:1 onto LP
+// feasible mirrors Check without constructing errors.
+func (m *Model) feasible(x []float64) bool {
+	for j, v := range m.vars {
+		if x[j] < v.lb-1e-6 || x[j] > v.ub+1e-6 {
+			return false
+		}
+		if v.integer && math.Abs(x[j]-math.Round(x[j])) > intTol {
+			return false
+		}
+	}
+	for _, c := range m.cons {
+		dot := 0.0
+		for k, v := range c.idx {
+			dot += c.coef[k] * x[v]
+		}
+		switch c.sense {
+		case lp.LE:
+			if dot > c.rhs+1e-5 {
+				return false
+			}
+		case lp.GE:
+			if dot < c.rhs-1e-5 {
+				return false
+			}
+		case lp.EQ:
+			if math.Abs(dot-c.rhs) > 1e-5 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// compileLP returns the shared LP relaxation: variables map 1:1 onto LP
 // columns with native bounds, constraints onto rows. Branch-and-bound nodes
-// differ only in the bound vectors they pass to the solver.
+// differ only in the bound vectors they pass to the solver. The compiled
+// problem is cached across solves — objective and bound edits are folded
+// into the cached copy, and only structural changes force a rebuild.
 func (m *Model) compileLP() *lp.Problem {
+	if p := m.compiled; p != nil {
+		for j, v := range m.vars {
+			p.SetObj(j, v.obj)
+			p.SetBounds(j, v.lb, v.ub)
+		}
+		return p
+	}
 	p := lp.NewProblem(len(m.vars))
 	for j, v := range m.vars {
 		if v.obj != 0 {
@@ -256,5 +320,23 @@ func (m *Model) compileLP() *lp.Problem {
 		}
 		p.AddSparseRow(idx, c.coef, c.sense, c.rhs)
 	}
+	m.compiled = p
 	return p
+}
+
+// getSolver hands out a cached solver for the compiled relaxation (one per
+// concurrent worker); putSolver returns it for the next solve. Access is
+// confined to Model.Solve, which serializes handout before the workers
+// start.
+func (m *Model) getSolver(p *lp.Problem) *lp.Solver {
+	if n := len(m.solvers); n > 0 {
+		sv := m.solvers[n-1]
+		m.solvers = m.solvers[:n-1]
+		return sv
+	}
+	return lp.NewSolver(p)
+}
+
+func (m *Model) putSolver(sv *lp.Solver) {
+	m.solvers = append(m.solvers, sv)
 }

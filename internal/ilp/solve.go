@@ -76,12 +76,21 @@ func (s *Stats) Observe(sol Solution) {
 
 const objTol = 1e-9
 
+// basisRef is a refcounted basis snapshot shared by the two children of a
+// branch-and-bound node. Snapshots live in pooled slabs instead of being
+// copied per child, so the steady-state search allocates no basis memory.
+type basisRef struct {
+	status []int8
+	refs   int
+}
+
 // bbNode is one branch-and-bound node. Its relaxation is a pure function of
 // (model, lb, ub, warm): warm is always the parent's optimal basis, so the
 // LP result never depends on which worker processes the node or when.
+// Nodes and their slices cycle through the searcher's pools.
 type bbNode struct {
 	lb, ub []float64
-	warm   *lp.Basis // parent's optimal basis (nil at the root)
+	warm   *basisRef // parent's optimal basis (nil at the root)
 	bound  float64   // parent relaxation bound (objective lower bound)
 	uChain float64   // best incumbent objective found along the ancestor chain
 	path   []byte    // tree position; lexicographic order is the deterministic "seq"
@@ -111,6 +120,9 @@ func (q *nodePQ) Pop() any {
 	return nd
 }
 
+// candidate carries an incumbent from process to commit. x and path alias
+// per-worker scratch; commit copies them only when they win the incumbent
+// race, so losing candidates cost nothing.
 type candidate struct {
 	x    []float64
 	obj  float64
@@ -118,7 +130,7 @@ type candidate struct {
 }
 
 type nodeResult struct {
-	children  []*bbNode
+	children  [2]*bbNode // nil when not branching
 	leaf      *candidate // integer-feasible LP optimum at this node
 	heur      *candidate // rounding-heuristic incumbent (prune bound only)
 	rootBasis *lp.Basis
@@ -129,12 +141,25 @@ type nodeResult struct {
 	lpLimited bool
 }
 
+// workScratch is one worker's private buffers: candidate staging plus the
+// two candidate structs themselves.
+type workScratch struct {
+	leafX []float64
+	heurX []float64
+	leaf  candidate
+	heur  candidate
+	sv    *lp.Solver
+}
+
 // searcher is the shared state of one branch-and-bound run.
 type searcher struct {
 	m      *Model
 	ctx    context.Context
 	opt    Options
 	objInt bool
+
+	nodePool  sync.Pool // *bbNode with capacity-retaining slices
+	basisPool sync.Pool // *basisRef
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -161,8 +186,50 @@ type searcher struct {
 	rootBasis *lp.Basis
 }
 
+func (s *searcher) newNode() *bbNode {
+	nd := s.nodePool.Get().(*bbNode)
+	nd.warm = nil
+	return nd
+}
+
+// freeNode releases the node's basis reference and returns the node (with
+// its slices) to the pool. Must not be called while the node is reachable
+// from the heap or a worker.
+func (s *searcher) freeNode(nd *bbNode) {
+	s.releaseBasis(nd.warm)
+	nd.warm = nil
+	s.nodePool.Put(nd)
+}
+
+// newBasisRef copies status into a pooled slab shared by refs readers.
+func (s *searcher) newBasisRef(status []int8, refs int) *basisRef {
+	b := s.basisPool.Get().(*basisRef)
+	b.status = append(b.status[:0], status...)
+	b.refs = refs
+	return b
+}
+
+// releaseBasis drops one reference; the last one returns the slab to the
+// pool. Two workers can release the sibling references of one slab
+// concurrently, so the refcount is protected by the searcher mutex.
+func (s *searcher) releaseBasis(b *basisRef) {
+	if b == nil {
+		return
+	}
+	s.mu.Lock()
+	b.refs--
+	last := b.refs == 0
+	s.mu.Unlock()
+	if last {
+		s.basisPool.Put(b)
+	}
+}
+
 // Solve runs branch-and-bound and returns the best integer solution. The
-// exploration order is best-bound; nodes re-solve from their parent's
+// exploration order is best-bound with plunging: after branching, a worker
+// keeps the preferred child for itself (maximizing warm-start locality and
+// halving heap traffic) and publishes the sibling to the shared best-bound
+// heap, where idle workers steal it. Nodes re-solve from their parent's
 // simplex basis via the dual simplex instead of a cold start.
 //
 // Cancelling ctx (nil means context.Background()) stops the search at the
@@ -186,104 +253,166 @@ func (m *Model) Solve(ctx context.Context, opt Options) Solution {
 		leafObj:  math.Inf(1),
 		heurObj:  math.Inf(1),
 	}
+	nvars := len(m.vars)
+	s.nodePool.New = func() any {
+		return &bbNode{lb: make([]float64, nvars), ub: make([]float64, nvars)}
+	}
+	s.basisPool.New = func() any { return &basisRef{} }
 	if s.maxNodes <= 0 {
 		s.maxNodes = 200000
 	}
 	s.cond = sync.NewCond(&s.mu)
 
-	root := &bbNode{
-		lb:     make([]float64, len(m.vars)),
-		ub:     make([]float64, len(m.vars)),
-		bound:  math.Inf(-1),
-		uChain: math.Inf(1),
-		path:   []byte{},
-	}
+	root := s.newNode()
+	root.bound = math.Inf(-1)
+	root.uChain = math.Inf(1)
+	root.path = root.path[:0]
 	for j, v := range m.vars {
 		root.lb[j], root.ub[j] = v.lb, v.ub
 	}
 	if ws := opt.WarmStart; ws != nil && ws.nvars == len(m.vars) && ws.ncons == len(m.cons) {
-		root.warm = ws.basis
+		root.warm = s.newBasisRef(ws.basis.Status(), 1)
 	}
 	heap.Push(&s.pq, root)
 
 	workers := opt.Workers
 	if workers <= 1 {
-		s.work(lp.NewSolver(prob))
+		sv := m.getSolver(prob)
+		s.work(sv)
+		m.putSolver(sv)
 	} else {
 		var wg sync.WaitGroup
+		svs := make([]*lp.Solver, workers)
+		for w := 0; w < workers; w++ {
+			svs[w] = m.getSolver(prob)
+		}
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func() {
+			go func(sv *lp.Solver) {
 				defer wg.Done()
-				s.work(lp.NewSolver(prob))
-			}()
+				s.work(sv)
+			}(svs[w])
 		}
 		wg.Wait()
+		for _, sv := range svs {
+			m.putSolver(sv)
+		}
 	}
 	sol := s.assemble()
 	sol.Wall = time.Since(t0)
 	return sol
 }
 
-// work is one worker's loop: pop the best node, solve its relaxation, and
-// commit incumbents and children under the lock.
+// work is one worker's loop: take the locally kept dive child or pop the
+// best node from the shared heap, solve its relaxation, and commit
+// incumbents and children under the lock.
 func (s *searcher) work(sv *lp.Solver) {
+	sc := &workScratch{
+		leafX: make([]float64, len(s.m.vars)),
+		heurX: make([]float64, len(s.m.vars)),
+		sv:    sv,
+	}
+	var local *bbNode
 	for {
 		// The per-node cancellation probe: each node costs an LP solve, so
 		// this bounds cancel latency to one relaxation per worker.
 		if s.ctx.Err() != nil {
 			s.mu.Lock()
 			s.canceled = true
+			if local != nil {
+				s.inflight--
+				local = nil
+			}
 			s.cond.Broadcast()
 			s.mu.Unlock()
 			return
 		}
 		s.mu.Lock()
 		var nd *bbNode
-		for {
-			if s.canceled || s.unbounded || (len(s.pq) == 0 && s.inflight == 0) {
+		if local != nil {
+			// Diving: the preferred child was claimed at commit time
+			// (inflight was kept), only the node budget can stop it.
+			if s.canceled || s.unbounded || s.nodes >= s.maxNodes {
+				if s.nodes >= s.maxNodes {
+					s.exhausted = true
+				}
+				s.inflight--
 				s.cond.Broadcast()
 				s.mu.Unlock()
 				return
 			}
-			if len(s.pq) > 0 {
-				if s.nodes >= s.maxNodes {
-					s.exhausted = true
+			nd, local = local, nil
+			s.nodes++
+		} else {
+			for {
+				if s.canceled || s.unbounded || (len(s.pq) == 0 && s.inflight == 0) {
 					s.cond.Broadcast()
 					s.mu.Unlock()
 					return
 				}
-				nd = heap.Pop(&s.pq).(*bbNode)
-				s.nodes++
-				s.inflight++
-				break
+				if len(s.pq) > 0 {
+					if s.nodes >= s.maxNodes {
+						s.exhausted = true
+						s.cond.Broadcast()
+						s.mu.Unlock()
+						return
+					}
+					nd = heap.Pop(&s.pq).(*bbNode)
+					s.nodes++
+					s.inflight++
+					break
+				}
+				s.cond.Wait()
 			}
-			s.cond.Wait()
 		}
 		gub := math.Min(s.leafObj, s.heurObj)
 		s.mu.Unlock()
 
-		res := s.process(sv, nd, gub)
+		res := s.process(sc, nd, gub)
 
 		s.mu.Lock()
 		s.commit(res)
-		s.inflight--
+		if first := res.children[0]; first != nil {
+			// Bounded plunging: keep the preferred child for this worker
+			// only while it is at least as good as the best node in the
+			// shared heap (so exploration stays essentially best-bound and
+			// node counts match the pure-heap schedule) and the sharpened
+			// incumbent does not already prune it. process re-checks bounds
+			// strictly, so this is a scheduling heuristic, not a
+			// correctness gate.
+			gub = math.Min(s.leafObj, s.heurObj)
+			asGood := len(s.pq) == 0 || first.bound <= s.pq[0].bound
+			if !s.canceled && !s.unbounded && asGood &&
+				first.bound <= gub+objTol && first.bound <= first.uChain+objTol {
+				local = first
+			} else {
+				heap.Push(&s.pq, first)
+			}
+		}
+		if local == nil {
+			s.inflight--
+		}
 		s.cond.Broadcast()
 		s.mu.Unlock()
+		s.freeNode(nd)
 	}
 }
 
 // process solves one node. Everything here is a pure function of the node
 // (gub only prunes strictly-worse subtrees, which never contribute to the
 // returned solution), so results are schedule-independent.
-func (s *searcher) process(sv *lp.Solver, nd *bbNode, gub float64) nodeResult {
+func (s *searcher) process(sc *workScratch, nd *bbNode, gub float64) nodeResult {
 	if nd.bound > gub+objTol || nd.bound > nd.uChain+objTol {
 		return nodeResult{}
 	}
-	sol := sv.Solve(nd.lb, nd.ub, nd.warm, s.opt.MaxLPIters)
-	if sol.Status == lp.IterLimit && nd.warm != nil {
+	var warm []int8
+	if nd.warm != nil {
+		warm = nd.warm.status
+	}
+	sol := sc.sv.SolveView(nd.lb, nd.ub, warm, s.opt.MaxLPIters)
+	if sol.Status == lp.IterLimit && warm != nil {
 		// Deterministic cold retry: the warm basis may be a poor start.
-		sol = sv.Solve(nd.lb, nd.ub, nil, s.opt.MaxLPIters)
+		sol = sc.sv.SolveView(nd.lb, nd.ub, nil, s.opt.MaxLPIters)
 	}
 	var res nodeResult
 	switch sol.Status {
@@ -304,7 +433,7 @@ func (s *searcher) process(sv *lp.Solver, nd *bbNode, gub float64) nodeResult {
 		return res
 	}
 	if len(nd.path) == 0 {
-		res.rootBasis = sol.Basis
+		res.rootBasis = lp.BasisFromStatus(sol.Basis)
 	}
 	bound := sol.Obj
 	if s.objInt {
@@ -315,28 +444,36 @@ func (s *searcher) process(sv *lp.Solver, nd *bbNode, gub float64) nodeResult {
 	}
 	branch := s.m.pickFractional(sol.X)
 	if branch == -1 {
-		x := append([]float64(nil), sol.X...)
-		s.m.roundInPlace(x)
-		res.leaf = &candidate{x: x, obj: s.m.Objective(x), path: nd.path}
+		copy(sc.leafX, sol.X)
+		s.m.roundInPlace(sc.leafX)
+		sc.leaf = candidate{x: sc.leafX, obj: s.m.Objective(sc.leafX), path: nd.path}
+		res.leaf = &sc.leaf
 		return res
 	}
 	uChain := nd.uChain
-	if x := s.m.tryRound(sol.X); x != nil {
-		obj := s.m.Objective(x)
-		res.heur = &candidate{x: x, obj: obj}
+	if s.m.tryRoundInto(sc.heurX, sol.X) {
+		obj := s.m.Objective(sc.heurX)
+		sc.heur = candidate{x: sc.heurX, obj: obj}
+		res.heur = &sc.heur
 		if obj < uChain {
 			uChain = obj
 		}
 	}
-	childLB := append([]float64(nil), nd.lb...)
-	childUB := append([]float64(nil), nd.ub...)
-	s.tightenByReducedCost(nd, &sol, uChain, childLB, childUB)
 	f := sol.X[branch]
-	down := &bbNode{lb: childLB, ub: append([]float64(nil), childUB...),
-		warm: sol.Basis, bound: bound, uChain: uChain}
+	warmRef := s.newBasisRef(sol.Basis, 2)
+	down := s.newNode()
+	up := s.newNode()
+	for _, child := range [2]*bbNode{down, up} {
+		copy(child.lb, nd.lb)
+		copy(child.ub, nd.ub)
+		child.warm = warmRef
+		child.bound = bound
+		child.uChain = uChain
+	}
+	s.tightenByReducedCost(nd, sol.X, sol.R, sol.Obj, uChain, down.lb, down.ub)
+	copy(up.lb, down.lb)
+	copy(up.ub, down.ub)
 	down.ub[branch] = math.Floor(f)
-	up := &bbNode{lb: append([]float64(nil), childLB...), ub: childUB,
-		warm: sol.Basis, bound: bound, uChain: uChain}
 	up.lb[branch] = math.Ceil(f)
 	// The side nearer the fractional value is the preferred child: it gets
 	// the smaller tree position (and thus pops first among equal bounds).
@@ -344,9 +481,9 @@ func (s *searcher) process(sv *lp.Solver, nd *bbNode, gub float64) nodeResult {
 	if f-math.Floor(f) < 0.5 {
 		first, second = down, up
 	}
-	first.path = append(append([]byte(nil), nd.path...), 0)
-	second.path = append(append([]byte(nil), nd.path...), 1)
-	res.children = []*bbNode{first, second}
+	first.path = append(append(first.path[:0], nd.path...), 0)
+	second.path = append(append(second.path[:0], nd.path...), 1)
+	res.children[0], res.children[1] = first, second
 	return res
 }
 
@@ -356,11 +493,11 @@ func (s *searcher) process(sv *lp.Solver, nd *bbNode, gub float64) nodeResult {
 // solution worth returning. Only the deterministic chain incumbent uChain
 // is used, never the schedule-dependent global one, so the tree shape stays
 // identical for any worker count.
-func (s *searcher) tightenByReducedCost(nd *bbNode, sol *lp.Solution, uChain float64, lb, ub []float64) {
-	if math.IsInf(uChain, 1) || sol.R == nil {
+func (s *searcher) tightenByReducedCost(nd *bbNode, x, r []float64, lpObj, uChain float64, lb, ub []float64) {
+	if math.IsInf(uChain, 1) || r == nil {
 		return
 	}
-	budget := uChain + objTol - sol.Obj
+	budget := uChain + objTol - lpObj
 	if budget < 0 {
 		return
 	}
@@ -368,13 +505,13 @@ func (s *searcher) tightenByReducedCost(nd *bbNode, sol *lp.Solution, uChain flo
 		if !v.integer {
 			continue
 		}
-		rj := sol.R[j]
+		rj := r[j]
 		switch {
-		case rj > objTol && sol.X[j] <= nd.lb[j]+intTol:
+		case rj > objTol && x[j] <= nd.lb[j]+intTol:
 			if nu := nd.lb[j] + math.Floor(budget/rj+1e-9); nu < ub[j] {
 				ub[j] = nu
 			}
-		case rj < -objTol && sol.X[j] >= nd.ub[j]-intTol:
+		case rj < -objTol && x[j] >= nd.ub[j]-intTol:
 			if nl := nd.ub[j] - math.Floor(budget/(-rj)+1e-9); nl > lb[j] {
 				lb[j] = nl
 			}
@@ -384,7 +521,8 @@ func (s *searcher) tightenByReducedCost(nd *bbNode, sol *lp.Solution, uChain flo
 
 // commit merges one node's results into the shared state. Incumbent
 // selection is a commutative minimum over (objective, tree position), so
-// arrival order cannot change the outcome.
+// arrival order cannot change the outcome. Candidate payloads alias worker
+// scratch and are copied only when they win.
 func (s *searcher) commit(res nodeResult) {
 	if res.unbounded {
 		s.unbounded = true
@@ -401,14 +539,17 @@ func (s *searcher) commit(res nodeResult) {
 	if c := res.leaf; c != nil {
 		if s.leafX == nil || c.obj < s.leafObj ||
 			(c.obj == s.leafObj && pathLess(c.path, s.leafPath)) {
-			s.leafX, s.leafObj, s.leafPath = c.x, c.obj, c.path
+			s.leafX = append(s.leafX[:0], c.x...)
+			s.leafObj = c.obj
+			s.leafPath = append(s.leafPath[:0], c.path...)
 		}
 	}
 	if c := res.heur; c != nil && c.obj < s.heurObj {
-		s.heurX, s.heurObj = c.x, c.obj
+		s.heurX = append(s.heurX[:0], c.x...)
+		s.heurObj = c.obj
 	}
-	for _, child := range res.children {
-		heap.Push(&s.pq, child)
+	if second := res.children[1]; second != nil {
+		heap.Push(&s.pq, second)
 	}
 }
 

@@ -269,6 +269,7 @@ func (cv *CompiledVectors) RunCampaign(ctx context.Context, cfg CampaignConfig) 
 		sc := cv.s.getScratch()
 		defer cv.s.putScratch(sc)
 		rng := rand.New(&splitmix64{})
+		fs := newFaultScratch(normal, cfg)
 		var det, sim int64
 		var local []escape
 		for ctx.Err() == nil {
@@ -282,7 +283,7 @@ func (cv *CompiledVectors) RunCampaign(ctx context.Context, cfg CampaignConfig) 
 			}
 			for trial := start; trial < end; trial++ {
 				rng.Seed(trialSeed(cfg.Seed, trial))
-				faults := randomFaults(rng, normal, cfg)
+				faults := randomFaultsInto(rng, normal, cfg, fs)
 				if idx := cv.detectingVector(sc, faults); idx >= 0 {
 					det++
 					sim += int64(idx) + 1
@@ -291,8 +292,8 @@ func (cv *CompiledVectors) RunCampaign(ctx context.Context, cfg CampaignConfig) 
 					if len(local) < maxEscapes {
 						// A worker's trials ascend, so its first maxEscapes
 						// escapes are a superset of its share of the global
-						// ones.
-						local = append(local, escape{trial, faults})
+						// ones. Escapes outlive the scratch: copy.
+						local = append(local, escape{trial, append([]Fault(nil), faults...)})
 					}
 				}
 			}
@@ -363,18 +364,53 @@ func (s *splitmix64) Uint64() uint64 {
 
 func (s *splitmix64) Int63() int64 { return int64(s.Uint64() >> 1) }
 
-// randomFaults draws up to cfg.NumFaults faults on distinct valves. Stuck-at
-// faults are drawn without replacement from a shrinking free list, so the
-// draw can never spin; when a control-leak draw finds every candidate pair
-// blocked by already-used valves it falls back to a stuck-at draw. If leak
-// pairs consume so many valves that no free valve remains, the trial
-// proceeds with fewer faults rather than retrying forever.
-func randomFaults(rng *rand.Rand, normal []grid.ValveID, cfg CampaignConfig) []Fault {
+// faultScratch is one worker's reusable draw state: the shrinking free
+// list, the used set (a small linear-scan slice — at most 2*NumFaults
+// entries), and the fault output buffer. With it, a trial's fault draw
+// performs no allocation.
+type faultScratch struct {
+	free   []grid.ValveID
+	used   []grid.ValveID
+	faults []Fault
+}
+
+func newFaultScratch(normal []grid.ValveID, cfg CampaignConfig) *faultScratch {
 	n := cfg.NumFaults
 	if n > len(normal) {
 		n = len(normal)
 	}
-	free := append([]grid.ValveID(nil), normal...)
+	return &faultScratch{
+		free:   make([]grid.ValveID, len(normal)),
+		used:   make([]grid.ValveID, 0, 2*n),
+		faults: make([]Fault, 0, n),
+	}
+}
+
+func (fs *faultScratch) isUsed(v grid.ValveID) bool {
+	for _, u := range fs.used {
+		if u == v {
+			return true
+		}
+	}
+	return false
+}
+
+// randomFaultsInto draws up to cfg.NumFaults faults on distinct valves into
+// the scratch's fault buffer (valid until the next draw). Stuck-at faults
+// are drawn without replacement from a shrinking free list, so the draw can
+// never spin; when a control-leak draw finds every candidate pair blocked
+// by already-used valves it falls back to a stuck-at draw. If leak pairs
+// consume so many valves that no free valve remains, the trial proceeds
+// with fewer faults rather than retrying forever.
+func randomFaultsInto(rng *rand.Rand, normal []grid.ValveID, cfg CampaignConfig, fs *faultScratch) []Fault {
+	n := cfg.NumFaults
+	if n > len(normal) {
+		n = len(normal)
+	}
+	free := fs.free[:len(normal)]
+	copy(free, normal)
+	fs.used = fs.used[:0]
+	faults := fs.faults[:0]
 	remove := func(v grid.ValveID) {
 		for i, f := range free {
 			if f == v {
@@ -384,12 +420,10 @@ func randomFaults(rng *rand.Rand, normal []grid.ValveID, cfg CampaignConfig) []F
 			}
 		}
 	}
-	used := make(map[grid.ValveID]bool, 2*n)
-	faults := make([]Fault, 0, n)
 	for len(faults) < n && len(free) > 0 {
 		if len(cfg.LeakPairs) > 0 && rng.Intn(5) == 0 {
-			if p, ok := pickLeakPair(rng, cfg.LeakPairs, used); ok {
-				used[p[0]], used[p[1]] = true, true
+			if p, ok := pickLeakPair(rng, cfg.LeakPairs, fs); ok {
+				fs.used = append(fs.used, p[0], p[1])
 				remove(p[0])
 				remove(p[1])
 				faults = append(faults, Fault{Kind: ControlLeak, A: p[0], B: p[1]})
@@ -401,28 +435,36 @@ func randomFaults(rng *rand.Rand, normal []grid.ValveID, cfg CampaignConfig) []F
 		v := free[i]
 		free[i] = free[len(free)-1]
 		free = free[:len(free)-1]
-		used[v] = true
+		fs.used = append(fs.used, v)
 		kind := StuckAt0
 		if rng.Intn(2) == 1 {
 			kind = StuckAt1
 		}
 		faults = append(faults, Fault{Kind: kind, A: v})
 	}
+	fs.faults = faults
 	return faults
+}
+
+// randomFaults is the standalone (allocating) form of randomFaultsInto,
+// kept for one-off draws and tests.
+func randomFaults(rng *rand.Rand, normal []grid.ValveID, cfg CampaignConfig) []Fault {
+	fs := newFaultScratch(normal, cfg)
+	return append([]Fault(nil), randomFaultsInto(rng, normal, cfg, fs)...)
 }
 
 // pickLeakPair returns a uniformly random candidate pair whose valves are
 // both unused, or ok=false when no such pair remains. The common case — the
 // first probe hits a viable pair — costs one draw; only collisions pay for
 // the viability scan.
-func pickLeakPair(rng *rand.Rand, pairs [][2]grid.ValveID, used map[grid.ValveID]bool) ([2]grid.ValveID, bool) {
+func pickLeakPair(rng *rand.Rand, pairs [][2]grid.ValveID, fs *faultScratch) ([2]grid.ValveID, bool) {
 	p := pairs[rng.Intn(len(pairs))]
-	if !used[p[0]] && !used[p[1]] {
+	if !fs.isUsed(p[0]) && !fs.isUsed(p[1]) {
 		return p, true
 	}
 	viable := 0
 	for _, q := range pairs {
-		if !used[q[0]] && !used[q[1]] {
+		if !fs.isUsed(q[0]) && !fs.isUsed(q[1]) {
 			viable++
 		}
 	}
@@ -431,7 +473,7 @@ func pickLeakPair(rng *rand.Rand, pairs [][2]grid.ValveID, used map[grid.ValveID
 	}
 	k := rng.Intn(viable)
 	for _, q := range pairs {
-		if !used[q[0]] && !used[q[1]] {
+		if !fs.isUsed(q[0]) && !fs.isUsed(q[1]) {
 			if k == 0 {
 				return q, true
 			}

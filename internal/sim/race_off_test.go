@@ -1,0 +1,7 @@
+//go:build !race
+
+package sim
+
+// raceEnabled mirrors the race detector state: sync.Pool deliberately
+// drops items under -race, which breaks strict zero-allocation assertions.
+const raceEnabled = false

@@ -138,6 +138,8 @@ type Simulator struct {
 	sinkNodes []int
 	sinkNames []string
 	edgeValve []int // graph edge index -> valve ID
+	effBase   []bool
+	normalIDs []int
 	scratches sync.Pool
 }
 
@@ -182,6 +184,20 @@ func New(a *grid.Array) (*Simulator, error) {
 	s.edgeValve = make([]int, g.M())
 	for e, ed := range g.Edges() {
 		s.edgeValve[e] = ed.Label
+	}
+	// Template for effIntoBase: the physical state with every Normal valve
+	// commanded closed. Overlaying a command vector is then one copy plus a
+	// sweep over the Normal IDs, instead of a per-valve kind switch.
+	s.effBase = make([]bool, a.NumValves())
+	for id := range s.effBase {
+		switch a.Kind(grid.ValveID(id)) {
+		case grid.Channel, grid.PortOpen:
+			s.effBase[id] = true
+		}
+	}
+	s.normalIDs = make([]int, 0, a.NumNormal())
+	for _, v := range a.NormalValves() {
+		s.normalIDs = append(s.normalIDs, int(v))
 	}
 	s.scratches.New = func() any { return s.newScratch() }
 	return s, nil
@@ -231,16 +247,10 @@ func (s *Simulator) SinkNames() []string { return s.sinkNames }
 // effIntoBase writes the fault-free physical state of every edge under a
 // command vector into eff (len = NumValves).
 func (s *Simulator) effIntoBase(eff []bool, vec *Vector) {
-	a := s.arr
-	for id := range eff {
-		vid := grid.ValveID(id)
-		switch a.Kind(vid) {
-		case grid.Channel, grid.PortOpen:
+	copy(eff, s.effBase)
+	for _, id := range s.normalIDs {
+		if vec.open[id] {
 			eff[id] = true
-		case grid.Normal:
-			eff[id] = vec.open[id]
-		default:
-			eff[id] = false
 		}
 	}
 }
@@ -291,6 +301,22 @@ func (s *Simulator) readingsInto(sc *scratch, out []bool) []bool {
 		out[i] = via[snk] != -1
 	}
 	return out
+}
+
+// SinkPressured reports whether any sink sees pressure under vec on a
+// fault-free chip. Unlike Readings it allocates nothing, which makes it the
+// inner loop of cut-set testability scans.
+func (s *Simulator) SinkPressured(vec *Vector) bool {
+	sc := s.getScratch()
+	defer s.putScratch(sc)
+	s.effIntoBase(sc.eff, vec)
+	s.readingsInto(sc, sc.out)
+	for _, r := range sc.out {
+		if r {
+			return true
+		}
+	}
+	return false
 }
 
 // Readings returns the pressure observed at each sink (order of

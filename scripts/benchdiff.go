@@ -1,0 +1,156 @@
+// Command benchdiff compares two benchmark recordings produced by
+// `make bench-json` (go test -json streams) and reports per-benchmark
+// ns/op and allocs/op deltas.
+//
+// Usage:
+//
+//	go run scripts/benchdiff.go [-max-ns-regress PCT] old.json new.json
+//
+// With -max-ns-regress > 0 the exit status is 1 when any benchmark present
+// in both files regressed its ns/op by more than PCT percent — the CI
+// gate against the committed baseline. Benchmarks present in only one
+// file are listed but never fail the gate.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	nsOp     float64
+	allocsOp float64
+	hasAlloc bool
+}
+
+// benchLine matches one reconstructed benchmark result line.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(.*)$`)
+var allocsRe = regexp.MustCompile(`([\d.]+) allocs/op`)
+
+// load reads a test2json stream and reconstructs the benchmark result
+// lines (test2json splits a benchmark's name and measurements across
+// output events, so outputs are concatenated before line splitting).
+func load(path string) (map[string]result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var text strings.Builder
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4<<20)
+	for sc.Scan() {
+		var ev struct {
+			Action string `json:"Action"`
+			Output string `json:"Output"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			// Tolerate plain `go test -bench` output for ad-hoc use.
+			text.WriteString(sc.Text())
+			text.WriteByte('\n')
+			continue
+		}
+		if ev.Action == "output" {
+			text.WriteString(ev.Output)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]result)
+	for _, line := range strings.Split(text.String(), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		r := result{nsOp: ns}
+		if am := allocsRe.FindStringSubmatch(m[3]); am != nil {
+			r.allocsOp, _ = strconv.ParseFloat(am[1], 64)
+			r.hasAlloc = true
+		}
+		out[m[1]] = r
+	}
+	return out, nil
+}
+
+func pct(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old * 100
+}
+
+func main() {
+	maxRegress := flag.Float64("max-ns-regress", 0,
+		"fail (exit 1) when any shared benchmark regresses ns/op by more than this percent; 0 disables")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-max-ns-regress PCT] old.json new.json")
+		os.Exit(2)
+	}
+	oldSet, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newSet, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	var names []string
+	for name := range oldSet {
+		if _, ok := newSet[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	fmt.Printf("%-44s %14s %14s %8s %12s %12s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "Δns%", "old allocs", "new allocs", "Δalloc%")
+	failed := false
+	for _, name := range names {
+		o, n := oldSet[name], newSet[name]
+		dns := pct(o.nsOp, n.nsOp)
+		mark := ""
+		if *maxRegress > 0 && dns > *maxRegress {
+			mark = "  << REGRESSION"
+			failed = true
+		}
+		if o.hasAlloc && n.hasAlloc {
+			fmt.Printf("%-44s %14.0f %14.0f %+7.1f%% %12.0f %12.0f %+7.1f%%%s\n",
+				name, o.nsOp, n.nsOp, dns, o.allocsOp, n.allocsOp, pct(o.allocsOp, n.allocsOp), mark)
+		} else {
+			fmt.Printf("%-44s %14.0f %14.0f %+7.1f%%%s\n", name, o.nsOp, n.nsOp, dns, mark)
+		}
+	}
+	for name := range oldSet {
+		if _, ok := newSet[name]; !ok {
+			fmt.Printf("%-44s only in %s\n", name, flag.Arg(0))
+		}
+	}
+	for name := range newSet {
+		if _, ok := oldSet[name]; !ok {
+			fmt.Printf("%-44s only in %s\n", name, flag.Arg(1))
+		}
+	}
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no shared benchmarks between the two files")
+		os.Exit(2)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: ns/op regression beyond %.0f%% against %s\n",
+			*maxRegress, flag.Arg(0))
+		os.Exit(1)
+	}
+}
