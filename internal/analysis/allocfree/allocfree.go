@@ -1,0 +1,455 @@
+// Package allocfree statically checks the //fpva:allocfree annotation: a
+// function so annotated — and everything it calls inside the module —
+// must not contain allocating constructs. It is the static complement to
+// the runtime AllocsPerRun pins in lp/alloc_test.go and sim/alloc_test.go,
+// catching regressions those benchmarks' fixed problem sizes can miss.
+//
+// Flagged inside an annotated function and its intra-package callees:
+//
+//   - make and new;
+//   - &composite literals, and slice/map composite literals;
+//   - append that is not a self-append (x = append(x, ...) and
+//     x = append(x[:k], ...) reuse steady-state capacity and are allowed);
+//   - function literals that can escape (closure allocation). A literal
+//     that is immediately invoked, assigned to a local used only in call
+//     position, or passed as an argument to a same-package function stays
+//     on the stack under escape analysis and is exempt — its body is
+//     still scanned;
+//   - converting a non-pointer concrete value to an interface;
+//   - allocating conversions (string <-> []byte/[]rune);
+//   - string concatenation;
+//   - calls into fmt, sort or errors (allocation by design);
+//   - calls to variadic functions (the argument slice), unless spread;
+//   - calls to module functions in other packages that are not themselves
+//     annotated //fpva:allocfree (annotations are facts, checked in
+//     dependency order, so the guarantee composes across packages).
+//
+// Error paths are excused: arguments of panic(...) may allocate. Buffers
+// that grow once to steady size carry a //lint:ignore fpva/allocfree with
+// the reason.
+package allocfree
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// ModulePrefix marks in-module import paths for the cross-package
+// annotation check; package-path values are settable for tests.
+var ModulePrefix = "repro/"
+
+// deniedStdlib are standard-library packages whose calls allocate by
+// design and never belong on a pinned warm path.
+var deniedStdlib = map[string]bool{"fmt": true, "sort": true, "errors": true}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "allocfree",
+	Doc: "functions annotated //fpva:allocfree, including their intra-module callees, " +
+		"must not contain allocating constructs (static complement to the AllocsPerRun pins)",
+	Run: run,
+}
+
+const directive = "allocfree"
+
+func run(pass *analysis.Pass) error {
+	// Pass 1: find declarations and annotated roots; export facts so
+	// downstream packages can call annotated functions.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	var roots []*ast.FuncDecl
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls[fn] = fd
+			if analysis.HasDirective(fd.Doc, directive) {
+				roots = append(roots, fd)
+				pass.Facts.Set(analysis.ObjKey(fn), directive)
+			}
+		}
+	}
+	// Pass 2: walk each root and its same-package callees.
+	c := &checker{pass: pass, decls: decls, visited: make(map[*types.Func]bool)}
+	for _, root := range roots {
+		c.root = root.Name.Name
+		fn := pass.TypesInfo.Defs[root.Name].(*types.Func)
+		c.walk(fn, root)
+	}
+	return nil
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	decls   map[*types.Func]*ast.FuncDecl
+	visited map[*types.Func]bool
+	root    string
+}
+
+func (c *checker) walk(fn *types.Func, fd *ast.FuncDecl) {
+	if c.visited[fn] {
+		return
+	}
+	c.visited[fn] = true
+	here := fd.Name.Name
+	suffix := ""
+	if here != c.root {
+		suffix = " (reachable from //fpva:allocfree " + c.root + " via " + here + ")"
+	}
+	c.scan(fd.Body, suffix)
+}
+
+func (c *checker) scan(body ast.Node, suffix string) {
+	info := c.pass.TypesInfo
+	selfAppends := c.collectSelfAppends(body)
+	benignLits := c.collectBenignFuncLits(body)
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			return c.checkCall(v, selfAppends, suffix)
+		case *ast.UnaryExpr:
+			if _, ok := v.X.(*ast.CompositeLit); ok {
+				c.pass.Reportf(v.Pos(), "heap-allocates a composite literal%s", suffix)
+				return false
+			}
+		case *ast.CompositeLit:
+			if tv, ok := info.Types[v]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					c.pass.Reportf(v.Pos(), "slice/map literal allocates%s", suffix)
+					return false
+				}
+			}
+		case *ast.FuncLit:
+			if benignLits[v] {
+				return true // stack-allocated; keep scanning its body
+			}
+			c.pass.Reportf(v.Pos(), "function literal allocates a closure%s", suffix)
+			return false
+		case *ast.BinaryExpr:
+			if tv, ok := info.Types[v]; ok && v.Op.String() == "+" {
+				if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+					c.pass.Reportf(v.Pos(), "string concatenation allocates%s", suffix)
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, visit)
+}
+
+// checkCall vets one call; returns false to skip the subtree.
+func (c *checker) checkCall(call *ast.CallExpr, selfAppends map[*ast.CallExpr]bool, suffix string) bool {
+	info := c.pass.TypesInfo
+	pass := c.pass
+
+	// Conversions: only string <-> byte/rune slices allocate.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if convAllocates(tv.Type, info, call) {
+			pass.Reportf(call.Pos(), "conversion %s allocates%s", exprString(call.Fun), suffix)
+		}
+		return true
+	}
+
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new":
+				pass.Reportf(call.Pos(), "%s allocates%s", b.Name(), suffix)
+			case "append":
+				if !selfAppends[call] {
+					pass.Reportf(call.Pos(), "append outside the x = append(x[:k], ...) reuse pattern allocates%s", suffix)
+				}
+			case "panic":
+				return false // error paths may allocate
+			}
+			return true
+		}
+	}
+
+	callee := calleeFunc(info, call)
+	if callee == nil {
+		return true // func values, closures, interface fields: invisible
+	}
+	sig, _ := callee.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		if _, ok := sig.Recv().Type().Underlying().(*types.Interface); ok {
+			return true // dynamic dispatch: cannot analyze, assume contract
+		}
+	}
+	c.checkInterfaceArgs(call, sig, suffix)
+	if sig != nil && sig.Variadic() && !call.Ellipsis.IsValid() && len(call.Args) >= sig.Params().Len() {
+		pass.Reportf(call.Pos(), "call to variadic %s allocates its argument slice%s", callee.Name(), suffix)
+	}
+
+	pkg := callee.Pkg()
+	switch {
+	case pkg == nil || pkg == pass.Pkg:
+		if fd, ok := c.decls[callee]; ok {
+			c.walk(callee, fd)
+		}
+	case strings.HasPrefix(pkg.Path(), ModulePrefix) || pkg.Path() == strings.TrimSuffix(ModulePrefix, "/"):
+		if !pass.Facts.Has(analysis.ObjKey(callee), directive) {
+			pass.Reportf(call.Pos(), "calls %s.%s, which is not marked //fpva:allocfree%s", pkg.Path(), callee.Name(), suffix)
+		}
+	default:
+		if deniedStdlib[pkg.Path()] {
+			pass.Reportf(call.Pos(), "calls %s.%s, which allocates by design%s", pkg.Path(), callee.Name(), suffix)
+		}
+	}
+	return true
+}
+
+// checkInterfaceArgs flags concrete non-pointer values passed as
+// interface parameters (the value escapes to the heap). Pointers, maps,
+// channels and funcs fit in the interface word and do not allocate.
+func (c *checker) checkInterfaceArgs(call *ast.CallExpr, sig *types.Signature, suffix string) {
+	if sig == nil {
+		return
+	}
+	info := c.pass.TypesInfo
+	for i, arg := range call.Args {
+		var param types.Type
+		if i < sig.Params().Len() {
+			param = sig.Params().At(i).Type()
+		} else if sig.Variadic() {
+			param = sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice).Elem()
+		} else {
+			break
+		}
+		if !types.IsInterface(param) {
+			continue
+		}
+		tv, ok := info.Types[arg]
+		if !ok || tv.Type == nil || types.IsInterface(tv.Type) {
+			continue
+		}
+		switch tv.Type.Underlying().(type) {
+		case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+			continue
+		case *types.Basic:
+			if tv.Type.Underlying().(*types.Basic).Kind() == types.UntypedNil {
+				continue
+			}
+		}
+		c.pass.Reportf(arg.Pos(), "passing %s to an interface parameter allocates%s", exprString(arg), suffix)
+	}
+}
+
+// collectBenignFuncLits marks function literals that stay on the stack
+// under escape analysis: immediately invoked, assigned to a local whose
+// every other use is a direct call, or passed to a function declared in
+// this package (trusted not to retain it; the runtime AllocsPerRun pins
+// back this up). Anything else — returned, stored in a field, sent, or
+// handed to another package — is treated as escaping.
+func (c *checker) collectBenignFuncLits(body ast.Node) map[*ast.FuncLit]bool {
+	info := c.pass.TypesInfo
+	benign := make(map[*ast.FuncLit]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			if lit, ok := ast.Unparen(v.Fun).(*ast.FuncLit); ok {
+				benign[lit] = true
+			}
+			if callee := calleeFunc(info, v); callee != nil && callee.Pkg() == c.pass.Pkg {
+				if _, declared := c.decls[callee]; declared {
+					for _, arg := range v.Args {
+						if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+							benign[lit] = true
+						}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if len(v.Lhs) != len(v.Rhs) {
+				return true
+			}
+			for i, rhs := range v.Rhs {
+				lit, ok := ast.Unparen(rhs).(*ast.FuncLit)
+				if !ok {
+					continue
+				}
+				id, ok := v.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj != nil && onlyCalled(info, body, obj, id) {
+					benign[lit] = true
+				}
+			}
+		}
+		return true
+	})
+	return benign
+}
+
+// onlyCalled reports whether every use of obj in body, other than its
+// defining identifier, is the operand of a direct call.
+func onlyCalled(info *types.Info, body ast.Node, obj types.Object, def *ast.Ident) bool {
+	ok := true
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		id, isIdent := n.(*ast.Ident)
+		if !isIdent || id == def || (info.Uses[id] != obj && info.Defs[id] != obj) {
+			return ok
+		}
+		called := false
+		for i := len(stack) - 2; i >= 0; i-- {
+			if _, paren := stack[i].(*ast.ParenExpr); paren {
+				continue
+			}
+			call, isCall := stack[i].(*ast.CallExpr)
+			called = isCall && ast.Unparen(call.Fun) == id
+			break
+		}
+		if !called {
+			ok = false
+		}
+		return ok
+	})
+	return ok
+}
+
+// collectSelfAppends marks append calls of the reuse shape
+// x = append(x, ...) / x = append(x[:k], ...), including through field
+// paths (s.buf = append(s.buf[:0], ...)).
+func (c *checker) collectSelfAppends(body ast.Node) map[*ast.CallExpr]bool {
+	info := c.pass.TypesInfo
+	ok := make(map[*ast.CallExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, okk := n.(*ast.AssignStmt)
+		if !okk || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, okk := rhs.(*ast.CallExpr)
+			if !okk || !isAppendCall(info, call) || len(call.Args) == 0 {
+				continue
+			}
+			dst := pathString(as.Lhs[i])
+			src := call.Args[0]
+			if sl, okk := ast.Unparen(src).(*ast.SliceExpr); okk {
+				src = sl.X
+			}
+			if dst != "" && dst == pathString(src) {
+				ok[call] = true
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+func isAppendCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// convAllocates reports whether conversion to typ of the call's single
+// argument allocates: string <-> []byte / []rune.
+func convAllocates(typ types.Type, info *types.Info, call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	argTV, ok := info.Types[call.Args[0]]
+	if !ok {
+		return false
+	}
+	return (isString(typ) && isByteOrRuneSlice(argTV.Type)) ||
+		(isByteOrRuneSlice(typ) && isString(argTV.Type))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// calleeFunc resolves a call's static callee, if any.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil // func-typed field
+		}
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn // package-qualified function
+		}
+	}
+	return nil
+}
+
+// pathString renders x, x.f, (*x).f selector paths; "" when the
+// expression is not a pure path.
+func pathString(e ast.Expr) string {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		base := pathString(v.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + v.Sel.Name
+	case *ast.StarExpr:
+		base := pathString(v.X)
+		if base == "" {
+			return ""
+		}
+		return "*" + base
+	default:
+		return ""
+	}
+}
+
+func exprString(e ast.Expr) string {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(v.X) + "." + v.Sel.Name
+	case *ast.CallExpr:
+		return exprString(v.Fun) + "(...)"
+	case *ast.ArrayType:
+		return "[]" + exprString(v.Elt)
+	default:
+		return "value"
+	}
+}

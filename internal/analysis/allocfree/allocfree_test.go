@@ -1,0 +1,15 @@
+package allocfree
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestAllocfree(t *testing.T) {
+	defer func(old string) { ModulePrefix = old }(ModulePrefix)
+	ModulePrefix = "alloc"
+	// allocdep first: its //fpva:allocfree facts must be visible when
+	// allocmain's cross-package calls are checked.
+	analysistest.Run(t, ".", Analyzer, "allocdep", "allocmain")
+}

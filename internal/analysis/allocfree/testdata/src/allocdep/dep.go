@@ -1,0 +1,18 @@
+// Package allocdep provides cross-package callees for the allocfree
+// golden corpus: one annotated (fact-exported), one not.
+package allocdep
+
+// Pinned is a warm-path helper other packages may call.
+//
+//fpva:allocfree
+func Pinned(buf []int, n int) []int {
+	for i := range buf {
+		buf[i] = n
+	}
+	return buf
+}
+
+// Sloppy allocates; calling it from an annotated function is an error.
+func Sloppy(n int) []int {
+	return make([]int, n)
+}

@@ -1,0 +1,112 @@
+// Package allocmain is the golden corpus for the fpva/allocfree
+// analyzer: annotated warm paths with allocating constructs flagged, the
+// steady-state reuse patterns exempt.
+package allocmain
+
+import "allocdep"
+
+type ring struct {
+	buf  []int
+	tmp  []int
+	sink any
+}
+
+// Flagged constructs inside an annotated function.
+//
+//fpva:allocfree
+func hotAllocs(r *ring, n int) {
+	x := make([]int, n) // want `make allocates`
+	_ = x
+	p := new(int) // want `new allocates`
+	_ = p
+	s := []int{1, 2, 3} // want `slice/map literal allocates`
+	_ = s
+	q := &ring{} // want `heap-allocates a composite literal`
+	_ = q
+	f := func() {}           // want `function literal allocates a closure`
+	r.sink = f               // escapes: stored beyond the call
+	r.buf = append(r.tmp, n) // want `append outside the x = append\(x\[:k\], \.\.\.\) reuse pattern`
+}
+
+// Exempt: closures that stay on the stack — immediately invoked, local
+// and only called, or handed to a same-package function. Their bodies are
+// still scanned.
+//
+//fpva:allocfree
+func hotClosures(r *ring, n int) {
+	total := 0
+	add := func(v int) { total += v }
+	add(n)
+	func() { total *= 2 }()
+	each(r, func(v int) {
+		total += v
+		r.tmp = make([]int, v) // want `make allocates`
+	})
+	_ = total
+}
+
+func each(r *ring, f func(int)) {
+	for _, v := range r.buf {
+		f(v)
+	}
+}
+
+// Exempt: self-appends reuse steady-state capacity; value struct
+// literals live on the stack; pointer-to-interface fits the iface word.
+//
+//fpva:allocfree
+func hotClean(r *ring, n int) {
+	r.buf = append(r.buf, n)
+	r.tmp = append(r.tmp[:0], r.buf...)
+	type pair struct{ a, b int }
+	pr := pair{n, n}
+	_ = pr
+	r.sink = r // pointer into interface: no allocation
+	if n < 0 {
+		panic("bad n") // error paths may allocate
+	}
+}
+
+// Flagged: the guarantee is transitive through same-package callees.
+//
+//fpva:allocfree
+func hotViaHelper(r *ring, n int) {
+	helper(r, n)
+}
+
+func helper(r *ring, n int) {
+	r.tmp = make([]int, n) // want `make allocates \(reachable from //fpva:allocfree hotViaHelper via helper\)`
+}
+
+// Cross-package: annotated callees are fine, unannotated ones are not.
+//
+//fpva:allocfree
+func hotCross(r *ring, n int) {
+	r.buf = allocdep.Pinned(r.buf, n)
+	r.tmp = allocdep.Sloppy(n) // want `calls allocdep.Sloppy, which is not marked //fpva:allocfree`
+}
+
+// Flagged: boxing a non-pointer into an interface escapes.
+//
+//fpva:allocfree
+func hotBox(r *ring, n int) {
+	store(r, n) // want `passing n to an interface parameter allocates`
+}
+
+func store(r *ring, v any) { r.sink = v }
+
+// Suppressed: a buffer growing once to steady size, with a reason.
+//
+//fpva:allocfree
+func hotGrow(r *ring, n int) {
+	if cap(r.tmp) < n {
+		//lint:ignore fpva/allocfree grows once to steady size, pinned by alloc_test
+		r.tmp = make([]int, n)
+	}
+	r.tmp = r.tmp[:n]
+}
+
+// Unannotated functions may allocate freely.
+func cold(n int) []int {
+	return make([]int, n)
+}

@@ -1,0 +1,293 @@
+// Package analysis is a self-contained reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary — Analyzer, Pass, Diagnostic —
+// built only on the standard library's go/ast, go/types and go/token.
+//
+// The repo rests on invariants no compiler checks: bit-identical results
+// for any worker count, allocation-free warm paths, context cancellation
+// plumbed end to end, and the cmd/+examples/ public-API import boundary.
+// The analyzers under internal/analysis/... turn those conventions into
+// machine-checked law; cmd/fpvalint is the multichecker driver.
+//
+// The x/tools module is deliberately not a dependency: the build must work
+// with an empty module cache and no network, so this package keeps the
+// same API shape (an analyzer written here ports to x/tools by changing
+// one import) while implementing only the subset the suite needs:
+// single-pass runs, package-ordered facts, and line-based suppression.
+//
+// # Suppression
+//
+// A diagnostic is suppressed by a comment on the flagged line or the line
+// above it:
+//
+//	//lint:ignore fpva/<analyzer> <reason>
+//
+// The reason is mandatory; a bare ignore is itself reported.
+//
+// # Directives
+//
+// Analyzers may define function annotations of the form //fpva:<name>
+// (for example //fpva:allocfree) placed in the doc comment of a
+// declaration. HasDirective recognizes them.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one analysis pass and how to run it.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, -only filters and
+	// suppression comments (as fpva/<Name>).
+	Name string
+
+	// Doc is a one-paragraph description of what the analyzer checks.
+	Doc string
+
+	// Disabled, when non-empty, explains why the analyzer is registered
+	// but cannot run (for example: it needs SSA from x/tools, which is
+	// unavailable offline). The driver lists it and skips it.
+	Disabled string
+
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// A Pass provides one analyzer run with a single type-checked package and
+// a sink for diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File // parsed non-test sources, with comments
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Facts is shared across all packages of a run. Packages are
+	// processed in dependency order, so by the time a pass runs, facts
+	// exported by its (in-run) dependencies are visible.
+	Facts *FactSet
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one positioned finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// A FactSet records named facts about package-level objects, keyed by the
+// object's full path (pkgpath.Name or pkgpath.(Recv).Name). It is the
+// cross-package channel for compositional rules such as allocfree.
+type FactSet struct {
+	m map[string]bool
+}
+
+// NewFactSet returns an empty fact set.
+func NewFactSet() *FactSet { return &FactSet{m: make(map[string]bool)} }
+
+// ObjKey returns the canonical fact key of a package-level function or
+// method: "pkg/path.Func" or "pkg/path.(Recv).Method".
+func ObjKey(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return fn.Pkg().Path() + "." + fn.Name()
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	name := t.String()
+	if named, ok := t.(*types.Named); ok {
+		name = named.Obj().Name()
+	}
+	return fn.Pkg().Path() + ".(" + name + ")." + fn.Name()
+}
+
+// Set records fact (key, name).
+func (fs *FactSet) Set(key, name string) { fs.m[key+"\x00"+name] = true }
+
+// Has reports whether fact (key, name) was recorded.
+func (fs *FactSet) Has(key, name string) bool { return fs.m[key+"\x00"+name] }
+
+// HasDirective reports whether doc contains the //fpva:<name> directive.
+func HasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	want := "//fpva:" + name
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == want || strings.HasPrefix(text, want+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	analyzers map[string]bool // nil means malformed (no reason)
+	line      int
+}
+
+// suppressions maps file -> line -> directive for one package.
+type suppressions map[string]map[int]ignoreDirective
+
+const ignorePrefix = "//lint:ignore "
+
+// collectSuppressions parses every //lint:ignore comment in files. A
+// directive suppresses matching diagnostics on its own line and the line
+// directly below (the usual "comment above the statement" placement).
+func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
+	sup := make(suppressions)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				d := ignoreDirective{line: pos.Line}
+				// First field: comma-separated fpva/<name> (or bare
+				// <name>) list; the rest is the mandatory reason.
+				if len(fields) >= 2 {
+					d.analyzers = make(map[string]bool)
+					for _, a := range strings.Split(fields[0], ",") {
+						d.analyzers[strings.TrimPrefix(a, "fpva/")] = true
+					}
+				}
+				m := sup[pos.Filename]
+				if m == nil {
+					m = make(map[int]ignoreDirective)
+					sup[pos.Filename] = m
+				}
+				m[pos.Line] = d
+			}
+		}
+	}
+	return sup
+}
+
+// A Package is one type-checked unit of a run, as produced by the loader.
+type Package struct {
+	PkgPath   string
+	Name      string
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+	Imports   []string
+}
+
+// Run applies each enabled analyzer to each package, in the given package
+// order (the loader yields dependencies first, which makes facts sound),
+// applies //lint:ignore suppression, and returns the surviving
+// diagnostics sorted by position. Malformed ignore directives (missing
+// reason) are reported as diagnostics of the pseudo-analyzer "ignore".
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	facts := NewFactSet()
+	var all []Diagnostic
+	var fset *token.FileSet
+	for _, pkg := range pkgs {
+		fset = pkg.Fset
+		sup := collectSuppressions(pkg.Fset, pkg.Files)
+		for file, lines := range sup {
+			for line, d := range lines {
+				if d.analyzers == nil {
+					all = append(all, Diagnostic{
+						Pos:      posOnLine(pkg, file, line),
+						Analyzer: "ignore",
+						Message:  "//lint:ignore needs an analyzer list and a reason: //lint:ignore fpva/<name> <why>",
+					})
+				}
+			}
+		}
+		for _, a := range analyzers {
+			if a.Disabled != "" {
+				continue
+			}
+			var diags []Diagnostic
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				Facts:     facts,
+				report:    func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+			}
+			for _, d := range diags {
+				if !suppressed(pkg.Fset, sup, d) {
+					all = append(all, d)
+				}
+			}
+		}
+	}
+	if fset != nil {
+		sort.SliceStable(all, func(i, j int) bool {
+			pi, pj := fset.Position(all[i].Pos), fset.Position(all[j].Pos)
+			if pi.Filename != pj.Filename {
+				return pi.Filename < pj.Filename
+			}
+			if pi.Line != pj.Line {
+				return pi.Line < pj.Line
+			}
+			return pi.Column < pj.Column
+		})
+	}
+	return all, nil
+}
+
+func suppressed(fset *token.FileSet, sup suppressions, d Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	lines := sup[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if dir, ok := lines[line]; ok && dir.analyzers != nil && dir.analyzers[d.Analyzer] {
+			return true
+		}
+	}
+	return false
+}
+
+// posOnLine synthesizes a Pos for (file, line) so suppression-syntax
+// errors are positioned; falls back to the package's first file.
+func posOnLine(pkg *Package, file string, line int) token.Pos {
+	var tf *token.File
+	pkg.Fset.Iterate(func(f *token.File) bool {
+		if f.Name() == file {
+			tf = f
+			return false
+		}
+		return true
+	})
+	if tf == nil || line > tf.LineCount() {
+		if len(pkg.Files) > 0 {
+			return pkg.Files[0].Pos()
+		}
+		return token.NoPos
+	}
+	return tf.LineStart(line)
+}

@@ -1,0 +1,162 @@
+// Package analysistest runs an analyzer over golden packages under
+// testdata/src/<pkg> and checks its diagnostics against expectations
+// written in the sources, mirroring the x/tools harness of the same name:
+//
+//	m[k] = append(m[k], v) // want `map iteration`
+//
+// The expectation is a regular expression inside backquotes or double
+// quotes; one per line, matched against diagnostics reported on that
+// line. Lines with no expectation must produce no diagnostic, and every
+// expectation must be matched — both directions are errors.
+//
+// //lint:ignore suppression runs before matching, so golden files also
+// exercise the suppression path: a flagged construct under a valid ignore
+// directive carries no want comment.
+package analysistest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+var wantRe = regexp.MustCompile("// want (`([^`]*)`|\"([^\"]*)\")")
+
+// Run loads each named package from dir/testdata/src and applies the
+// analyzer, reporting mismatches through t. Packages are loaded in the
+// given order with a shared fact set, so multi-package fact flows can be
+// tested by listing the fact-exporting package first.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	std := importer.ForCompiler(fset, "source", nil)
+	loaded := make(map[string]*types.Package)
+
+	var apkgs []*analysis.Package
+	for _, name := range pkgs {
+		pdir := filepath.Join(dir, "testdata", "src", name)
+		entries, err := os.ReadDir(pdir)
+		if err != nil {
+			t.Fatalf("read %s: %v", pdir, err)
+		}
+		var files []*ast.File
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(pdir, e.Name()), nil, parser.ParseComments)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+		conf := types.Config{Importer: importerFunc(func(path string) (*types.Package, error) {
+			if p, ok := loaded[path]; ok {
+				return p, nil
+			}
+			return std.Import(path)
+		})}
+		tpkg, err := conf.Check(name, fset, files, info)
+		if err != nil {
+			t.Fatalf("type-check %s: %v", name, err)
+		}
+		loaded[name] = tpkg
+		apkgs = append(apkgs, &analysis.Package{
+			PkgPath: name, Name: tpkg.Name(), Dir: pdir,
+			Fset: fset, Files: files, Types: tpkg, TypesInfo: info,
+		})
+	}
+
+	diags, err := analysis.Run(apkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	got := make(map[key][]string)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		got[k] = append(got[k], d.Message)
+	}
+	want := make(map[key]string)
+	for _, pkg := range apkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pat := m[2]
+					if pat == "" {
+						pat = m[3]
+					}
+					pos := fset.Position(c.Pos())
+					want[key{pos.Filename, pos.Line}] = pat
+				}
+			}
+		}
+	}
+
+	var keys []key
+	for k := range got {
+		keys = append(keys, k)
+	}
+	for k := range want {
+		if _, ok := got[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		msgs, pat := got[k], want[k]
+		switch {
+		case pat == "":
+			for _, msg := range msgs {
+				t.Errorf("%s:%d: unexpected diagnostic: %s", k.file, k.line, msg)
+			}
+		case len(msgs) == 0:
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, pat)
+		default:
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want pattern %q: %v", k.file, k.line, pat, err)
+			}
+			for _, msg := range msgs {
+				if !re.MatchString(msg) {
+					t.Errorf("%s:%d: diagnostic %q does not match %q", k.file, k.line, msg, pat)
+				}
+			}
+		}
+	}
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

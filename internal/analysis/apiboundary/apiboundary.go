@@ -1,0 +1,71 @@
+// Package apiboundary enforces the public-API import boundary as a
+// positioned analyzer: packages under cmd/ and examples/ are consumers
+// of the public repro/fpva surface and must not reach into
+// repro/internal. It replaces scripts/check-imports.sh, so the rule
+// lives with the other lints and diagnoses the exact import line.
+//
+// Test files are exempt (they may use repro/internal/testutil-style
+// helpers); the loader never feeds them to analyzers. cmd/fpvalint is
+// exempt by name: it is the lint driver itself, not an API consumer, and
+// necessarily links the analyzers under repro/internal/analysis.
+package apiboundary
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// RestrictedPrefixes lists the import-path prefixes whose packages may
+// only use the public API.
+var RestrictedPrefixes = []string{"repro/cmd/", "repro/examples/"}
+
+// ForbiddenPrefix is the internal tree those packages must not import.
+var ForbiddenPrefix = "repro/internal"
+
+// Exempt lists restricted packages excused from the rule.
+var Exempt = []string{"repro/cmd/fpvalint"}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "apiboundary",
+	Doc: "cmd/ and examples/ must import only the public repro/fpva API, " +
+		"never repro/internal (test files exempt)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	restricted := false
+	for _, p := range RestrictedPrefixes {
+		if strings.HasPrefix(path, p) {
+			restricted = true
+			break
+		}
+	}
+	if !restricted {
+		return nil
+	}
+	for _, e := range Exempt {
+		if path == e || strings.HasPrefix(path, e+"/") {
+			return nil
+		}
+	}
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			target, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if target == ForbiddenPrefix || strings.HasPrefix(target, ForbiddenPrefix+"/") {
+				report(pass, imp, path, target)
+			}
+		}
+	}
+	return nil
+}
+
+func report(pass *analysis.Pass, imp *ast.ImportSpec, pkg, target string) {
+	pass.Reportf(imp.Pos(), "package %s must import only the public repro/fpva API, not %s", pkg, target)
+}

@@ -1,0 +1,24 @@
+package apiboundary
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestApiboundary(t *testing.T) {
+	defer func(oldR []string, oldF string, oldE []string) {
+		RestrictedPrefixes, ForbiddenPrefix, Exempt = oldR, oldF, oldE
+	}(RestrictedPrefixes, ForbiddenPrefix, Exempt)
+	RestrictedPrefixes = []string{"repro/cmd/", "repro/examples/"}
+	ForbiddenPrefix = "repro/internal"
+	Exempt = []string{"repro/cmd/fpvalint"}
+	analysistest.Run(t, ".", Analyzer,
+		"repro/internal/secret",
+		"repro/fpva",
+		"repro/cmd/good",
+		"repro/cmd/bad",
+		"repro/cmd/fpvalint",
+		"repro/examples/leaky",
+	)
+}

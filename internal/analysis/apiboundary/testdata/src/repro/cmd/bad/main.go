@@ -1,0 +1,9 @@
+// Command bad reaches into repro/internal: flagged at the import line.
+package main
+
+import (
+	"repro/fpva"
+	"repro/internal/secret" // want `package repro/cmd/bad must import only the public repro/fpva API, not repro/internal/secret`
+)
+
+func main() { _ = fpva.Answer() + secret.Hidden() }

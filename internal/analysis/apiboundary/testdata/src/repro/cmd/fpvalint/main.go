@@ -1,0 +1,7 @@
+// Command fpvalint is the lint driver itself: exempt by name, since the
+// analyzers it links live under repro/internal/analysis.
+package main
+
+import "repro/internal/secret"
+
+func main() { _ = secret.Hidden() }

@@ -1,0 +1,6 @@
+// Command good consumes only the public API: exempt.
+package main
+
+import "repro/fpva"
+
+func main() { _ = fpva.Answer() }

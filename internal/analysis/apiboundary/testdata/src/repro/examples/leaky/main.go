@@ -1,0 +1,6 @@
+// Command leaky shows the rule also binds examples/.
+package main
+
+import "repro/internal/secret" // want `package repro/examples/leaky must import only the public repro/fpva API, not repro/internal/secret`
+
+func main() { _ = secret.Hidden() }

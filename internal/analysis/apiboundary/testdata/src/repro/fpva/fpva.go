@@ -1,0 +1,8 @@
+// Package fpva stands in for the public API surface.
+package fpva
+
+import "repro/internal/secret"
+
+// Answer wraps the internal helper; the public package may use internal
+// freely — the boundary binds only cmd/ and examples/.
+func Answer() int { return secret.Hidden() }

@@ -1,0 +1,5 @@
+// Package secret stands in for the repro/internal tree.
+package secret
+
+// Hidden is an internal helper commands must not reach.
+func Hidden() int { return 42 }

@@ -1,0 +1,381 @@
+// Package ctxflow machine-checks the repo's cancellation contract: since
+// PR 3, context flows from the public fpva API down to every solver node
+// and campaign block, and long work must stay cancelable.
+//
+// Rules:
+//
+//   - background: context.Background() / context.TODO() must not appear
+//     outside package main (tests are never analyzed). The documented
+//     nil-default idiom `if ctx == nil { ctx = context.Background() }` is
+//     the one exemption — it only fills in a caller's explicit nil, it
+//     does not detach an existing context.
+//
+//   - dropped: a function that takes a context.Context must use it —
+//     check Err/Done/Deadline, pass it on, or store it. A ctx parameter
+//     that is never referenced silently breaks the chain.
+//
+//   - loop: in the pipeline packages (ScopePackages), an exported
+//     function that takes a context and loops over module work (a loop
+//     body calling module functions) must let cancellation reach the
+//     iteration: some loop must reference ctx (an Err/Done check in the
+//     condition or body, or forwarding ctx into the loop's callees), or
+//     the function must hand ctx off wholesale — as a call argument, a
+//     composite-literal value, or a closure capture — to code that can
+//     honor it. A lone up-front ctx.Err() check does not qualify.
+//
+//   - missing: in the pipeline packages, an exported function without a
+//     context parameter must not call module functions that take one —
+//     whatever context it would pass is either conjured below main
+//     (caught by the background rule) or absent; the function should
+//     accept and forward its caller's.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// ScopePackages are the import-path prefixes where the loop and missing
+// rules apply: the generation/solve/simulation pipeline plus the public
+// API. Leaf compute packages (lp, graph, grid) are deliberately out of
+// scope — their inner loops are the allocation-free warm paths, and
+// cancellation is probed one level above them. Empty means every package
+// (used by tests).
+var ScopePackages = []string{
+	"repro/internal/core",
+	"repro/internal/flowpath",
+	"repro/internal/cutset",
+	"repro/internal/leakage",
+	"repro/internal/sim",
+	"repro/internal/ilp",
+	"repro/fpva",
+}
+
+// ModulePrefix identifies in-module callees for the loop/missing rules.
+var ModulePrefix = "repro/"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "context cancellation must flow end to end: no context.Background/TODO below main, " +
+		"no dropped ctx parameters, and exported pipeline loops must be cancelable",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	isMain := pass.Pkg.Name() == "main"
+	inScope := scoped(pass.Pkg.Path())
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ctxObj := ctxParam(pass.TypesInfo, fd)
+			if !isMain {
+				checkBackground(pass, fd, ctxObj)
+			}
+			if ctxObj != nil {
+				checkDropped(pass, fd, ctxObj)
+				if inScope && fd.Name.IsExported() {
+					checkLoop(pass, fd, ctxObj)
+				}
+			} else if inScope && fd.Name.IsExported() {
+				checkMissing(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+func scoped(path string) bool {
+	if len(ScopePackages) == 0 {
+		return true
+	}
+	for _, p := range ScopePackages {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// ctxParam returns the object of the function's context.Context
+// parameter, or nil.
+func ctxParam(info *types.Info, fd *ast.FuncDecl) types.Object {
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		tv, ok := info.Types[field.Type]
+		if !ok || !isContextType(tv.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			return info.Defs[name]
+		}
+	}
+	return nil
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// checkBackground flags context.Background()/TODO() calls, excusing the
+// nil-default idiom on the function's own ctx parameter.
+func checkBackground(pass *analysis.Pass, fd *ast.FuncDecl, ctxObj types.Object) {
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := contextConstructor(pass.TypesInfo, call)
+		if name == "" {
+			return true
+		}
+		if nilDefaultIdiom(pass.TypesInfo, stack, call) {
+			return true
+		}
+		pass.Reportf(call.Pos(), "context.%s below main detaches cancellation; accept a ctx (nil-default idiom: if ctx == nil { ctx = context.Background() })", name)
+		return true
+	})
+}
+
+// contextConstructor returns "Background" or "TODO" when call is that
+// context-package function.
+func contextConstructor(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return ""
+	}
+	if fn.Name() == "Background" || fn.Name() == "TODO" {
+		return fn.Name()
+	}
+	return ""
+}
+
+// nilDefaultIdiom reports whether, per the parent stack, call is the RHS
+// of `X = context.Background()` guarded by `if X == nil`.
+func nilDefaultIdiom(info *types.Info, stack []ast.Node, call *ast.CallExpr) bool {
+	var target types.Object
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.AssignStmt:
+			if target != nil {
+				continue
+			}
+			if len(p.Lhs) != 1 || len(p.Rhs) != 1 || p.Rhs[0] != call {
+				return false
+			}
+			id, ok := p.Lhs[0].(*ast.Ident)
+			if !ok {
+				return false
+			}
+			target = info.Uses[id]
+			if target == nil {
+				target = info.Defs[id]
+			}
+			if target == nil {
+				return false
+			}
+		case *ast.IfStmt:
+			if target == nil {
+				return false
+			}
+			if bin, ok := p.Cond.(*ast.BinaryExpr); ok && bin.Op == token.EQL {
+				for _, side := range []ast.Expr{bin.X, bin.Y} {
+					if id, ok := ast.Unparen(side).(*ast.Ident); ok && info.Uses[id] == target {
+						return true
+					}
+				}
+			}
+			return false
+		case *ast.FuncLit:
+			return false
+		}
+	}
+	return false
+}
+
+// checkDropped flags a ctx parameter that the body never references.
+func checkDropped(pass *analysis.Pass, fd *ast.FuncDecl, ctxObj types.Object) {
+	if usesObj(pass.TypesInfo, fd.Body, ctxObj) {
+		return
+	}
+	pass.Reportf(fd.Name.Pos(), "%s takes a context.Context but never uses it; check ctx.Err, forward it, or drop the parameter", fd.Name.Name)
+}
+
+// checkLoop flags exported pipeline functions whose loops do module work
+// but never see ctx.
+func checkLoop(pass *analysis.Pass, fd *ast.FuncDecl, ctxObj types.Object) {
+	hasWorkLoop := false
+	ctxInLoop := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch l := n.(type) {
+		case *ast.ForStmt:
+			body = l.Body
+		case *ast.RangeStmt:
+			body = l.Body
+		default:
+			return true
+		}
+		// The whole statement, not just the body: `for ctx.Err() == nil`
+		// is the canonical cancelable worker loop.
+		if usesObj(pass.TypesInfo, n, ctxObj) {
+			ctxInLoop = true
+		}
+		if callsModuleFunc(pass, body) {
+			hasWorkLoop = true
+		}
+		return true
+	})
+	if hasWorkLoop && !ctxInLoop && !forwardsCtx(pass.TypesInfo, fd.Body, ctxObj) {
+		pass.Reportf(fd.Name.Pos(), "exported %s loops over module work but no loop checks or forwards ctx; cancellation cannot interrupt it", fd.Name.Name)
+	}
+}
+
+// forwardsCtx reports whether ctx escapes the function's own frame — as a
+// call argument, a composite-literal value (stored for later work), or a
+// closure capture. Each hands cancellation to code that can honor it, so
+// the function's own cheap loops (option processing, result conversion)
+// need no per-iteration check. A bare receiver use like an up-front
+// ctx.Err() is not forwarding.
+func forwardsCtx(info *types.Info, body ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			for _, arg := range v.Args {
+				if usesObj(info, arg, obj) {
+					found = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range v.Elts {
+				if usesObj(info, elt, obj) {
+					found = true
+				}
+			}
+		case *ast.FuncLit:
+			if usesObj(info, v.Body, obj) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkMissing flags exported ctx-less pipeline functions that call
+// module functions taking a context.
+func checkMissing(pass *analysis.Pass, fd *ast.FuncDecl) {
+	var reported bool
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if reported {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(pass.TypesInfo, call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		path := callee.Pkg().Path()
+		if !strings.HasPrefix(path, ModulePrefix) && path != strings.TrimSuffix(ModulePrefix, "/") {
+			return true
+		}
+		sig, ok := callee.Type().(*types.Signature)
+		if !ok || sig.Params().Len() == 0 || !isContextType(sig.Params().At(0).Type()) {
+			return true
+		}
+		reported = true
+		pass.Reportf(fd.Name.Pos(), "exported %s calls %s.%s, which takes a context, but has no ctx parameter to forward; accept one", fd.Name.Name, path, callee.Name())
+		return false
+	})
+}
+
+func callsModuleFunc(pass *analysis.Pass, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(pass.TypesInfo, call)
+		if callee == nil {
+			return true
+		}
+		pkg := callee.Pkg()
+		if pkg == nil {
+			return true
+		}
+		if pkg == pass.Pkg || strings.HasPrefix(pkg.Path(), ModulePrefix) || pkg.Path() == strings.TrimSuffix(ModulePrefix, "/") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func usesObj(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package ctxflow
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestCtxflow(t *testing.T) {
+	defer func(oldScope []string, oldMod string) {
+		ScopePackages, ModulePrefix = oldScope, oldMod
+	}(ScopePackages, ModulePrefix)
+	ScopePackages = nil // golden packages are outside the repro/ namespace
+	ModulePrefix = "pipe"
+	analysistest.Run(t, ".", Analyzer, "pipedep", "pipemain")
+}

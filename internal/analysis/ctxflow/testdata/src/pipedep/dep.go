@@ -1,0 +1,15 @@
+// Package pipedep provides module callees for the ctxflow golden corpus.
+package pipedep
+
+import "context"
+
+// Work is a cancelable module entry point.
+func Work(ctx context.Context, n int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return n
+}
+
+// Quick is module work without a context of its own.
+func Quick(n int) int { return n + 1 }

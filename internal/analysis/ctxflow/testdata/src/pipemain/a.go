@@ -1,0 +1,103 @@
+// Package pipemain is the golden corpus for the fpva/ctxflow analyzer.
+package pipemain
+
+import (
+	"context"
+
+	"pipedep"
+)
+
+// Flagged twice: a context conjured below main, from a function that
+// should have accepted one.
+func Detach(n int) int { // want `exported Detach calls pipedep.Work, which takes a context, but has no ctx parameter`
+	return pipedep.Work(context.Background(), n) // want `context.Background below main detaches cancellation`
+}
+
+// Exempt: the documented nil-default idiom only fills in an explicit nil.
+func Defaulted(ctx context.Context, n int) int {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return pipedep.Work(ctx, n)
+}
+
+// Flagged: the ctx parameter is dead — the chain silently breaks here.
+func Dropped(ctx context.Context, n int) int { // want `takes a context.Context but never uses it`
+	return n * 2
+}
+
+// Flagged: a single up-front check leaves the loop uncancelable.
+func Sweep(ctx context.Context, xs []int) int { // want `no loop checks or forwards ctx`
+	_ = ctx.Err()
+	total := 0
+	for _, x := range xs {
+		total += pipedep.Quick(x)
+	}
+	return total
+}
+
+// Exempt: cancellation reaches the iteration via an in-loop check.
+func SweepOK(ctx context.Context, xs []int) int {
+	total := 0
+	for _, x := range xs {
+		if ctx.Err() != nil {
+			return total
+		}
+		total += pipedep.Quick(x)
+	}
+	return total
+}
+
+// Exempt: forwarding ctx into the loop's callee is a check on some path.
+func Forward(ctx context.Context, xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += pipedep.Work(ctx, x)
+	}
+	return total
+}
+
+// Exempt: ctx is handed wholesale to the callee that does the real work;
+// the function's own loop is cheap result conversion.
+func ForwardOnce(ctx context.Context, xs []int) []int {
+	n := pipedep.Work(ctx, len(xs))
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, pipedep.Quick(x+n))
+	}
+	return out
+}
+
+// Exempt: the worker closure captures ctx and checks it in its loop
+// condition — the canonical sharded-worker shape.
+func Spawn(ctx context.Context, xs []int) int {
+	total := 0
+	run := func() {
+		for ctx.Err() == nil {
+			total += pipedep.Quick(1)
+			return
+		}
+	}
+	for i := 0; i < len(xs); i++ {
+		run()
+	}
+	return total
+}
+
+// Exempt: no module work in the loop, nothing to cancel.
+func Pure(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// Suppressed: a deliberately detached lifetime, with the reason.
+func Flight(n int) func() {
+	//lint:ignore fpva/ctxflow the flight outlives any one submitter by design
+	ctx, cancel := context.WithCancel(context.Background())
+	_ = ctx
+	_ = n
+	return cancel
+}

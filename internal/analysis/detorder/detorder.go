@@ -1,0 +1,452 @@
+// Package detorder flags map iteration whose order can leak into
+// observable output — the exact bug class PR 2 hit, where Go's randomized
+// map order silently changed branch-and-bound node counts 2x run to run.
+//
+// Inside the deterministic packages (Packages), a `range` over a map is
+// reported when its body lets the iteration order escape:
+//
+//   - appending to a slice that outlives the loop (unless the slice is
+//     sorted after the loop);
+//   - sending on a channel;
+//   - returning a value derived from the iteration;
+//   - writing through a loop-carried slice index (out[i] = ...; i++);
+//   - calling a function or method with iteration-derived arguments
+//     (calls happen in iteration order, so row/constraint emission — the
+//     PR 2 bug — lands here).
+//
+// Commutative bodies are exempt by construction: counters and other
+// compound assignments (x += ...), writes into another map (distinct keys
+// commute), deletes, and guarded scalar selection (min/max/pick-one)
+// produce no sink. A sorted post-pass also exempts: if the appended-to
+// slice is passed to a sort call after the loop, order was laundered
+// deterministically. Everything else needs a
+// //lint:ignore fpva/detorder <reason>.
+package detorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Packages limits the analyzer to packages whose import path matches one
+// of these prefixes. Empty means every package (used by tests). The
+// default list is the repo's determinism contract: everything that feeds
+// plan generation, solving, simulation or the wire codec.
+var Packages = []string{
+	"repro/internal/lp",
+	"repro/internal/ilp",
+	"repro/internal/sim",
+	"repro/internal/core",
+	"repro/internal/flowpath",
+	"repro/internal/cutset",
+	"repro/internal/leakage",
+	"repro/internal/graph",
+	"repro/internal/grid",
+	"repro/fpva",
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "detorder",
+	Doc: "flags map iteration whose order reaches appends, sends, returns or calls " +
+		"in the deterministic packages (bit-identical-results contract)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !enabled(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkFuncBody(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func enabled(path string) bool {
+	if len(Packages) == 0 {
+		return true
+	}
+	for _, p := range Packages {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkFuncBody finds map ranges directly inside one function body
+// (nested function literals are handled by their own call).
+func checkFuncBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n.Pos() != body.Pos() {
+			return false
+		}
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[rs.X]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRange(pass, body, rs)
+		return true
+	})
+}
+
+type sink struct {
+	pos  token.Pos
+	what string
+	// dest is the object an append/index-write targets; a later sort of
+	// dest exempts the sink.
+	dest types.Object
+}
+
+func checkMapRange(pass *analysis.Pass, funcBody *ast.BlockStmt, rs *ast.RangeStmt) {
+	info := pass.TypesInfo
+	taint := taintedObjects(info, rs)
+	var sinks []sink
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.SendStmt:
+			sinks = append(sinks, sink{s.Pos(), "sends on a channel", nil})
+		case *ast.ReturnStmt:
+			for _, res := range s.Results {
+				if refersTo(info, res, taint) {
+					sinks = append(sinks, sink{s.Pos(), "returns an iteration-dependent value", nil})
+					break
+				}
+			}
+		case *ast.AssignStmt:
+			checkAssign(pass, rs, s, taint, &sinks)
+		case *ast.CallExpr:
+			if dest := appendDest(info, s); dest != nil {
+				// Handled via the enclosing assignment.
+				return true
+			}
+			if callIsExempt(info, s) {
+				return true
+			}
+			if callUsesTaint(info, s, taint) {
+				sinks = append(sinks, sink{s.Pos(), "calls " + calleeName(s) + " with iteration-derived arguments (calls run in map order)", nil})
+			}
+		}
+		return true
+	})
+
+	for _, sk := range sinks {
+		if sk.dest != nil && sortedAfter(pass, funcBody, rs, sk.dest) {
+			continue
+		}
+		pass.Reportf(sk.pos, "range over map %s: body %s; map iteration order is random — iterate sorted keys, sort the result, or //lint:ignore fpva/detorder <reason>",
+			exprString(rs.X), sk.what)
+	}
+}
+
+// taintedObjects computes the objects derived from the iteration: the key
+// and value variables, plus anything assigned from them in the body
+// (fixed point over simple assignments).
+func taintedObjects(info *types.Info, rs *ast.RangeStmt) map[types.Object]bool {
+	taint := make(map[types.Object]bool)
+	add := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				taint[obj] = true
+			} else if obj := info.Uses[id]; obj != nil {
+				taint[obj] = true
+			}
+		}
+	}
+	if rs.Key != nil {
+		add(rs.Key)
+	}
+	if rs.Value != nil {
+		add(rs.Value)
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(rs.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			tainted := false
+			for _, r := range as.Rhs {
+				if refersTo(info, r, taint) {
+					tainted = true
+					break
+				}
+			}
+			if !tainted {
+				return true
+			}
+			for _, l := range as.Lhs {
+				id, ok := l.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj != nil && !taint[obj] {
+					taint[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	return taint
+}
+
+func checkAssign(pass *analysis.Pass, rs *ast.RangeStmt, as *ast.AssignStmt, taint map[types.Object]bool, sinks *[]sink) {
+	info := pass.TypesInfo
+	for i, lhs := range as.Lhs {
+		var rhs ast.Expr
+		if len(as.Rhs) == len(as.Lhs) {
+			rhs = as.Rhs[i]
+		} else if len(as.Rhs) == 1 {
+			rhs = as.Rhs[0]
+		}
+		// append into a slice that outlives the loop.
+		if call, ok := rhs.(*ast.CallExpr); ok {
+			if dest := appendDest(info, call); dest != nil || isAppend(info, call) {
+				obj := lhsObject(info, lhs)
+				if obj != nil && obj.Pos() != token.NoPos &&
+					(obj.Pos() < rs.Body.Pos() || obj.Pos() > rs.Body.End()) {
+					*sinks = append(*sinks, sink{as.Pos(), "appends to " + obj.Name() + ", which outlives the loop", obj})
+				}
+				continue
+			}
+		}
+		// Write through a loop-carried slice index: out[i] = ... where i
+		// is mutated inside the loop body.
+		if ix, ok := lhs.(*ast.IndexExpr); ok {
+			baseTV, ok := info.Types[ix.X]
+			if !ok {
+				continue
+			}
+			switch baseTV.Type.Underlying().(type) {
+			case *types.Map:
+				continue // map writes commute across distinct keys
+			case *types.Slice, *types.Array, *types.Pointer:
+				if obj := counterObject(info, rs.Body, ix.Index); obj != nil {
+					*sinks = append(*sinks, sink{as.Pos(), "writes " + exprString(ix.X) + "[" + obj.Name() + "] through a loop-carried index", lhsObject(info, ix.X)})
+				}
+			}
+		}
+	}
+}
+
+// appendDest returns the object of append's first argument when call is
+// `append(x, ...)`, else nil.
+func appendDest(info *types.Info, call *ast.CallExpr) types.Object {
+	if !isAppend(info, call) || len(call.Args) == 0 {
+		return nil
+	}
+	return lhsObject(info, call.Args[0])
+}
+
+func isAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// callIsExempt reports whether a call cannot make iteration order
+// observable: type conversions, and the order-insensitive builtins.
+func callIsExempt(info *types.Info, call *ast.CallExpr) bool {
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return true // conversion
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := info.Uses[fun].(*types.Builtin); ok {
+			switch b.Name() {
+			case "len", "cap", "delete", "min", "max", "append", "panic":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func callUsesTaint(info *types.Info, call *ast.CallExpr, taint map[types.Object]bool) bool {
+	for _, arg := range call.Args {
+		if refersTo(info, arg, taint) {
+			return true
+		}
+	}
+	// Method receiver: m[k].Do() or v.Do().
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if refersTo(info, sel.X, taint) {
+			return true
+		}
+	}
+	return false
+}
+
+// sortedAfter reports whether dest is passed to a sort-like call
+// (sort.*, slices.Sort*, or any callee whose name contains "Sort")
+// after the range statement inside the same function body.
+func sortedAfter(pass *analysis.Pass, funcBody *ast.BlockStmt, rs *ast.RangeStmt, dest types.Object) bool {
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if found || n == nil || n.Pos() <= rs.End() {
+			return !found
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !strings.Contains(calleeName(call), "Sort") && !strings.Contains(calleeName(call), "sort") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if refersTo(pass.TypesInfo, arg, map[types.Object]bool{dest: true}) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// counterObject returns the object of a variable used in index that is
+// declared outside the loop body and written inside it — the
+// out[i]=...; i++ pattern.
+func counterObject(info *types.Info, body *ast.BlockStmt, index ast.Expr) types.Object {
+	var cand types.Object
+	ast.Inspect(index, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil || obj.Pos() == token.NoPos {
+			return true
+		}
+		if obj.Pos() >= body.Pos() && obj.Pos() <= body.End() {
+			return true // per-iteration local (e.g. the range key): commutes
+		}
+		if writtenIn(info, body, obj) {
+			cand = obj
+			return false
+		}
+		return true
+	})
+	return cand
+}
+
+func writtenIn(info *types.Info, body *ast.BlockStmt, obj types.Object) bool {
+	written := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.IncDecStmt:
+			if lhsObject(info, s.X) == obj {
+				written = true
+			}
+		case *ast.AssignStmt:
+			for _, l := range s.Lhs {
+				if lhsObject(info, l) == obj {
+					written = true
+				}
+			}
+		}
+		return !written
+	})
+	return written
+}
+
+// lhsObject resolves the root object of an assignable expression:
+// x, x.f, x[i] all resolve to x.
+func lhsObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := info.Uses[v]; obj != nil {
+				return obj
+			}
+			return info.Defs[v]
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.SliceExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+func refersTo(info *types.Info, e ast.Expr, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil && objs[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return exprString(fun.X) + "." + fun.Sel.Name
+	default:
+		return "function"
+	}
+}
+
+// exprString renders small expressions for diagnostics.
+func exprString(e ast.Expr) string {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(v.X) + "." + v.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(v.X) + "[...]"
+	case *ast.CallExpr:
+		return calleeName(v) + "(...)"
+	case *ast.StarExpr:
+		return "*" + exprString(v.X)
+	default:
+		return "expression"
+	}
+}

@@ -1,0 +1,13 @@
+package detorder
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestDetorder(t *testing.T) {
+	defer func(old []string) { Packages = old }(Packages)
+	Packages = nil // golden packages are outside the repro/ namespace
+	analysistest.Run(t, ".", Analyzer, "detorder")
+}

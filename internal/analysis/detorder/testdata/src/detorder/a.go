@@ -1,0 +1,116 @@
+// Package detorder is the golden corpus for the fpva/detorder analyzer:
+// each `// want` comment pins a diagnostic, unannotated map loops pin the
+// commutative exemptions.
+package detorder
+
+import "sort"
+
+type model struct{ rows int }
+
+func (m *model) addRow(id int, c float64) { m.rows++ }
+
+// Flagged: the PR 2 bug class — emitting constraint rows in map order.
+func emitRows(m *model, vars map[int]float64) {
+	for id, c := range vars {
+		m.addRow(id, c) // want `calls m.addRow with iteration-derived arguments`
+	}
+}
+
+// Flagged: collecting keys without sorting.
+func keysUnsorted(set map[string]bool) []string {
+	var out []string
+	for k := range set {
+		out = append(out, k) // want `appends to out, which outlives the loop`
+	}
+	return out
+}
+
+// Exempt: the append is laundered through a sort after the loop.
+func keysSorted(set map[string]bool) []string {
+	var out []string
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Flagged: channel sends happen in map order.
+func drain(set map[int]bool, ch chan int) {
+	for k := range set {
+		ch <- k // want `sends on a channel`
+	}
+}
+
+// Flagged: which element is returned depends on iteration order.
+func anyKey(set map[int]bool) int {
+	for k := range set {
+		return k // want `returns an iteration-dependent value`
+	}
+	return -1
+}
+
+// Flagged: a loop-carried index makes slot assignment order-dependent.
+func fill(set map[int]bool, out []int) {
+	i := 0
+	for k := range set {
+		out[i] = k // want `through a loop-carried index`
+		i++
+	}
+}
+
+// Exempt: pure accumulation commutes.
+func total(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// Exempt: writes into another map commute across distinct keys.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Exempt: guarded scalar selection (min over keys) commutes.
+func minKey(m map[int]bool) int {
+	best := -1
+	for k := range m {
+		if best == -1 || k < best {
+			best = k
+		}
+	}
+	return best
+}
+
+// Exempt: delete/len/conversions are order-insensitive.
+func prune(m map[int]bool, dead map[int]bool) int {
+	for k := range dead {
+		delete(m, k)
+	}
+	return len(m)
+}
+
+// Exempt: per-iteration locals do not outlive the loop.
+func localOnly(m map[int][]int) int {
+	n := 0
+	for _, vs := range m {
+		var grown []int
+		grown = append(grown, vs...)
+		n += len(grown)
+	}
+	return n
+}
+
+// Suppressed: a deliberate, explained exception.
+func suppressed(set map[int]bool, ch chan int) {
+	for k := range set {
+		//lint:ignore fpva/detorder the consumer resorts; pinned by golden test
+		ch <- k
+	}
+}

@@ -1,0 +1,217 @@
+// Package load type-checks the module's packages for the fpvalint
+// analyzers. It is a minimal, offline stand-in for
+// golang.org/x/tools/go/packages: package discovery is delegated to
+// `go list -deps -json`, module sources are parsed and type-checked in
+// dependency order (so cross-package facts are sound), and standard
+// library imports resolve through the stdlib source importer — no module
+// cache, no network, no compiled export data required.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// listPkg is the subset of `go list -json` output the loader uses.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Standard   bool
+	GoFiles    []string
+	Imports    []string
+	DepsErrors []*struct{ Err string }
+	Error      *struct{ Err string }
+}
+
+// Packages loads the module packages matched by patterns (plus their
+// in-module dependencies, which are type-checked but only returned when
+// they match a pattern) rooted at dir. The returned slice is in
+// dependency order and carries the set of packages to analyze.
+func Packages(dir string, patterns ...string) ([]*analysis.Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	// One `go list` for the analysis targets, one with -deps so every
+	// in-module dependency can be type-checked first.
+	targets, err := goList(dir, patterns, false)
+	if err != nil {
+		return nil, err
+	}
+	all, err := goList(dir, patterns, true)
+	if err != nil {
+		return nil, err
+	}
+	want := make(map[string]bool, len(targets))
+	for _, p := range targets {
+		if !p.Standard {
+			want[p.ImportPath] = true
+		}
+	}
+	byPath := make(map[string]*listPkg, len(all))
+	var modPkgs []*listPkg
+	for _, p := range all {
+		if p.Standard {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		byPath[p.ImportPath] = p
+		modPkgs = append(modPkgs, p)
+	}
+	order, err := toposort(modPkgs, byPath)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	std := importer.ForCompiler(fset, "source", nil)
+	loaded := make(map[string]*analysis.Package)
+	imp := &moduleImporter{std: std, loaded: loaded}
+	var out []*analysis.Package
+	for _, lp := range order {
+		pkg, err := typeCheck(fset, imp, lp)
+		if err != nil {
+			return nil, err
+		}
+		loaded[lp.ImportPath] = pkg
+		if want[lp.ImportPath] {
+			out = append(out, pkg)
+		}
+	}
+	return out, nil
+}
+
+func goList(dir string, patterns []string, deps bool) ([]*listPkg, error) {
+	args := []string{"list", "-e", "-json=ImportPath,Name,Dir,Standard,GoFiles,Imports,Error"}
+	if deps {
+		args = append(args, "-deps")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	outPipe, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(outPipe)
+	var pkgs []*listPkg
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			_ = cmd.Wait()
+			return nil, fmt.Errorf("go list -json: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	return pkgs, nil
+}
+
+// toposort orders module packages dependencies-first, deterministically.
+func toposort(pkgs []*listPkg, byPath map[string]*listPkg) ([]*listPkg, error) {
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	state := make(map[string]int, len(pkgs))
+	var order []*listPkg
+	var visit func(p *listPkg) error
+	visit = func(p *listPkg) error {
+		switch state[p.ImportPath] {
+		case gray:
+			return fmt.Errorf("import cycle through %s", p.ImportPath)
+		case black:
+			return nil
+		}
+		state[p.ImportPath] = gray
+		for _, dep := range p.Imports {
+			if d, ok := byPath[dep]; ok {
+				if err := visit(d); err != nil {
+					return err
+				}
+			}
+		}
+		state[p.ImportPath] = black
+		order = append(order, p)
+		return nil
+	}
+	for _, p := range pkgs {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// moduleImporter resolves in-module imports from already-loaded packages
+// and everything else (the standard library) from source.
+type moduleImporter struct {
+	std    types.Importer
+	loaded map[string]*analysis.Package
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.loaded[path]; ok {
+		return p.Types, nil
+	}
+	return m.std.Import(path)
+}
+
+func typeCheck(fset *token.FileSet, imp types.Importer, lp *listPkg) (*analysis.Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-check %s: %v", lp.ImportPath, err)
+	}
+	return &analysis.Package{
+		PkgPath:   lp.ImportPath,
+		Name:      lp.Name,
+		Dir:       lp.Dir,
+		Fset:      fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+		Imports:   lp.Imports,
+	}, nil
+}

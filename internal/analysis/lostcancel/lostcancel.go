@@ -1,0 +1,123 @@
+// Package lostcancel reimplements the x/tools lostcancel check on the
+// standard library alone (the x/tools module is unavailable offline):
+// the cancel function returned by context.WithCancel / WithTimeout /
+// WithDeadline (and their ...Cause variants) must be used — called,
+// deferred, returned or stored — or the derived context and its timer
+// leak until the parent is canceled.
+//
+// This version is syntactic where the original is CFG-based: it flags a
+// cancel assigned to the blank identifier, and a named cancel variable
+// that is never referenced again in the enclosing function. It does not
+// attempt path-sensitive "not used on this return path" reasoning.
+package lostcancel
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lostcancel",
+	Doc: "the cancel function returned by context.WithCancel/WithTimeout/WithDeadline " +
+		"must be called, deferred, returned or stored (stdlib port of the x/tools check)",
+	Run: run,
+}
+
+var cancelConstructors = map[string]bool{
+	"WithCancel": true, "WithTimeout": true, "WithDeadline": true,
+	"WithCancelCause": true, "WithTimeoutCause": true, "WithDeadlineCause": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkBody(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		// Stay within this function; literals get their own checkBody.
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 2 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := constructorName(info, call)
+		if name == "" {
+			return true
+		}
+		cancel, ok := as.Lhs[1].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if cancel.Name == "_" {
+			pass.Reportf(as.Pos(), "the cancel function returned by context.%s is discarded; the derived context leaks until its parent ends", name)
+			return true
+		}
+		obj := info.Defs[cancel]
+		if obj == nil {
+			obj = info.Uses[cancel]
+		}
+		if obj == nil {
+			return true
+		}
+		if !usedElsewhere(info, body, obj, cancel) {
+			pass.Reportf(as.Pos(), "the cancel function %s returned by context.%s is never used; call it, defer it, or return it", cancel.Name, name)
+		}
+		return true
+	})
+}
+
+func constructorName(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" || !cancelConstructors[fn.Name()] {
+		return ""
+	}
+	return fn.Name()
+}
+
+// usedElsewhere reports whether obj is referenced anywhere in body other
+// than its defining identifier (closures inside body count: a cancel
+// captured by a deferred literal is used).
+func usedElsewhere(info *types.Info, body *ast.BlockStmt, obj types.Object, def *ast.Ident) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || id == def {
+			return !found
+		}
+		if info.Uses[id] == obj || (info.Defs[id] == obj && id != def) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package lostcancel_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lostcancel"
+)
+
+func TestLostCancel(t *testing.T) {
+	analysistest.Run(t, ".", lostcancel.Analyzer, "cancelcase")
+}

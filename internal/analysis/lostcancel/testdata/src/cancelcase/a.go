@@ -1,0 +1,49 @@
+// Package cancelcase is the golden corpus for fpva/lostcancel.
+package cancelcase
+
+import (
+	"context"
+	"time"
+)
+
+func Discarded(parent context.Context) context.Context {
+	ctx, _ := context.WithCancel(parent) // want `the cancel function returned by context.WithCancel is discarded`
+	return ctx
+}
+
+// stash keeps the Unused case compilable: a local `cancel := ...` that is
+// never read is already a compile error, so the lost cancel has to hide in
+// an outer-scope variable.
+var stash context.CancelFunc
+
+func Unused(parent context.Context) context.Context {
+	var ctx context.Context
+	ctx, stash = context.WithTimeout(parent, time.Second) // want `the cancel function stash returned by context.WithTimeout is never used`
+	return ctx
+}
+
+func Deferred(parent context.Context) error {
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+	return ctx.Err()
+}
+
+func Captured(parent context.Context) error {
+	ctx, cancel := context.WithDeadline(parent, time.Now().Add(time.Second))
+	go func() {
+		<-ctx.Done()
+		cancel()
+	}()
+	return ctx.Err()
+}
+
+func Returned(parent context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(parent)
+	return ctx, cancel
+}
+
+func Suppressed(parent context.Context) context.Context {
+	//lint:ignore fpva/lostcancel demo: lifetime managed by the caller registry
+	ctx, _ := context.WithCancel(parent)
+	return ctx
+}

@@ -1,0 +1,221 @@
+// Package nilness is a deliberately small, syntactic stand-in for the
+// x/tools nilness analyzer, which needs SSA and cannot be vendored into
+// this offline build. It reports the two shapes that are provably wrong
+// without a control-flow graph:
+//
+//   - dereferencing a pointer inside the `if p == nil` branch that just
+//     proved it nil (field access or *p);
+//   - dereferencing a pointer declared `var p *T` (or assigned nil)
+//     before any reassignment in the same block.
+//
+// Anything requiring path merging, aliasing or interprocedural reasoning
+// is out of scope; the full analyzer can replace this one wholesale when
+// x/tools is available, since the registration point in cmd/fpvalint is
+// API-compatible.
+package nilness
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "nilness",
+	Doc: "flags dereferences of pointers that are provably nil on the path " +
+		"(conservative stdlib subset of the x/tools SSA-based check)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.IfStmt:
+				checkNilGuard(pass, v)
+			case *ast.BlockStmt:
+				checkBlock(pass, v)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkNilGuard handles `if p == nil { ...deref p... }` and the inverted
+// `if p != nil { } else { ...deref p... }`.
+func checkNilGuard(pass *analysis.Pass, ifs *ast.IfStmt) {
+	bin, ok := ifs.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return
+	}
+	var nilBranch ast.Stmt
+	switch bin.Op {
+	case token.EQL:
+		nilBranch = ifs.Body
+	case token.NEQ:
+		nilBranch = ifs.Else
+	default:
+		return
+	}
+	if nilBranch == nil {
+		return
+	}
+	obj := nilComparand(pass.TypesInfo, bin)
+	if obj == nil {
+		return
+	}
+	reportDerefs(pass, nilBranch, obj)
+}
+
+// nilComparand returns the pointer-typed object compared against nil.
+func nilComparand(info *types.Info, bin *ast.BinaryExpr) types.Object {
+	for x, y := range map[ast.Expr]ast.Expr{bin.X: bin.Y, bin.Y: bin.X} {
+		id, ok := ast.Unparen(x).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if yid, ok := ast.Unparen(y).(*ast.Ident); !ok || yid.Name != "nil" {
+			continue
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			continue
+		}
+		if _, ok := obj.Type().Underlying().(*types.Pointer); ok {
+			return obj
+		}
+	}
+	return nil
+}
+
+// checkBlock tracks `var p *T` / `p = nil` linearly through one block.
+func checkBlock(pass *analysis.Pass, block *ast.BlockStmt) {
+	nilObjs := make(map[types.Object]bool)
+	for _, stmt := range block.List {
+		switch s := stmt.(type) {
+		case *ast.DeclStmt:
+			if gd, ok := s.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok || len(vs.Values) != 0 {
+						continue
+					}
+					for _, name := range vs.Names {
+						obj := pass.TypesInfo.Defs[name]
+						if obj == nil {
+							continue
+						}
+						if _, ok := obj.Type().Underlying().(*types.Pointer); ok {
+							nilObjs[obj] = true
+						}
+					}
+				}
+			}
+			continue
+		case *ast.AssignStmt:
+			// p = nil re-arms; any other assignment or aliasing disarms.
+			for i, lhs := range s.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				isNil := false
+				if len(s.Rhs) == len(s.Lhs) {
+					if rid, ok := ast.Unparen(s.Rhs[i]).(*ast.Ident); ok && rid.Name == "nil" {
+						isNil = true
+					}
+				}
+				if _, ptr := obj.Type().Underlying().(*types.Pointer); ptr && isNil {
+					nilObjs[obj] = true
+				} else {
+					delete(nilObjs, obj)
+				}
+			}
+		}
+		if len(nilObjs) == 0 {
+			continue
+		}
+		// Disarm before reporting: `if errors.As(err, &p) { use(p.F) }` takes
+		// p's address in the condition, which runs before any deref in the
+		// body — anything that could mutate through an alias or a nested
+		// scope ends the tracking for objects it mentions.
+		disarmMentioned(pass.TypesInfo, stmt, nilObjs, stmt)
+		for obj := range nilObjs {
+			reportDerefs(pass, stmt, obj)
+		}
+	}
+}
+
+// disarmMentioned drops tracking for objects whose address is taken or
+// that are assigned anywhere inside stmt's subtree (nested ifs, loops).
+func disarmMentioned(info *types.Info, n ast.Node, nilObjs map[types.Object]bool, top ast.Stmt) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch v := m.(type) {
+		case *ast.UnaryExpr:
+			if v.Op == token.AND {
+				if id, ok := ast.Unparen(v.X).(*ast.Ident); ok {
+					if obj := info.Uses[id]; obj != nil {
+						delete(nilObjs, obj)
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if m != top {
+				for _, lhs := range v.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						if obj := info.Uses[id]; obj != nil {
+							delete(nilObjs, obj)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// reportDerefs flags *p and p.field inside n while p is nil, stopping at
+// reassignments of p and at nested function literals.
+func reportDerefs(pass *analysis.Pass, n ast.Node, obj types.Object) {
+	info := pass.TypesInfo
+	disarmed := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if disarmed {
+			return false
+		}
+		switch v := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range v.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && (info.Uses[id] == obj || info.Defs[id] == obj) {
+					disarmed = true
+					return false
+				}
+			}
+		case *ast.StarExpr:
+			if id, ok := ast.Unparen(v.X).(*ast.Ident); ok && info.Uses[id] == obj {
+				pass.Reportf(v.Pos(), "nil dereference: *%s with %s nil on this path", id.Name, id.Name)
+			}
+		case *ast.SelectorExpr:
+			id, ok := ast.Unparen(v.X).(*ast.Ident)
+			if !ok || info.Uses[id] != obj {
+				return true
+			}
+			if sel, ok := info.Selections[v]; ok && sel.Kind() == types.FieldVal {
+				pass.Reportf(v.Pos(), "nil dereference: field access %s.%s with %s nil on this path", id.Name, v.Sel.Name, id.Name)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,70 @@
+// Package nilcase is the golden corpus for fpva/nilness.
+package nilcase
+
+type node struct {
+	val  int
+	next *node
+}
+
+func GuardedDeref(n *node) int {
+	if n == nil {
+		return n.val // want `nil dereference: field access n.val`
+	}
+	return n.val
+}
+
+func InvertedGuard(n *node) int {
+	if n != nil {
+		return n.val
+	} else {
+		return n.val // want `nil dereference: field access n.val`
+	}
+}
+
+func StarDeref(p *int) int {
+	if p == nil {
+		return *p // want `nil dereference: \*p`
+	}
+	return *p
+}
+
+func DeclaredNil() int {
+	var p *node
+	return p.val // want `nil dereference: field access p.val`
+}
+
+func AssignedNil(p *node) int {
+	p = nil
+	return p.val // want `nil dereference: field access p.val`
+}
+
+func ReassignedOK() int {
+	var p *node
+	p = &node{val: 3}
+	return p.val
+}
+
+func GuardRepaired(n *node) int {
+	if n == nil {
+		n = &node{}
+	}
+	return n.val
+}
+
+// The errors.As shape: the address is taken in the if condition, which
+// runs before the deref in the body — no finding.
+func CondAlias(ok func(**node) bool) int {
+	var p *node
+	if ok(&p) {
+		return p.val
+	}
+	return 0
+}
+
+func AliasEscapes() int {
+	var p *node
+	fill(&p)
+	return p.val
+}
+
+func fill(pp **node) { *pp = &node{val: 9} }
