@@ -121,13 +121,15 @@ func Generate(ctx context.Context, a *grid.Array, existing []*sim.Vector) (*Resu
 		fault[0] = sim.Fault{Kind: sim.ControlLeak, A: p[0], B: p[1]}
 		return fault
 	}
-	// covered collects the pairs a compiled vector set observes; deleting
-	// after the scan keeps map iteration and mutation apart.
+	// covered collects the pairs a compiled vector set observes. Scanning
+	// res.Pairs (filtered through the uncovered set) rather than the set
+	// itself keeps the probe order — and with it every simulator-side
+	// effect and tie-break downstream — independent of map iteration.
 	var covered []Pair
 	sweep := func(cv *sim.CompiledVectors) []Pair {
 		covered = covered[:0]
-		for p := range uncovered {
-			if cv.Detects(leak(p)) {
+		for _, p := range res.Pairs {
+			if uncovered[p] && cv.Detects(leak(p)) {
 				covered = append(covered, p)
 			}
 		}
@@ -269,6 +271,7 @@ func minPair(set map[Pair]bool) Pair {
 	var best Pair
 	first := true
 	for p := range set {
+		//lint:ignore fpva/detorder a minimum fold visits every key; the result is order-independent
 		if first || less(p, best) {
 			best = p
 			first = false
