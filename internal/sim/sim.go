@@ -416,7 +416,15 @@ func (s *Simulator) VerifyPathVector(vec *Vector) error {
 			}
 		}
 	}
-	for cell, d := range deg {
+	// Check cells in sorted order so a vector with several defects always
+	// reports the same one (errors here reach goldens and user logs).
+	cells := make([]grid.CellID, 0, len(deg))
+	for cell := range deg {
+		cells = append(cells, cell)
+	}
+	sort.Slice(cells, func(i, j int) bool { return cells[i] < cells[j] })
+	for _, cell := range cells {
+		d := deg[cell]
 		r, c := a.CellCoords(cell)
 		if d > 2 {
 			return fmt.Errorf("sim: path vector %q branches: cell (%d,%d) touches %d open valves", vec.Name, r, c, d)
