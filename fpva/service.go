@@ -176,6 +176,7 @@ func (s *Service) Stats() ServiceStats {
 		st.CacheCapBytes = s.cache.capBytes
 	}
 	for _, j := range s.jobs {
+		//lint:ignore fpva/detorder tallying states into counters is order-independent
 		switch j.State() {
 		case JobPending:
 			st.JobsPending++
@@ -454,6 +455,7 @@ func (s *Service) runGenerate(j *Job, a *Array, cfg genConfig, key string) {
 	} else {
 		s.misses++
 		fl = &flight{key: key, refs: 1, subs: []*Job{j}, done: make(chan struct{})}
+		//lint:ignore fpva/ctxflow a flight is shared by every coalesced submitter, so its lifetime must detach from any one caller's ctx; Close cancels it
 		fl.ctx, fl.cancel = context.WithCancel(context.Background())
 		s.flights[key] = fl
 		s.wg.Add(1)

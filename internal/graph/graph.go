@@ -83,6 +83,8 @@ func (g *Graph) BFS(src int, enabled func(e int) bool) []int {
 // should be at least N() to stay allocation-free). Every node in srcs is
 // seeded with via = -2; reachability is therefore computed from the source
 // set as a whole. It returns via, resliced to length N().
+//
+//fpva:allocfree
 func (g *Graph) BFSInto(via, queue []int, srcs []int, enabled func(e int) bool) []int {
 	via = via[:g.n]
 	for i := range via {
@@ -225,6 +227,8 @@ func (g *Graph) Dijkstra(src int, weight func(e int) float64) ([]float64, []int)
 
 // DijkstraInto is Dijkstra over caller-owned scratch; the returned slices
 // alias the scratch and are valid until its next use.
+//
+//fpva:allocfree
 func (g *Graph) DijkstraInto(sc *DijkstraScratch, src int, weight func(e int) float64) ([]float64, []int) {
 	dist, via, done := sc.dist, sc.via, sc.done
 	for i := range dist {

@@ -185,6 +185,8 @@ func (a *Array) Valve(id ValveID) Valve {
 }
 
 // Kind returns the kind of edge id.
+//
+//fpva:allocfree
 func (a *Array) Kind(id ValveID) Kind { return a.kinds[id] }
 
 func (a *Array) locate(id ValveID) (Orient, int, int) {

@@ -227,6 +227,8 @@ func (s *Solver) Solve(lb, ub []float64, warm *Basis, maxIters int) Solution {
 // solver scratch and are valid only until the next call. warm, when
 // non-nil, is a per-column status snapshot (View.Basis / Basis.Status) of a
 // previous same-shape solve.
+//
+//fpva:allocfree
 func (s *Solver) SolveView(lb, ub []float64, warm []int8, maxIters int) View {
 	if maxIters <= 0 {
 		maxIters = 200 * (s.m + s.n + 10)
@@ -457,6 +459,7 @@ func (s *Solver) factorize() bool {
 	}
 	need := int(s.rowPtr[m])
 	if cap(s.rowLst) < need {
+		//lint:ignore fpva/allocfree grows once to the basis pattern size, then reused; warm solves are pinned by alloc_test
 		s.rowLst = make([]int32, need)
 	}
 	s.rowLst = s.rowLst[:need]

@@ -119,6 +119,8 @@ func (cv *CompiledVectors) Golden(i int) []bool { return cv.golden[i] }
 // the cached fault-free state of each vector and compares readings against
 // the cached golden ones, skipping the BFS entirely when the faults do not
 // change the vector's physical state.
+//
+//fpva:allocfree
 func (cv *CompiledVectors) detectingVector(sc *scratch, faults []Fault) int {
 	s := cv.s
 	for i, vec := range cv.vecs {
@@ -402,6 +404,8 @@ func (fs *faultScratch) isUsed(v grid.ValveID) bool {
 // by already-used valves it falls back to a stuck-at draw. If leak pairs
 // consume so many valves that no free valve remains, the trial proceeds
 // with fewer faults rather than retrying forever.
+//
+//fpva:allocfree
 func randomFaultsInto(rng *rand.Rand, normal []grid.ValveID, cfg CampaignConfig, fs *faultScratch) []Fault {
 	n := cfg.NumFaults
 	if n > len(normal) {
@@ -457,6 +461,8 @@ func randomFaults(rng *rand.Rand, normal []grid.ValveID, cfg CampaignConfig) []F
 // both unused, or ok=false when no such pair remains. The common case — the
 // first probe hits a viable pair — costs one draw; only collisions pay for
 // the viability scan.
+//
+//fpva:allocfree
 func pickLeakPair(rng *rand.Rand, pairs [][2]grid.ValveID, fs *faultScratch) ([2]grid.ValveID, bool) {
 	p := pairs[rng.Intn(len(pairs))]
 	if !fs.isUsed(p[0]) && !fs.isUsed(p[1]) {

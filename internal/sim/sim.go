@@ -246,6 +246,8 @@ func (s *Simulator) SinkNames() []string { return s.sinkNames }
 
 // effIntoBase writes the fault-free physical state of every edge under a
 // command vector into eff (len = NumValves).
+//
+//fpva:allocfree
 func (s *Simulator) effIntoBase(eff []bool, vec *Vector) {
 	copy(eff, s.effBase)
 	for _, id := range s.normalIDs {
@@ -258,6 +260,8 @@ func (s *Simulator) effIntoBase(eff []bool, vec *Vector) {
 // applyFaults overlays a fault list on a fault-free effective state and
 // reports whether any edge actually changed — when it didn't, the readings
 // are guaranteed to equal the fault-free ones and the BFS can be skipped.
+//
+//fpva:allocfree
 func (s *Simulator) applyFaults(eff []bool, vec *Vector, faults []Fault) bool {
 	changed := false
 	// Control leakage first: commanded closure propagates to the partner.
@@ -295,6 +299,8 @@ func (s *Simulator) applyFaults(eff []bool, vec *Vector, faults []Fault) bool {
 
 // readingsInto runs one multi-source BFS over the effective state held in
 // sc.eff and writes per-sink pressure into out (len = number of sinks).
+//
+//fpva:allocfree
 func (s *Simulator) readingsInto(sc *scratch, out []bool) []bool {
 	via := s.g.BFSInto(sc.via, sc.queue, s.srcNodes, sc.enabled)
 	for i, snk := range s.sinkNodes {
@@ -306,6 +312,8 @@ func (s *Simulator) readingsInto(sc *scratch, out []bool) []bool {
 // SinkPressured reports whether any sink sees pressure under vec on a
 // fault-free chip. Unlike Readings it allocates nothing, which makes it the
 // inner loop of cut-set testability scans.
+//
+//fpva:allocfree
 func (s *Simulator) SinkPressured(vec *Vector) bool {
 	sc := s.getScratch()
 	defer s.putScratch(sc)
