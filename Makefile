@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check check-imports fmt vet bench bench-smoke bench-json bench-diff bench-ci fuzz-smoke smoke-daemon clean
+.PHONY: all build test check check-imports lint fmt vet bench bench-smoke bench-json bench-diff bench-ci fuzz-smoke smoke-daemon clean
 
 # Where `make bench-json` records the benchmark suite (bumped per PR so the
 # repo keeps its performance trajectory).
@@ -25,14 +25,21 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# The public-API boundary: cmd/ and examples/ must import only repro/fpva.
-check-imports:
-	./scripts/check-imports.sh
+# The whole static story in one command: go vet plus the fpvalint suite
+# (determinism, allocation-free annotations, context flow, API boundary,
+# lostcancel, nilness). See DESIGN.md, "Static invariants".
+lint:
+	$(GO) run ./cmd/fpvalint ./...
 
-# Full local gate: formatting, static checks, the API boundary, tests, and
-# a one-shot campaign benchmark smoke so the Sec. IV engine is exercised
-# end to end.
-check: fmt vet check-imports test bench-smoke
+# The public-API boundary: cmd/ and examples/ must import only repro/fpva.
+# Kept as an alias; the rule lives in the fpva/apiboundary analyzer now.
+check-imports:
+	$(GO) run ./cmd/fpvalint -vet=false -only apiboundary ./...
+
+# Full local gate: formatting, static analysis (vet + fpvalint), tests,
+# and a one-shot campaign benchmark smoke so the Sec. IV engine is
+# exercised end to end.
+check: fmt lint test bench-smoke
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench Campaign -benchtime 1x .

@@ -2,7 +2,7 @@
 // this repo: usage and flag errors exit 2, deadline expiry (-timeout)
 // exits 2, runtime failures exit 1, success exits 0. It lives under
 // cmd/internal so the commands stay consumers of the public repro/fpva
-// API only (scripts/check-imports.sh).
+// API only (enforced by the fpva/apiboundary analyzer in make lint).
 package cli
 
 import (
