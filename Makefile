@@ -4,9 +4,9 @@ GO ?= go
 
 # Where `make bench-json` records the benchmark suite (bumped per PR so the
 # repo keeps its performance trajectory).
-BENCH_OUT ?= BENCH_pr5.json
+BENCH_OUT ?= BENCH_pr7.json
 # The previous recording, for `make bench-diff`.
-BENCH_PREV ?= BENCH_pr4.json
+BENCH_PREV ?= BENCH_pr5.json
 
 all: check
 
@@ -60,10 +60,13 @@ bench-diff:
 # ns/op regression against the committed baseline recording. The baseline
 # is machine-dependent, so this is a coarse tripwire for order-of-magnitude
 # regressions, not a precision gate; re-record BENCH_OUT when the committed
-# numbers drift from the CI runner class.
+# numbers drift from the CI runner class. Time-based -benchtime keeps the
+# sub-millisecond campaign benchmarks from being sampled so few times that
+# a single scheduler hiccup trips the gate, while the ILP benchmarks still
+# finish in a couple of iterations.
 bench-ci:
-	$(GO) test -run '^$$' -bench 'Campaign_1Fault$$|Table1_5x5|Ablation_PathILPIterative$$|Ablation_CutILP$$' \
-		-benchtime 5x -benchmem -json . > /tmp/bench-ci.json
+	$(GO) test -run '^$$' -bench 'Campaign_1Fault$$|Campaign_1Fault_PPSFP$$|Table1_5x5|Ablation_PathILPIterative$$|Ablation_CutILP$$' \
+		-benchtime 0.3s -benchmem -json . > /tmp/bench-ci.json
 	$(GO) run scripts/benchdiff.go -max-ns-regress 30 $(BENCH_OUT) /tmp/bench-ci.json
 
 # Short fuzz runs of the solver-stack and wire-codec fuzz targets; the

@@ -96,6 +96,10 @@ func BenchmarkFig9_Paths20x20(b *testing.B) {
 }
 
 func benchCampaign(b *testing.B, faults, workers int) {
+	benchCampaignEngine(b, faults, workers, sim.EngineAuto)
+}
+
+func benchCampaignEngine(b *testing.B, faults, workers int, engine sim.CampaignEngine) {
 	c, err := bench.FindCase("5x5")
 	if err != nil {
 		b.Fatal(err)
@@ -111,6 +115,7 @@ func benchCampaign(b *testing.B, faults, workers int) {
 	for i := 0; i < b.N; i++ {
 		res, err = s.RunCampaign(context.Background(), vecs, sim.CampaignConfig{
 			Trials: 10000, NumFaults: faults, Seed: int64(faults), Workers: workers,
+			Engine: engine,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -133,6 +138,48 @@ func BenchmarkCampaign_2Faults_Parallel(b *testing.B) { benchCampaign(b, 2, runt
 func BenchmarkCampaign_3Faults_Parallel(b *testing.B) { benchCampaign(b, 3, runtime.NumCPU()) }
 func BenchmarkCampaign_4Faults_Parallel(b *testing.B) { benchCampaign(b, 4, runtime.NumCPU()) }
 func BenchmarkCampaign_5Faults_Parallel(b *testing.B) { benchCampaign(b, 5, runtime.NumCPU()) }
+
+// Engine ablation: the bit-parallel (PPSFP) engine — 64 fault universes
+// per uint64 word, one BFS pass serving all of them — against the scalar
+// one-universe-at-a-time reference, both single-worker so the ratio is pure
+// bit-parallelism. The default Campaign_* variants above already run PPSFP
+// via EngineAuto; the explicit names keep the comparison stable if the
+// default ever changes.
+func BenchmarkCampaign_1Fault_PPSFP(b *testing.B) {
+	benchCampaignEngine(b, 1, 1, sim.EngineBitParallel)
+}
+func BenchmarkCampaign_3Faults_PPSFP(b *testing.B) {
+	benchCampaignEngine(b, 3, 1, sim.EngineBitParallel)
+}
+func BenchmarkCampaign_5Faults_PPSFP(b *testing.B) {
+	benchCampaignEngine(b, 5, 1, sim.EngineBitParallel)
+}
+func BenchmarkCampaign_1Fault_Scalar(b *testing.B) { benchCampaignEngine(b, 1, 1, sim.EngineScalar) }
+func BenchmarkCampaign_5Faults_Scalar(b *testing.B) {
+	benchCampaignEngine(b, 5, 1, sim.EngineScalar)
+}
+
+// Sec. III single-fault guarantee sweep: every stuck-at fault on every
+// Normal valve of the 5x5 through the word-parallel DetectsBatch.
+func BenchmarkVerifySingleFaults(b *testing.B) {
+	c, err := bench.FindCase("5x5")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts, err := bench.Row(context.Background(), c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var escapes []sim.Fault
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		escapes, err = ts.VerifySingleFaults(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(escapes)), "escaped")
+}
 
 // The compiled fast path: reuse one CompiledVectors across campaigns, as
 // CampaignSeries and fpvasim do — compile cost amortized away entirely.

@@ -45,6 +45,7 @@ type options struct {
 	seed       int64
 	workers    int
 	maxEscapes int
+	engine     string
 	leaks      bool
 	baseline   bool
 	progress   bool
@@ -97,6 +98,7 @@ func parseFlags(args []string, stderr io.Writer) (options, error) {
 	fs.Int64Var(&opt.seed, "seed", 2017, "campaign RNG seed")
 	fs.IntVar(&opt.workers, "workers", 0, "campaign worker goroutines (0 = all CPUs)")
 	fs.IntVar(&opt.maxEscapes, "max-escapes", 0, "cap on recorded undetected fault sets (0 = default 16)")
+	fs.StringVar(&opt.engine, "engine", "auto", "campaign engine: auto, bit-parallel, scalar")
 	fs.BoolVar(&opt.leaks, "leaks", false, "also inject control-leakage faults")
 	fs.BoolVar(&opt.baseline, "baseline", false, "evaluate the one-valve-at-a-time baseline instead")
 	fs.BoolVar(&opt.progress, "progress", false, "report campaign trial progress on stderr")
@@ -145,6 +147,14 @@ func run(ctx context.Context, w io.Writer, opt options) error {
 	if err := validateSelectors(opt); err != nil {
 		return err
 	}
+	engineName := opt.engine
+	if engineName == "" {
+		engineName = "auto"
+	}
+	engine, err := fpva.ParseCampaignEngine(engineName)
+	if err != nil {
+		return usagef("%v", err)
+	}
 	plan, label, err := loadPlan(ctx, opt)
 	if err != nil {
 		return err
@@ -154,6 +164,7 @@ func run(ctx context.Context, w io.Writer, opt options) error {
 		fpva.WithTrials(opt.trials),
 		fpva.WithCampaignWorkers(opt.workers),
 		fpva.WithMaxEscapes(opt.maxEscapes),
+		fpva.WithCampaignEngine(engine),
 	}
 	if opt.leaks {
 		campOpts = append(campOpts, fpva.WithLeakFaults())

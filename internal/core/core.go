@@ -244,6 +244,9 @@ func (ts *TestSet) VerifySingleFaults(ctx context.Context) ([]sim.Fault, error) 
 	for i := range singles {
 		sets[i] = singles[i : i+1]
 	}
+	// On cancellation DetectsBatch trims its result to the evaluated prefix
+	// and returns ctx.Err(); bailing out here means an unevaluated fault can
+	// never be misreported as covered.
 	det, err := cv.DetectsBatch(ctx, sets, 0)
 	if err != nil {
 		return nil, err
@@ -276,6 +279,8 @@ func (ts *TestSet) VerifyDoubleFaults(ctx context.Context, maxPairs int) ([][2]s
 	sets := make([][]sim.Fault, 0, window)
 	var escaped [][2]sim.Fault
 	flush := func() error {
+		// As in VerifySingleFaults: a cancelled batch returns only the
+		// evaluated prefix, and the error path discards the whole window.
 		det, err := cv.DetectsBatch(ctx, sets, 0)
 		if err != nil {
 			return err

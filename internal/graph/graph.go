@@ -18,6 +18,15 @@ type Graph struct {
 	n     int
 	adj   [][]Arc
 	edges []Edge
+
+	// Flat CSR mirror of adj for the word-parallel relax loop: the arcs out
+	// of node u are csrTo/csrEdge[csrHead[u]:csrHead[u+1]]. int32 entries
+	// halve the memory traffic of the hottest loop in the repo and drop the
+	// per-node slice-header chase. Rebuilt lazily after AddEdge.
+	csrOK   bool
+	csrHead []int32
+	csrTo   []int32
+	csrEdge []int32
 }
 
 // Edge is one undirected edge.
@@ -58,7 +67,48 @@ func (g *Graph) AddEdge(u, v, label int) int {
 	if u != v {
 		g.adj[v] = append(g.adj[v], Arc{To: u, Edge: id})
 	}
+	g.csrOK = false
 	return id
+}
+
+// ensureCSR (re)builds the flat adjacency mirror. Graphs here are built once
+// and then queried, so in the steady state this is a cheap flag check and the
+// word-parallel hot path stays allocation-free.
+func (g *Graph) ensureCSR() {
+	if g.csrOK {
+		return
+	}
+	arcs := 0
+	for _, a := range g.adj {
+		arcs += len(a)
+	}
+	if g.n > math.MaxInt32 || arcs > math.MaxInt32 {
+		panic("graph: node or arc count overflows the CSR index width")
+	}
+	if cap(g.csrHead) < g.n+1 {
+		//lint:ignore fpva/allocfree rebuilt only after graph mutation, then reused
+		g.csrHead = make([]int32, g.n+1)
+	}
+	g.csrHead = g.csrHead[:g.n+1]
+	if cap(g.csrTo) < arcs {
+		//lint:ignore fpva/allocfree rebuilt only after graph mutation, then reused
+		g.csrTo = make([]int32, arcs)
+		//lint:ignore fpva/allocfree rebuilt only after graph mutation, then reused
+		g.csrEdge = make([]int32, arcs)
+	}
+	g.csrTo = g.csrTo[:arcs]
+	g.csrEdge = g.csrEdge[:arcs]
+	pos := 0
+	for u, as := range g.adj {
+		g.csrHead[u] = int32(pos)
+		for _, a := range as {
+			g.csrTo[pos] = int32(a.To)
+			g.csrEdge[pos] = int32(a.Edge)
+			pos++
+		}
+	}
+	g.csrHead[g.n] = int32(pos)
+	g.csrOK = true
 }
 
 // Adj returns the arcs out of node u. The slice must not be modified.
@@ -108,6 +158,109 @@ func (g *Graph) BFSInto(via, queue []int, srcs []int, enabled func(e int) bool) 
 		}
 	}
 	return via
+}
+
+// BFSWordsInto is the bit-parallel (PPSFP-style) variant of BFSInto: it
+// propagates up to 64 independent edge-enable universes at once. reach
+// holds one uint64 per node whose bit k means "node reached in universe k";
+// enabled holds, per edge index, the mask of universes in which that edge
+// conducts. Every source node is seeded with the seed mask, so only lanes
+// set in seed propagate at all — callers pass the lanes they care about
+// (a hot-path optimization: lanes whose answer is already known are not
+// dragged through the traversal) and must mask results by seed.
+//
+// Unlike the boolean BFS, a node's mask can grow after it has been
+// processed (a later frontier may reach it in additional universes), so
+// nodes re-enter the frontier until a fixpoint; inq deduplicates queue
+// membership, which bounds the queue to N() entries and lets it run as a
+// ring buffer over the caller's scratch. len(reach), len(queue) and
+// len(inq) must each be at least N(); len(enabled) at least M(). It
+// returns reach, resliced to N().
+//
+//fpva:allocfree
+func (g *Graph) BFSWordsInto(reach []uint64, queue []int, inq []bool, srcs []int, seed uint64, enabled []uint64) []uint64 {
+	n := g.n
+	reach = reach[:n]
+	for i := range reach {
+		reach[i] = 0
+	}
+	if n == 0 || seed == 0 {
+		return reach
+	}
+	for _, s := range srcs {
+		reach[s] = seed
+	}
+	return g.RelaxWordsInto(reach, queue, inq, srcs, enabled)
+}
+
+// RelaxWordsInto is the incremental core of BFSWordsInto: it runs the
+// word-parallel reachability fixpoint from a caller-initialized state.
+// reach must already hold, per node, a lane mask that is a lower bound of
+// that node's reachability closed under everything except the arcs out of
+// the start nodes (e.g. the exact reachability of a subgraph missing some
+// of this graph's edges); starts lists the nodes whose outgoing arcs may
+// now propagate further — duplicate entries are fine. On return reach is
+// the closure of the initial state under all enabled arcs.
+//
+// This is what makes lanes that only ADD edges relative to a precomputed
+// base state cheap: seed reach with the base reachability, list just the
+// new edges' endpoints, and the fixpoint touches only the region those
+// edges actually unlock instead of re-flooding the whole graph.
+//
+//fpva:allocfree
+func (g *Graph) RelaxWordsInto(reach []uint64, queue []int, inq []bool, starts []int, enabled []uint64) []uint64 {
+	n := g.n
+	reach = reach[:n]
+	if n == 0 {
+		return reach
+	}
+	g.ensureCSR() // no-op unless the graph changed since the last call
+	csrHead, csrTo, csrEdge := g.csrHead, g.csrTo, g.csrEdge
+	queue = queue[:n]
+	inq = inq[:n]
+	for i := range inq {
+		inq[i] = false
+	}
+	head, tail, count := 0, 0, 0
+	for _, s := range starts {
+		if !inq[s] {
+			inq[s] = true
+			queue[tail] = s
+			tail++
+			if tail == n {
+				tail = 0
+			}
+			count++
+		}
+	}
+	for count > 0 {
+		u := queue[head]
+		head++
+		if head == n {
+			head = 0
+		}
+		count--
+		inq[u] = false
+		ru := reach[u]
+		for i, end := csrHead[u], csrHead[u+1]; i < end; i++ {
+			to := csrTo[i]
+			add := ru & enabled[csrEdge[i]] &^ reach[to]
+			if add == 0 {
+				continue
+			}
+			reach[to] |= add
+			if !inq[to] {
+				inq[to] = true
+				queue[tail] = int(to)
+				tail++
+				if tail == n {
+					tail = 0
+				}
+				count++
+			}
+		}
+	}
+	return reach
 }
 
 // Reachable reports whether dst can be reached from src through enabled

@@ -383,3 +383,103 @@ func TestBFSIntoEmptySources(t *testing.T) {
 		}
 	}
 }
+
+// TestBFSWordsMatchesPerLaneBFS pins the word-parallel BFS against 64
+// independent boolean BFS runs on random graphs with random per-edge enable
+// masks: bit k of every node's reach word must equal lane k's scalar
+// reachability.
+func TestBFSWordsMatchesPerLaneBFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(12)
+		g := New(n)
+		m := rng.Intn(3 * n)
+		for e := 0; e < m; e++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n), e)
+		}
+		masks := make([]uint64, g.M())
+		for e := range masks {
+			masks[e] = rng.Uint64()
+		}
+		srcs := []int{rng.Intn(n)}
+		if rng.Intn(2) == 1 {
+			srcs = append(srcs, rng.Intn(n))
+		}
+		seed := rng.Uint64() | 1 // at least one active lane
+		reach := g.BFSWordsInto(make([]uint64, n), make([]int, n), make([]bool, n),
+			srcs, seed, masks)
+		for lane := 0; lane < 64; lane++ {
+			bit := uint64(1) << lane
+			if seed&bit == 0 {
+				// Lanes outside the seed mask must not propagate at all.
+				for v := 0; v < n; v++ {
+					if reach[v]&bit != 0 {
+						t.Fatalf("trial %d lane %d node %d reached outside seed", trial, lane, v)
+					}
+				}
+				continue
+			}
+			via := g.BFSInto(make([]int, n), make([]int, 0, n), srcs,
+				func(e int) bool { return masks[e]&bit != 0 })
+			for v := 0; v < n; v++ {
+				if (reach[v]&bit != 0) != (via[v] != -1) {
+					t.Fatalf("trial %d lane %d node %d: word %v, scalar %v",
+						trial, lane, v, reach[v]&bit != 0, via[v] != -1)
+				}
+			}
+		}
+	}
+}
+
+// TestBFSWordsRequeue forces the fixpoint path: a cycle where each lane
+// enables a different prefix of the ring, so nodes are reached by later
+// frontiers in additional universes and must re-enter the queue.
+func TestBFSWordsRequeue(t *testing.T) {
+	const n = 8
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1, i)
+	}
+	// Edge i conducts in lanes i..63: lane k pressurizes nodes 0..? Edge i
+	// enabled in lane k iff k >= i, so lane k reaches node v iff all edges
+	// 0..v-1 are enabled, i.e. k >= v-1.
+	enabled := make([]uint64, g.M())
+	for e := range enabled {
+		enabled[e] = ^uint64(0) << e
+	}
+	reach := g.BFSWordsInto(make([]uint64, n), make([]int, n), make([]bool, n),
+		[]int{0}, ^uint64(0), enabled)
+	for v := 1; v < n; v++ {
+		want := ^uint64(0) << (v - 1)
+		if reach[v] != want {
+			t.Fatalf("node %d reach %#x, want %#x", v, reach[v], want)
+		}
+	}
+}
+
+// TestBFSWordsEmptyAndSources covers the degenerate shapes: no sources, an
+// empty seed mask, all-zero enable masks, and duplicate sources.
+func TestBFSWordsEmptyAndSources(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 0)
+	open := []uint64{^uint64(0)}
+	reach := g.BFSWordsInto(make([]uint64, 3), make([]int, 3), make([]bool, 3),
+		nil, ^uint64(0), open)
+	for v, r := range reach {
+		if r != 0 {
+			t.Fatalf("no sources: node %d reach %#x", v, r)
+		}
+	}
+	reach = g.BFSWordsInto(reach, make([]int, 3), make([]bool, 3),
+		[]int{0}, 0, open)
+	for v, r := range reach {
+		if r != 0 {
+			t.Fatalf("zero seed: node %d reach %#x", v, r)
+		}
+	}
+	reach = g.BFSWordsInto(reach, make([]int, 3), make([]bool, 3),
+		[]int{2, 2}, ^uint64(0), []uint64{0})
+	if reach[2] != ^uint64(0) || reach[0] != 0 || reach[1] != 0 {
+		t.Fatalf("isolated source: reach %v", reach)
+	}
+}

@@ -14,6 +14,7 @@ package sim
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"runtime"
 	"sort"
@@ -44,10 +45,16 @@ type CampaignConfig struct {
 	LeakPairs [][2]grid.ValveID
 	// OnTrials, when non-nil, observes campaign progress: it receives
 	// strictly increasing completed-trial counts (roughly once per scheduled
-	// trial block) plus a final call at Trials. It is invoked from worker
-	// goroutines under an internal lock, so it must not call back into the
-	// campaign and should return quickly.
+	// trial block). A campaign that completes — any engine, any worker
+	// count — always ends with a final call at (Trials, Trials); a
+	// cancelled campaign reports only the trials actually evaluated. It is
+	// invoked from worker goroutines under an internal lock, so it must not
+	// call back into the campaign and should return quickly.
 	OnTrials func(done, total int)
+	// Engine selects the trial-evaluation engine. The zero value
+	// (EngineAuto) uses the bit-parallel PPSFP engine; results are
+	// bit-identical across engines.
+	Engine CampaignEngine
 }
 
 // CampaignResult summarizes a campaign.
@@ -82,6 +89,26 @@ type CompiledVectors struct {
 	vecs   []*Vector
 	base   [][]bool // fault-free effective state per vector
 	golden [][]bool // fault-free sink readings per vector
+	// baseWords is base broadcast to 64 bit lanes (0 or ^0 per valve), the
+	// starting state of every bit-parallel sweep; baseReach is the matching
+	// broadcast of the fault-free node reachability, the starting point of
+	// incremental propagation for lanes whose faults only open extra valves.
+	baseWords [][]uint64
+	baseReach [][]uint64
+	// edgeWords[i][e] is baseWords[i] read through the edge->valve map: the
+	// fault-free conductance of every graph edge, broadcast to 64 lanes.
+	// A sweep copies it and patches only the faulted valves' edges instead
+	// of re-gathering all of eff per vector.
+	edgeWords [][]uint64
+	// detClosure[i][v/64] bit v%64: closing valve v alone (leaving every
+	// other valve in vector i's fault-free state) changes vector i's
+	// readings; detOpen is the mirror table for opening valve v alone.
+	// Closing valves only ever removes reachability and opening only ever
+	// adds it, so these single-fault tables settle most fault universes
+	// without any propagation — see sweepWord for the monotonicity
+	// argument. A single-stuck-at universe always resolves by lookup.
+	detClosure [][]uint64
+	detOpen    [][]uint64
 }
 
 // Compile precomputes the fault-free effective states and sink readings of
@@ -92,6 +119,12 @@ func (s *Simulator) Compile(vectors []*Vector) *CompiledVectors {
 		vecs:   vectors,
 		base:   make([][]bool, len(vectors)),
 		golden: make([][]bool, len(vectors)),
+
+		baseWords:  make([][]uint64, len(vectors)),
+		baseReach:  make([][]uint64, len(vectors)),
+		edgeWords:  make([][]uint64, len(vectors)),
+		detClosure: make([][]uint64, len(vectors)),
+		detOpen:    make([][]uint64, len(vectors)),
 	}
 	sc := s.getScratch()
 	defer s.putScratch(sc)
@@ -101,8 +134,99 @@ func (s *Simulator) Compile(vectors []*Vector) *CompiledVectors {
 		copy(sc.eff, base)
 		cv.base[i] = base
 		cv.golden[i] = s.readingsInto(sc, make([]bool, len(s.sinkNodes)))
+		words := make([]uint64, len(base))
+		for id, open := range base {
+			if open {
+				words[id] = ^uint64(0)
+			}
+		}
+		cv.baseWords[i] = words
+		ew := make([]uint64, s.g.M())
+		for e, v := range s.edgeValve {
+			ew[e] = words[v]
+		}
+		cv.edgeWords[i] = ew
+		// readingsInto leaves the fault-free BFS tree in sc.via.
+		reach := make([]uint64, s.g.N())
+		for n, v := range sc.via {
+			if v != -1 {
+				reach[n] = ^uint64(0)
+			}
+		}
+		cv.baseReach[i] = reach
 	}
+	cv.compileSingleFaultTables()
 	return cv
+}
+
+// compileSingleFaultTables fills detClosure and detOpen by evaluating, for
+// every vector, the single-valve-flip universes bit-parallel: lane j of
+// chunk c is the universe in which only valve c*64+j is forced closed
+// (resp. open). One word flood per (vector, 64 valves, polarity) answers 64
+// "does this single flip matter?" questions.
+func (cv *CompiledVectors) compileSingleFaultTables() {
+	s := cv.s
+	nv := s.arr.NumValves()
+	chunks := (nv + 63) / 64
+	ws := s.getWordScratch()
+	defer s.putWordScratch(ws)
+	for i := range cv.vecs {
+		detC := make([]uint64, chunks)
+		detO := make([]uint64, chunks)
+		words := cv.baseWords[i]
+		for c := 0; c < chunks; c++ {
+			lo := c * 64
+			hi := lo + 64
+			if hi > nv {
+				hi = nv
+			}
+			// Closure universes: clear lane v-lo on valve v's edges where
+			// the valve is base-open (a closed valve's closure is the
+			// fault-free universe and its lane diff stays zero).
+			copy(ws.edgeEff, cv.edgeWords[i])
+			for v := lo; v < hi; v++ {
+				if words[v] == 0 {
+					continue
+				}
+				bit := uint64(1) << uint(v-lo)
+				for _, e := range s.valveEdges[v] {
+					ws.edgeEff[e] &^= bit
+				}
+			}
+			detC[c] = cv.singleFlipDiff(ws, i)
+			// Open universes: the mirror image on base-closed valves.
+			copy(ws.edgeEff, cv.edgeWords[i])
+			for v := lo; v < hi; v++ {
+				if words[v] != 0 {
+					continue
+				}
+				bit := uint64(1) << uint(v-lo)
+				for _, e := range s.valveEdges[v] {
+					ws.edgeEff[e] |= bit
+				}
+			}
+			detO[c] = cv.singleFlipDiff(ws, i)
+		}
+		cv.detClosure[i] = detC
+		cv.detOpen[i] = detO
+	}
+}
+
+// singleFlipDiff floods ws.edgeEff and returns, per lane, whether the sink
+// readings differ from vector i's golden ones.
+func (cv *CompiledVectors) singleFlipDiff(ws *wordScratch, i int) uint64 {
+	s := cv.s
+	reach := s.g.BFSWordsInto(ws.reach, ws.queue, ws.inq, s.srcNodes, ^uint64(0), ws.edgeEff)
+	diff := uint64(0)
+	golden := cv.golden[i]
+	for j, snk := range s.sinkNodes {
+		g := uint64(0)
+		if golden[j] {
+			g = ^uint64(0)
+		}
+		diff |= reach[snk] ^ g
+	}
+	return diff
 }
 
 // Simulator returns the simulator the vectors were compiled against.
@@ -153,13 +277,18 @@ func (cv *CompiledVectors) DetectingVector(faults []Fault) int {
 	return cv.detectingVector(sc, faults)
 }
 
-// DetectsBatch evaluates many fault sets against the compiled vectors,
-// sharded across workers (<= 0 means runtime.NumCPU()), and reports per set
-// whether it is detected. Results are position-stable regardless of worker
-// count. This is the engine behind the exhaustive double-fault sweep.
+// DetectsBatch evaluates many fault sets against the compiled vectors and
+// reports per set whether it is detected. Fault sets are packed 64 to a
+// word and evaluated bit-parallel (PPSFP); words are sharded across workers
+// (<= 0 means runtime.NumCPU()). Results are position-stable regardless of
+// worker count. This is the engine behind the exhaustive single- and
+// double-fault sweeps.
 //
-// Cancelling ctx stops the sweep promptly; the partial output is returned
-// together with ctx.Err().
+// Cancelling ctx stops the sweep promptly. The returned slice is then
+// trimmed to the longest fully-evaluated prefix (possibly empty) and
+// returned together with ctx.Err(), so callers can tell evaluated entries
+// from never-evaluated ones; on a nil error it always has len(faultSets)
+// entries.
 func (cv *CompiledVectors) DetectsBatch(ctx context.Context, faultSets [][]Fault, workers int) ([]bool, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -168,38 +297,73 @@ func (cv *CompiledVectors) DetectsBatch(ctx context.Context, faultSets [][]Fault
 	if len(faultSets) == 0 {
 		return out, ctx.Err()
 	}
+	nWords := (len(faultSets) + 63) / 64
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	if workers > len(faultSets) {
-		workers = len(faultSets)
+	if workers > nWords {
+		workers = nWords
 	}
+	// done is indexed by word; each entry is written by the single worker
+	// that claimed the word, and read only after the WaitGroup barrier.
+	done := make([]bool, nWords)
 	var next atomic.Int64
 	run := func() {
-		sc := cv.s.getScratch()
-		defer cv.s.putScratch(sc)
+		ws := cv.s.getWordScratch()
+		defer cv.s.putWordScratch(ws)
 		for ctx.Err() == nil {
-			i := int(next.Add(1)) - 1
-			if i >= len(faultSets) {
+			w := int(next.Add(1)) - 1
+			if w >= nWords {
 				return
 			}
-			out[i] = cv.detectingVector(sc, faultSets[i]) >= 0
+			start := w * 64
+			n := len(faultSets) - start
+			if n > 64 {
+				n = 64
+			}
+			cv.sweepWord(ws, faultSets[start:start+n], laneMask(n))
+			for lane := 0; lane < n; lane++ {
+				out[start+lane] = ws.firstIdx[lane] >= 0
+			}
+			done[w] = true
 		}
 	}
 	if workers == 1 {
 		run()
-		return out, ctx.Err()
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				run()
+			}()
+		}
+		wg.Wait()
 	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			run()
-		}()
+	if err := ctx.Err(); err != nil {
+		evaluated := 0
+		for w := 0; w < nWords && done[w]; w++ {
+			evaluated = (w + 1) * 64
+		}
+		if evaluated > len(faultSets) {
+			evaluated = len(faultSets)
+		}
+		return out[:evaluated], err
 	}
-	wg.Wait()
-	return out, ctx.Err()
+	return out, nil
+}
+
+// detectsBatchScalar is the one-universe-at-a-time reference implementation
+// of DetectsBatch, kept for differential tests against the word engine.
+func (cv *CompiledVectors) detectsBatchScalar(faultSets [][]Fault) []bool {
+	sc := cv.s.getScratch()
+	defer cv.s.putScratch(sc)
+	out := make([]bool, len(faultSets))
+	for i, fs := range faultSets {
+		out[i] = cv.detectingVector(sc, fs) >= 0
+	}
+	return out
 }
 
 // RunCampaign injects cfg.NumFaults random faults per trial (stuck-at-0 or
@@ -216,100 +380,86 @@ func (s *Simulator) RunCampaign(ctx context.Context, vectors []*Vector, cfg Camp
 // Cancelling ctx stops the campaign promptly: all workers drain, and the
 // partial result (Trials reflecting only the trials actually evaluated) is
 // returned together with ctx.Err(). A completed campaign is bit-identical
-// for any worker count.
+// for any worker count and for either engine: every trial's fault draw
+// depends only on (Seed, trial index), and the bit-parallel engine
+// reproduces the scalar engine's per-trial first-detecting vector exactly.
 func (cv *CompiledVectors) RunCampaign(ctx context.Context, cfg CampaignConfig) (CampaignResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	res := CampaignResult{Trials: cfg.Trials}
 	if cfg.Trials <= 0 {
-		return res, ctx.Err()
+		return CampaignResult{Trials: cfg.Trials}, ctx.Err()
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.NumCPU()
+	switch cfg.Engine {
+	case EngineAuto, EngineBitParallel:
+		return cv.runCampaignWords(ctx, cfg)
+	case EngineScalar:
+		return cv.runCampaignScalar(ctx, cfg)
 	}
-	if workers > cfg.Trials {
-		workers = cfg.Trials
-	}
+	return CampaignResult{}, fmt.Errorf("sim: unknown campaign engine %d", int(cfg.Engine))
+}
+
+// escape is one undetected trial, recorded for the Escapes cap.
+type escape struct {
+	trial  int
+	faults []Fault
+}
+
+// campaignState is the cross-worker bookkeeping a campaign engine shares:
+// atomic tallies, the escape merge lock, and the serialized OnTrials
+// progress stream.
+type campaignState struct {
+	cfg        CampaignConfig
+	maxEscapes int
+	next       atomic.Int64 // block / word claim counter
+	detected   atomic.Int64
+	sims       atomic.Int64
+	completed  atomic.Int64
+	mu         sync.Mutex
+	escapes    []escape
+	progMu     sync.Mutex
+	progLast   int
+}
+
+func newCampaignState(cfg CampaignConfig) *campaignState {
 	maxEscapes := cfg.MaxEscapes
 	if maxEscapes <= 0 {
 		maxEscapes = DefaultMaxEscapes
 	}
-	normal := cv.s.arr.NormalValves()
-	type escape struct {
-		trial  int
-		faults []Fault
+	return &campaignState{cfg: cfg, maxEscapes: maxEscapes}
+}
+
+// report delivers a progress callback if the completed count advanced;
+// counts are strictly increasing under progMu.
+func (st *campaignState) report() {
+	if st.cfg.OnTrials == nil {
+		return
 	}
-	// Workers claim trial-index blocks from a shared counter. Each block is
-	// big enough to amortize the contended add, small enough to balance load
-	// at the tail (and to bound cancellation latency to one block).
-	const block = 32
-	var (
-		next      atomic.Int64
-		detected  atomic.Int64
-		sims      atomic.Int64
-		completed atomic.Int64
-		mu        sync.Mutex
-		escapes   []escape
-		progMu    sync.Mutex
-		progLast  int
-	)
-	report := func() {
-		if cfg.OnTrials == nil {
-			return
-		}
-		done := int(completed.Load())
-		progMu.Lock()
-		if done > progLast {
-			progLast = done
-			cfg.OnTrials(done, cfg.Trials)
-		}
-		progMu.Unlock()
+	done := int(st.completed.Load())
+	st.progMu.Lock()
+	if done > st.progLast {
+		st.progLast = done
+		st.cfg.OnTrials(done, st.cfg.Trials)
 	}
-	worker := func() {
-		sc := cv.s.getScratch()
-		defer cv.s.putScratch(sc)
-		rng := rand.New(&splitmix64{})
-		fs := newFaultScratch(normal, cfg)
-		var det, sim int64
-		var local []escape
-		for ctx.Err() == nil {
-			start := int(next.Add(block)) - block
-			if start >= cfg.Trials {
-				break
-			}
-			end := start + block
-			if end > cfg.Trials {
-				end = cfg.Trials
-			}
-			for trial := start; trial < end; trial++ {
-				rng.Seed(trialSeed(cfg.Seed, trial))
-				faults := randomFaultsInto(rng, normal, cfg, fs)
-				if idx := cv.detectingVector(sc, faults); idx >= 0 {
-					det++
-					sim += int64(idx) + 1
-				} else {
-					sim += int64(len(cv.vecs))
-					if len(local) < maxEscapes {
-						// A worker's trials ascend, so its first maxEscapes
-						// escapes are a superset of its share of the global
-						// ones. Escapes outlive the scratch: copy.
-						local = append(local, escape{trial, append([]Fault(nil), faults...)})
-					}
-				}
-			}
-			completed.Add(int64(end - start))
-			report()
-		}
-		detected.Add(det)
-		sims.Add(sim)
-		if len(local) > 0 {
-			mu.Lock()
-			escapes = append(escapes, local...)
-			mu.Unlock()
-		}
+	st.progMu.Unlock()
+}
+
+// merge folds one worker's tallies and escape list into the shared state.
+func (st *campaignState) merge(det, sims int64, local []escape) {
+	st.detected.Add(det)
+	st.sims.Add(sims)
+	if len(local) > 0 {
+		st.mu.Lock()
+		st.escapes = append(st.escapes, local...)
+		st.mu.Unlock()
 	}
+}
+
+// run shards the worker function, then pins the documented final OnTrials
+// call at (Trials, Trials): completion does not depend on which worker
+// happened to win the progress race. It assembles the deterministic result
+// (escapes sorted by trial index, truncated to the cap).
+func (st *campaignState) run(ctx context.Context, workers int, worker func()) (CampaignResult, error) {
 	if workers == 1 {
 		worker()
 	} else {
@@ -323,20 +473,141 @@ func (cv *CompiledVectors) RunCampaign(ctx context.Context, cfg CampaignConfig) 
 		}
 		wg.Wait()
 	}
-	res.Detected = int(detected.Load())
-	res.Sims = int(sims.Load())
-	sort.Slice(escapes, func(i, j int) bool { return escapes[i].trial < escapes[j].trial })
-	if len(escapes) > maxEscapes {
-		escapes = escapes[:maxEscapes]
+	res := CampaignResult{
+		Trials:   st.cfg.Trials,
+		Detected: int(st.detected.Load()),
+		Sims:     int(st.sims.Load()),
 	}
-	for _, e := range escapes {
+	sort.Slice(st.escapes, func(i, j int) bool { return st.escapes[i].trial < st.escapes[j].trial })
+	if len(st.escapes) > st.maxEscapes {
+		st.escapes = st.escapes[:st.maxEscapes]
+	}
+	for _, e := range st.escapes {
 		res.Escapes = append(res.Escapes, e.faults)
 	}
 	if err := ctx.Err(); err != nil {
-		res.Trials = int(completed.Load())
+		res.Trials = int(st.completed.Load())
 		return res, err
 	}
+	st.report() // the guaranteed final (Trials, Trials) call
 	return res, nil
+}
+
+// campaignWorkerCount resolves cfg.Workers against the number of
+// schedulable units (trials or 64-trial words).
+func campaignWorkerCount(cfg CampaignConfig, units int) int {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > units {
+		workers = units
+	}
+	return workers
+}
+
+// runCampaignScalar evaluates one trial at a time (EngineScalar), the
+// differential reference for the bit-parallel engine.
+func (cv *CompiledVectors) runCampaignScalar(ctx context.Context, cfg CampaignConfig) (CampaignResult, error) {
+	st := newCampaignState(cfg)
+	normal := cv.s.arr.NormalValves()
+	// Workers claim trial-index blocks from a shared counter. Each block is
+	// big enough to amortize the contended add, small enough to balance load
+	// at the tail (and to bound cancellation latency to one block).
+	const block = 32
+	worker := func() {
+		sc := cv.s.getScratch()
+		defer cv.s.putScratch(sc)
+		rng := rand.New(&splitmix64{})
+		fs := newFaultScratch(normal, cfg)
+		var det, sims int64
+		var local []escape
+		for ctx.Err() == nil {
+			start := int(st.next.Add(block)) - block
+			if start >= cfg.Trials {
+				break
+			}
+			end := start + block
+			if end > cfg.Trials {
+				end = cfg.Trials
+			}
+			for trial := start; trial < end; trial++ {
+				rng.Seed(trialSeed(cfg.Seed, trial))
+				faults := randomFaultsInto(rng, normal, cfg, fs)
+				if idx := cv.detectingVector(sc, faults); idx >= 0 {
+					det++
+					sims += int64(idx) + 1
+				} else {
+					sims += int64(len(cv.vecs))
+					if len(local) < st.maxEscapes {
+						// A worker's trials ascend, so its first maxEscapes
+						// escapes are a superset of its share of the global
+						// ones. Escapes outlive the scratch: copy.
+						local = append(local, escape{trial, append([]Fault(nil), faults...)})
+					}
+				}
+			}
+			st.completed.Add(int64(end - start))
+			st.report()
+		}
+		st.merge(det, sims, local)
+	}
+	return st.run(ctx, campaignWorkerCount(cfg, cfg.Trials), worker)
+}
+
+// runCampaignWords is the bit-parallel (PPSFP) engine: workers claim whole
+// 64-trial words, draw the word's fault universes with the same
+// (Seed, trial) SplitMix64 seeding as the scalar engine, and evaluate all
+// 64 in one sweep per vector. The final partial word is the remainder
+// block; its unused lanes are masked out of the sweep.
+func (cv *CompiledVectors) runCampaignWords(ctx context.Context, cfg CampaignConfig) (CampaignResult, error) {
+	st := newCampaignState(cfg)
+	normal := cv.s.arr.NormalValves()
+	nWords := (cfg.Trials + 63) / 64
+	worker := func() {
+		ws := cv.s.getWordScratch()
+		defer cv.s.putWordScratch(ws)
+		rng := rand.New(&splitmix64{})
+		fb := newWordFaultScratch(normal, cfg)
+		var det, sims int64
+		var local []escape
+		for ctx.Err() == nil {
+			w := int(st.next.Add(1)) - 1
+			if w >= nWords {
+				break
+			}
+			start := w * 64
+			n := cfg.Trials - start
+			if n > 64 {
+				n = 64
+			}
+			for lane := 0; lane < n; lane++ {
+				rng.Seed(trialSeed(cfg.Seed, start+lane))
+				drawn := randomFaultsInto(rng, normal, cfg, fb.fs)
+				fb.lanes[lane] = append(fb.lanes[lane][:0], drawn...)
+			}
+			cv.sweepWord(ws, fb.lanes[:n], laneMask(n))
+			for lane := 0; lane < n; lane++ {
+				if idx := ws.firstIdx[lane]; idx >= 0 {
+					det++
+					sims += int64(idx) + 1
+				} else {
+					sims += int64(len(cv.vecs))
+					if len(local) < st.maxEscapes {
+						// Lanes ascend within a word and a worker's words
+						// ascend, so like the scalar engine its first
+						// maxEscapes escapes cover its share of the global
+						// cap. Escapes outlive the lane scratch: copy.
+						local = append(local, escape{start + lane, append([]Fault(nil), fb.lanes[lane]...)})
+					}
+				}
+			}
+			st.completed.Add(int64(n))
+			st.report()
+		}
+		st.merge(det, sims, local)
+	}
+	return st.run(ctx, campaignWorkerCount(cfg, nWords), worker)
 }
 
 // trialSeed mixes the campaign seed and a trial index into an RNG seed

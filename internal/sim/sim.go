@@ -132,15 +132,19 @@ func (f Fault) String() string {
 // so the inner loop of a campaign allocates nothing; all methods are safe
 // for concurrent use.
 type Simulator struct {
-	arr       *grid.Array
-	g         *graph.Graph
-	srcNodes  []int
-	sinkNodes []int
-	sinkNames []string
-	edgeValve []int // graph edge index -> valve ID
-	effBase   []bool
-	normalIDs []int
-	scratches sync.Pool
+	arr           *grid.Array
+	g             *graph.Graph
+	srcNodes      []int
+	sinkNodes     []int
+	sinkNames     []string
+	edgeValve     []int   // graph edge index -> valve ID
+	valveEdges    [][]int // valve ID -> graph edge indices (word-engine seeding)
+	valveEnds     [][]int // valve ID -> its edges' endpoint nodes, flattened
+	effBase       []bool
+	normalIDs     []int
+	isNormal      []bool // valve ID -> Kind == Normal (hot-path kind guard)
+	scratches     sync.Pool
+	wordScratches sync.Pool
 }
 
 // New builds a simulator for the array. The array must Validate.
@@ -182,8 +186,12 @@ func New(a *grid.Array) (*Simulator, error) {
 		}
 	}
 	s.edgeValve = make([]int, g.M())
+	s.valveEdges = make([][]int, a.NumValves())
+	s.valveEnds = make([][]int, a.NumValves())
 	for e, ed := range g.Edges() {
 		s.edgeValve[e] = ed.Label
+		s.valveEdges[ed.Label] = append(s.valveEdges[ed.Label], e)
+		s.valveEnds[ed.Label] = append(s.valveEnds[ed.Label], ed.U, ed.V)
 	}
 	// Template for effIntoBase: the physical state with every Normal valve
 	// commanded closed. Overlaying a command vector is then one copy plus a
@@ -196,10 +204,13 @@ func New(a *grid.Array) (*Simulator, error) {
 		}
 	}
 	s.normalIDs = make([]int, 0, a.NumNormal())
+	s.isNormal = make([]bool, a.NumValves())
 	for _, v := range a.NormalValves() {
 		s.normalIDs = append(s.normalIDs, int(v))
+		s.isNormal[v] = true
 	}
 	s.scratches.New = func() any { return s.newScratch() }
+	s.wordScratches.New = func() any { return s.newWordScratch() }
 	return s, nil
 }
 
@@ -265,8 +276,15 @@ func (s *Simulator) effIntoBase(eff []bool, vec *Vector) {
 func (s *Simulator) applyFaults(eff []bool, vec *Vector, faults []Fault) bool {
 	changed := false
 	// Control leakage first: commanded closure propagates to the partner.
+	// Like the stuck-at branches below, the fault is meaningful only on
+	// Normal valves: Channel/PortOpen edges have no control channel to leak
+	// (and Walls no flow), so a malformed fault naming one must not force an
+	// always-open edge closed.
 	for _, f := range faults {
 		if f.Kind != ControlLeak {
+			continue
+		}
+		if s.arr.Kind(f.A) != grid.Normal || s.arr.Kind(f.B) != grid.Normal {
 			continue
 		}
 		if !vec.open[f.A] || !vec.open[f.B] {
@@ -453,7 +471,19 @@ func (s *Simulator) VerifyPathVector(vec *Vector) error {
 		if a.Kind(vid) != grid.Normal || !vec.open[id] {
 			continue
 		}
-		if u, _ := a.EdgeCells(vid); via[int(u)] == -1 {
+		// An open valve conducts, so its two endpoints are pressurized
+		// together; check whichever cells exist (NoCell marks the chip
+		// exterior on boundary-adjacent edges) so the scan stays safe if a
+		// boundary Normal valve ever appears.
+		u, w := a.EdgeCells(vid)
+		pressurized := u == grid.NoCell && w == grid.NoCell
+		if u != grid.NoCell && via[int(u)] != -1 {
+			pressurized = true
+		}
+		if w != grid.NoCell && via[int(w)] != -1 {
+			pressurized = true
+		}
+		if !pressurized {
 			return fmt.Errorf("sim: path vector %q loops or is split: open valve %d is not pressurized from any source", vec.Name, id)
 		}
 	}

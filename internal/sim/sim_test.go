@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -412,5 +413,79 @@ func TestStrings(t *testing.T) {
 	f := Fault{Kind: ControlLeak, A: 1, B: 2}
 	if f.String() != "control-leak(1,2)" {
 		t.Errorf("fault string %q", f.String())
+	}
+}
+
+// TestControlLeakIgnoresNonNormalValves pins the fault-model guard: a
+// ControlLeak naming a Channel or PortOpen valve on either side is
+// physically meaningless (those edges have no control channel) and must not
+// force an always-open edge closed through the public Readings/Detects
+// surface.
+func TestControlLeakIgnoresNonNormalValves(t *testing.T) {
+	a := grid.MustNewStandard(1, 4)
+	if _, err := a.SetChannelH(0, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	s := MustNew(a)
+	normal := a.HValve(0, 1)  // the only remaining Normal valve
+	channel := a.HValve(0, 2) // transportation channel, always open
+	port := a.HValve(0, 0)    // source port edge, always open
+	vec := NewVector(a, FlowPath, "via-channel")
+	vec.SetOpen(normal, true)
+	base := s.Readings(vec, nil)
+	if len(base) != 1 || !base[0] {
+		t.Fatalf("fault-free readings %v, want [true]", base)
+	}
+	for _, faults := range [][]Fault{
+		{{Kind: ControlLeak, A: channel, B: normal}},
+		{{Kind: ControlLeak, A: normal, B: channel}},
+		{{Kind: ControlLeak, A: port, B: normal}},
+		{{Kind: ControlLeak, A: channel, B: port}},
+	} {
+		if got := s.Readings(vec, faults); !got[0] {
+			t.Errorf("leak %v force-closed a non-Normal valve: readings %v", faults[0], got)
+		}
+		if s.Detects([]*Vector{vec}, faults) {
+			t.Errorf("leak %v on a non-Normal valve must be undetectable", faults[0])
+		}
+	}
+	// The guard must not weaken real leaks: both partners Normal still trips.
+	a2 := grid.MustNewStandard(3, 3)
+	s2 := MustNew(a2)
+	vec2 := lPath(a2)
+	real := []Fault{{Kind: ControlLeak, A: a2.VValve(1, 0), B: a2.HValve(0, 1)}}
+	if got := s2.Readings(vec2, real); got[0] {
+		t.Error("Normal-Normal leak no longer closes its partner")
+	}
+}
+
+// TestVerifyPathVectorSplitSegmentBothEndpoints exercises the loop/split
+// error through the endpoint-pressurization scan: a degree-valid segment
+// whose both termini are channel cells, disconnected from every source,
+// must be rejected even though the degree and terminus checks pass.
+func TestVerifyPathVectorSplitSegmentBothEndpoints(t *testing.T) {
+	a := grid.MustNewStandard(4, 4)
+	// Channel along row 3, cells (3,0)..(3,2): term cells away from the path.
+	if _, err := a.SetChannelH(3, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	s := MustNew(a)
+	split := lPath(a)
+	// Detached U: (3,0)-(2,0)-(2,1)-(3,1). Interior cells have degree 2 and
+	// both degree-1 ends sit on channel cells, so only the pressurization
+	// scan can catch it.
+	split.SetOpen(a.VValve(3, 0), true)
+	split.SetOpen(a.HValve(2, 1), true)
+	split.SetOpen(a.VValve(3, 1), true)
+	err := s.VerifyPathVector(split)
+	if err == nil {
+		t.Fatal("split segment accepted")
+	}
+	if want := "loops or is split"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not mention %q", err, want)
+	}
+	// The valid L path alone still verifies on the channel-bearing array.
+	if err := s.VerifyPathVector(lPath(a)); err != nil {
+		t.Fatalf("valid path rejected: %v", err)
 	}
 }
