@@ -4,9 +4,9 @@ GO ?= go
 
 # Where `make bench-json` records the benchmark suite (bumped per PR so the
 # repo keeps its performance trajectory).
-BENCH_OUT ?= BENCH_pr7.json
+BENCH_OUT ?= BENCH_pr8.json
 # The previous recording, for `make bench-diff`.
-BENCH_PREV ?= BENCH_pr5.json
+BENCH_PREV ?= BENCH_pr7.json
 
 all: check
 
@@ -75,6 +75,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzSolve -fuzztime 10s ./internal/lp
 	$(GO) test -run '^$$' -fuzz FuzzModelSolve -fuzztime 10s ./internal/ilp
 	$(GO) test -run '^$$' -fuzz FuzzDecodePlan -fuzztime 10s ./fpva
+	$(GO) test -run '^$$' -fuzz FuzzDecodeDiagnosis -fuzztime 10s ./fpva
 
 # End-to-end daemon smoke: boot fpvad, submit a 4x4 generate job, stream
 # progress, fetch the plan, prove the upload round trip is bit-identical.

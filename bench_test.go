@@ -8,6 +8,8 @@ package repro
 //	BenchmarkCampaign_*       Sec. IV   (random fault injection, 1..5 faults)
 //	BenchmarkBaseline_*       Sec. IV   (one-valve-at-a-time comparison)
 //	BenchmarkTwoFaultExhaustive  Sec. III guarantee (exhaustive pairs)
+//	BenchmarkDiagnose_*       adaptive fault diagnosis (signature compile
+//	                          + closed-loop probes-to-isolation)
 //	BenchmarkAblation_*       engine ablations called out in DESIGN.md
 //
 // Vector counts and detection rates are attached as custom metrics so the
@@ -21,6 +23,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/cutset"
+	"repro/internal/diagnose"
 	"repro/internal/flowpath"
 	"repro/internal/grid"
 	"repro/internal/ilp"
@@ -244,6 +247,97 @@ func BenchmarkTwoFaultExhaustive(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(escapes)), "escaped_pairs")
+}
+
+// Adaptive diagnosis (DESIGN.md "Diagnosis architecture"): the signature
+// table compile, and the closed loop — every single stuck-at fault played
+// as the hidden defect, probes answered from the table itself.
+func benchDiagnoseSetup(b *testing.B, name string) (*core.TestSet, *sim.CompiledVectors, diagnose.Options) {
+	b.Helper()
+	c, err := bench.FindCase(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts, err := bench.Row(context.Background(), c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cv, err := ts.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := diagnose.Options{Workers: 1}
+	for _, lp := range ts.LeakPairs {
+		opt.LeakPairs = append(opt.LeakPairs, [2]grid.ValveID{lp[0], lp[1]})
+	}
+	return ts, cv, opt
+}
+
+func benchDiagnoseCompile(b *testing.B, name string) {
+	_, cv, opt := benchDiagnoseSetup(b, name)
+	var sg *diagnose.Signatures
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sg, err = diagnose.Compile(context.Background(), cv, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(sg.NumCandidates()), "candidates")
+}
+
+func BenchmarkDiagnose_Compile_5x5(b *testing.B)   { benchDiagnoseCompile(b, "5x5") }
+func BenchmarkDiagnose_Compile_10x10(b *testing.B) { benchDiagnoseCompile(b, "10x10") }
+
+func benchDiagnoseClosedLoop(b *testing.B, name string, planner diagnose.Planner) {
+	ts, cv, opt := benchDiagnoseSetup(b, name)
+	sg, err := diagnose.Compile(context.Background(), cv, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nSingles := len(sim.AllSingleFaults(ts.Array))
+	readings := make([]bool, sg.Sinks())
+	totalProbes := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		totalProbes = 0
+		// Candidate indices 1..nSingles are exactly the single stuck-at
+		// faults; the table itself answers the probes.
+		for c := 1; c <= nSingles; c++ {
+			sess := diagnose.NewSession(sg, planner)
+			for {
+				v, err := sess.NextProbe(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if v < 0 {
+					break
+				}
+				for j := range readings {
+					readings[j] = sg.Expected(c, v, j)
+				}
+				if err := sess.Observe(v, readings); err != nil {
+					b.Fatal(err)
+				}
+				totalProbes++
+			}
+			if !sess.Done() {
+				b.Fatalf("candidate %d not isolated", c)
+			}
+		}
+	}
+	b.ReportMetric(float64(totalProbes)/float64(nSingles), "probes/fault")
+}
+
+func BenchmarkDiagnose_ClosedLoop_5x5(b *testing.B) {
+	benchDiagnoseClosedLoop(b, "5x5", diagnose.PlannerGreedy)
+}
+func BenchmarkDiagnose_ClosedLoop_10x10(b *testing.B) {
+	benchDiagnoseClosedLoop(b, "10x10", diagnose.PlannerGreedy)
+}
+func BenchmarkDiagnose_ClosedLoop_5x5_ILP(b *testing.B) {
+	benchDiagnoseClosedLoop(b, "5x5", diagnose.PlannerILP)
 }
 
 // Ablation: the serpentine engine versus the paper's iterative ILP model on

@@ -12,12 +12,13 @@
 //
 // API (all payloads JSON; plans and arrays use the v1 wire format):
 //
-//	POST /v1/jobs                submit {"kind":"generate"|"campaign"|"verify", ...}
+//	POST /v1/jobs                submit {"kind":"generate"|"campaign"|"verify"|"diagnose", ...}
 //	GET  /v1/jobs                list jobs
 //	GET  /v1/jobs/{id}           job status
 //	POST /v1/jobs/{id}/cancel    cancel a job
 //	GET  /v1/jobs/{id}/events    NDJSON progress stream (replays, then follows)
-//	GET  /v1/jobs/{id}/result    generate: the plan; campaign/verify: a report
+//	GET  /v1/jobs/{id}/result    generate: the plan; campaign/verify: a report;
+//	                             diagnose: the diagnosis in the v1 wire format
 //	GET  /v1/jobs/{id}/plan      the job's plan (result or submitted input)
 //	GET  /v1/stats               service counters
 //	GET  /healthz                liveness
@@ -225,8 +226,23 @@ func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 		CacheEntries: st.CacheEntries, CacheBytes: st.CacheBytes, CacheCapBytes: st.CacheCapBytes,
 		Solves: st.Solves, SolverWallNs: st.SolverWall.Nanoseconds(),
 		Campaigns: st.Campaigns, CampaignWallNs: st.CampaignWall.Nanoseconds(),
-		Verifies: st.Verifies,
+		Verifies:  st.Verifies,
+		Diagnoses: st.Diagnoses, DiagnoseWallNs: st.DiagnoseWall.Nanoseconds(),
+		SigCacheHits: st.SigCacheHits, SigCacheMisses: st.SigCacheMisses,
+		Kinds: kindStats(st.Kinds),
 	})
+}
+
+// kindStats converts the per-kind tallies onto their wire mirror.
+func kindStats(in map[string]fpva.JobKindStats) map[string]api.KindStats {
+	if len(in) == 0 {
+		return nil
+	}
+	out := make(map[string]api.KindStats, len(in))
+	for k, v := range in {
+		out[k] = api.KindStats{Submitted: v.Submitted, Done: v.Done, Failed: v.Failed, Canceled: v.Canceled}
+	}
+	return out
 }
 
 func (s *server) submit(w http.ResponseWriter, r *http.Request) {
@@ -250,10 +266,10 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 	switch req.Kind {
 	case "generate":
 		job, err = s.submitGenerate(req)
-	case "campaign", "verify":
+	case "campaign", "verify", "diagnose":
 		job, err = s.submitPlanJob(req)
 	default:
-		err = fmt.Errorf("unknown job kind %q (want generate, campaign or verify)", req.Kind)
+		err = fmt.Errorf("unknown job kind %q (want generate, campaign, verify or diagnose)", req.Kind)
 	}
 	if err != nil {
 		httpError(w, statusForSubmitError(err), err)
@@ -328,6 +344,9 @@ func (s *server) submitPlanJob(req api.SubmitRequest) (*fpva.Job, error) {
 		}
 		return s.svc.SubmitVerify(context.Background(), plan, maxPairs)
 	}
+	if req.Kind == "diagnose" {
+		return s.submitDiagnose(plan, req.Diagnose)
+	}
 	var opts []fpva.CampaignOption
 	if p := req.Campaign; p != nil {
 		if p.Trials > 0 {
@@ -350,6 +369,46 @@ func (s *server) submitPlanJob(req api.SubmitRequest) (*fpva.Job, error) {
 		}
 	}
 	return s.svc.SubmitCampaign(context.Background(), plan, opts...)
+}
+
+// submitDiagnose maps the wire params onto fpva diagnose options and
+// submits the job. Observation readings are already fresh slices from the
+// JSON decode, so the service's own deep copy is the only one retained.
+func (s *server) submitDiagnose(plan *fpva.Plan, p *api.DiagnoseParams) (*fpva.Job, error) {
+	var obs []fpva.Observation
+	var opts []fpva.DiagnoseOption
+	if p != nil {
+		for _, o := range p.Observations {
+			obs = append(obs, fpva.Observation{Vector: o.Vector, Readings: o.Readings})
+		}
+		if p.Planner != "" {
+			pl, err := fpva.ParseProbePlanner(p.Planner)
+			if err != nil {
+				return nil, err
+			}
+			opts = append(opts, fpva.WithProbePlanner(pl))
+		}
+		if p.Engine != "" {
+			eng, err := fpva.ParseCampaignEngine(p.Engine)
+			if err != nil {
+				return nil, err
+			}
+			opts = append(opts, fpva.WithDiagnoseEngine(eng))
+		}
+		if p.Workers > 0 {
+			opts = append(opts, fpva.WithDiagnoseWorkers(p.Workers))
+		}
+		if p.Budget > 0 {
+			opts = append(opts, fpva.WithProbeBudget(p.Budget))
+		}
+		if p.MaxDoubles > 0 {
+			opts = append(opts, fpva.WithDoubleFaultCandidates(p.MaxDoubles))
+		}
+		if p.NoLeaks {
+			opts = append(opts, fpva.WithoutLeakCandidates())
+		}
+	}
+	return s.svc.SubmitDiagnose(context.Background(), plan, obs, opts...)
 }
 
 func (s *server) list(w http.ResponseWriter, r *http.Request) {
@@ -476,6 +535,24 @@ func (s *server) result(w http.ResponseWriter, r *http.Request) {
 				[2]api.Fault{api.FaultStatus(pair[0]), api.FaultStatus(pair[1])})
 		}
 		writeJSON(w, http.StatusOK, rep)
+	case fpva.JobDiagnose:
+		d, err := j.Diagnosis()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		// Serve the diagnosis in its v1 wire format (like /plan serves
+		// plans): curl output is DecodeDiagnosis-ready with no daemon-side
+		// re-shaping to drift from the codec.
+		var buf bytes.Buffer
+		if err := fpva.EncodeDiagnosis(&buf, d); err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Length", fmt.Sprint(buf.Len()))
+		w.WriteHeader(http.StatusOK)
+		w.Write(buf.Bytes())
 	}
 }
 

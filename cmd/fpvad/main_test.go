@@ -260,6 +260,132 @@ func TestVerifyJob(t *testing.T) {
 	}
 }
 
+// TestDiagnoseJob drives the closed-loop diagnose kind over HTTP: submit
+// a plan plus one faulty observation, stream the diagnose ticks, and
+// decode the wire diagnosis from the result endpoint.
+func TestDiagnoseJob(t *testing.T) {
+	srv, _ := newTestServer(t)
+	a, err := fpva.NewArray(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := fpva.Generate(context.Background(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire bytes.Buffer
+	if err := fpva.EncodePlan(&wire, plan); err != nil {
+		t.Fatal(err)
+	}
+
+	// Play the technician: measure vector 0 on a device with a hidden
+	// stuck-at-0 fault.
+	hidden := []fpva.Fault{{Kind: fpva.StuckAt0, A: plan.Vectors()[0].Open[0]}}
+	sim, err := a.NewSimulator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0 := a.NewVector(plan.Vectors()[0].Name)
+	for _, e := range plan.Vectors()[0].Open {
+		if err := v0.SetOpen(e, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	readings, err := sim.Readings(v0, hidden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := json.Marshal(readings)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	code, b := postJSON(t, srv.URL+"/v1/jobs", fmt.Sprintf(
+		`{"kind":"diagnose","plan":%s,"diagnose":{"observations":[{"vector":0,"readings":%s}],"planner":"greedy"}}`,
+		wire.String(), rb))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, b)
+	}
+	var j api.Job
+	if err := json.Unmarshal(b, &j); err != nil {
+		t.Fatal(err)
+	}
+	if j.Kind != "diagnose" {
+		t.Fatalf("submit response %+v", j)
+	}
+	if got := waitDone(t, srv.URL, j.ID); got.State != "done" {
+		t.Fatalf("diagnose job: %+v", got)
+	}
+
+	// The event stream carries one diagnose tick per observation.
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + j.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	ticks := 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var e api.Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatal(err)
+		}
+		if e.Event == "diagnose-tick" {
+			ticks++
+			if e.Round != 1 || e.Ambiguity <= 0 {
+				t.Errorf("diagnose tick %+v", e)
+			}
+		}
+	}
+	if ticks != 1 {
+		t.Errorf("streamed %d diagnose ticks, want 1", ticks)
+	}
+
+	code, b = getBody(t, srv.URL+"/v1/jobs/"+j.ID+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("result: %d %s", code, b)
+	}
+	d, err := fpva.DecodeDiagnosis(bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("result is not a v1 diagnosis: %v", err)
+	}
+	if !d.Consistent || d.FaultFree {
+		t.Errorf("diagnosis consistent=%t faultFree=%t", d.Consistent, d.FaultFree)
+	}
+	found := false
+	for _, fs := range d.Ambiguity {
+		if len(fs) == 1 && fs[0] == hidden[0] {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("hidden fault %v missing from ambiguity set %v", hidden[0], d.Ambiguity)
+	}
+
+	// Stats surface the diagnose counters and per-kind tallies.
+	code, b = getBody(t, srv.URL+"/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats: %d %s", code, b)
+	}
+	var st api.ServiceStats
+	if err := json.Unmarshal(b, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Diagnoses != 1 || st.SigCacheMisses != 1 {
+		t.Errorf("diagnose stats %+v", st)
+	}
+	if ks := st.Kinds["diagnose"]; ks.Submitted != 1 || ks.Done != 1 {
+		t.Errorf("per-kind stats %+v", st.Kinds)
+	}
+
+	// Unknown planner names are a 400 at submit time.
+	code, b = postJSON(t, srv.URL+"/v1/jobs",
+		fmt.Sprintf(`{"kind":"diagnose","plan":%s,"diagnose":{"planner":"psychic"}}`, wire.String()))
+	if code != http.StatusBadRequest {
+		t.Errorf("bad planner: %d %s", code, b)
+	}
+}
+
 // TestSubmitErrors: malformed submissions map to 400 with a JSON error,
 // unknown jobs to 404, unfinished results to 409.
 func TestSubmitErrors(t *testing.T) {

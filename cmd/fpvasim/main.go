@@ -13,6 +13,15 @@
 //	fpvasim -case 5x5 -leaks                      include control-leak faults
 //	fpvasim -case 5x5 -baseline                   use the 2*nv baseline set
 //	fpvasim -case 20x20 -timeout 1m               abort (exit 2) past a deadline
+//	fpvasim -case 5x5 -diagnose                   closed-loop diagnosis study
+//	fpvasim -case 10x10 -diagnose -diagnose-trials 50 -planner ilp
+//
+// With -diagnose, instead of a detection campaign the tool injects each
+// single stuck-at fault as a hidden defect, answers the diagnosis
+// engine's adaptive probes from the simulator, and reports
+// probes-to-isolation statistics per fault kind. -diagnose-trials caps
+// the study to a seeded sample of faults (0 = exhaustive); the run is
+// deterministic for a fixed seed.
 //
 // Exactly one of -case, -rows/-cols and -plan must be given; -baseline
 // requires in-process generation and is incompatible with -plan.
@@ -27,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"os/signal"
 	"time"
@@ -50,6 +60,9 @@ type options struct {
 	baseline   bool
 	progress   bool
 	timeout    time.Duration
+	diagnose   bool
+	diagTrials int
+	planner    string
 }
 
 func main() {
@@ -103,6 +116,9 @@ func parseFlags(args []string, stderr io.Writer) (options, error) {
 	fs.BoolVar(&opt.baseline, "baseline", false, "evaluate the one-valve-at-a-time baseline instead")
 	fs.BoolVar(&opt.progress, "progress", false, "report campaign trial progress on stderr")
 	fs.DurationVar(&opt.timeout, "timeout", 0, "abort after this duration (exit code 2)")
+	fs.BoolVar(&opt.diagnose, "diagnose", false, "run the closed-loop diagnosis study instead of a campaign")
+	fs.IntVar(&opt.diagTrials, "diagnose-trials", 0, "sample this many hidden faults (0 = every single stuck-at fault)")
+	fs.StringVar(&opt.planner, "planner", "greedy", "diagnosis probe planner: greedy, ilp")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return opt, err
@@ -160,6 +176,9 @@ func run(ctx context.Context, w io.Writer, opt options) error {
 		return err
 	}
 	fmt.Fprintf(w, "%s on %v: %d vectors\n", label, plan.Array(), plan.NumVectors())
+	if opt.diagnose {
+		return runDiagnose(ctx, w, opt, plan, engine)
+	}
 	campOpts := []fpva.CampaignOption{
 		fpva.WithTrials(opt.trials),
 		fpva.WithCampaignWorkers(opt.workers),
@@ -187,6 +206,165 @@ func run(ctx context.Context, w io.Writer, opt options) error {
 		}
 	}
 	return nil
+}
+
+// diagState accumulates per-fault-kind closed-loop outcomes.
+type diagState struct {
+	trials    int
+	isolated  int // sessions ending with exactly one signature class
+	singleton int // ... whose class is the true fault alone
+	probes    int
+	maxProbes int
+	maxClass  int
+}
+
+// runDiagnose is the -diagnose mode: inject each hidden single fault,
+// answer the engine's adaptive probes from the simulator, and tabulate
+// probes-to-isolation. Everything is deterministic for a fixed seed —
+// fault order follows the array's valve order and sampling uses a seeded
+// shuffle.
+func runDiagnose(ctx context.Context, w io.Writer, opt options, plan *fpva.Plan, engine fpva.CampaignEngine) error {
+	if opt.diagTrials < 0 {
+		return usagef("-diagnose-trials must be >= 0")
+	}
+	planner, err := fpva.ParseProbePlanner(opt.planner)
+	if err != nil {
+		return usagef("%v", err)
+	}
+	a := plan.Array()
+	sim, err := a.NewSimulator()
+	if err != nil {
+		return err
+	}
+	vecs, err := planVectors(a, plan)
+	if err != nil {
+		return err
+	}
+	kinds := []fpva.FaultKind{fpva.StuckAt0, fpva.StuckAt1}
+	var hidden []fpva.Fault
+	for _, kind := range kinds {
+		for _, e := range a.Valves() {
+			hidden = append(hidden, fpva.Fault{Kind: kind, A: e})
+		}
+	}
+	if opt.diagTrials > 0 && opt.diagTrials < len(hidden) {
+		rng := rand.New(rand.NewSource(opt.seed))
+		rng.Shuffle(len(hidden), func(i, j int) { hidden[i], hidden[j] = hidden[j], hidden[i] })
+		hidden = hidden[:opt.diagTrials]
+	}
+	sessOpts := []fpva.DiagnoseOption{
+		fpva.WithProbePlanner(planner),
+		fpva.WithDiagnoseEngine(engine),
+	}
+	if opt.workers > 0 {
+		sessOpts = append(sessOpts, fpva.WithDiagnoseWorkers(opt.workers))
+	}
+	fmt.Fprintf(w, "diagnosis (%s planner): %d hidden faults\n", planner, len(hidden))
+	stats := make(map[fpva.FaultKind]*diagState, len(kinds))
+	for _, kind := range kinds {
+		stats[kind] = &diagState{}
+	}
+	for _, h := range hidden {
+		probes, classSize, amb, err := diagnoseOne(ctx, plan, sim, vecs, h, sessOpts)
+		if err != nil {
+			return fmt.Errorf("hidden %v: %w", h, err)
+		}
+		st := stats[h.Kind]
+		st.trials++
+		st.probes += probes
+		st.maxProbes = max(st.maxProbes, probes)
+		st.maxClass = max(st.maxClass, classSize)
+		if classSize > 0 {
+			st.isolated++
+			if classSize == 1 {
+				st.singleton++
+			}
+		}
+		if opt.progress {
+			fmt.Fprintf(os.Stderr, "fpvasim: %v isolated to %d candidate(s) in %d probe(s) %v\n", h, classSize, probes, amb)
+		}
+	}
+	fmt.Fprintf(w, "%-12s %-8s %-10s %-10s %-10s %-10s %-9s\n",
+		"kind", "faults", "isolated", "singleton", "avg-probe", "max-probe", "max-class")
+	for _, kind := range kinds {
+		st := stats[kind]
+		if st.trials == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-12v %-8d %-10d %-10d %-10.2f %-10d %-9d\n",
+			kind, st.trials, st.isolated, st.singleton,
+			float64(st.probes)/float64(st.trials), st.maxProbes, st.maxClass)
+	}
+	return nil
+}
+
+// diagnoseOne plays one closed loop: the hidden fault is injected in the
+// simulator and the session's suggested probes are answered until it
+// stops asking. It returns the probe count and the size of the surviving
+// class (which must contain the hidden fault).
+func diagnoseOne(ctx context.Context, plan *fpva.Plan, sim *fpva.Simulator, vecs []*fpva.Vector, h fpva.Fault, opts []fpva.DiagnoseOption) (probes, classSize int, amb [][]fpva.Fault, err error) {
+	sess, err := plan.NewDiagnoseSession(ctx, opts...)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	injected := []fpva.Fault{h}
+	for {
+		v, err := sess.NextProbe(ctx)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		if v < 0 {
+			break
+		}
+		r, err := sim.Readings(vecs[v], injected)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		if err := sess.Observe(fpva.Observation{Vector: v, Readings: r}); err != nil {
+			return 0, 0, nil, err
+		}
+		if probes++; probes > len(vecs) {
+			return 0, 0, nil, fmt.Errorf("session asked for more probes than plan vectors (%d)", len(vecs))
+		}
+	}
+	d, err := sess.Diagnosis(ctx)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if !d.Consistent {
+		return 0, 0, nil, errors.New("observations inconsistent with the candidate universe")
+	}
+	if !d.Isolated {
+		return 0, 0, nil, fmt.Errorf("not isolated after %d probes (%d classes survive)", probes, len(d.Classes))
+	}
+	found := false
+	for _, fs := range d.Ambiguity {
+		if len(fs) == 1 && fs[0] == h {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return 0, 0, nil, errors.New("true fault eliminated from the ambiguity set")
+	}
+	return probes, len(d.Ambiguity), d.Ambiguity, nil
+}
+
+// planVectors materializes the plan's vectors as applicable Vector
+// values, so the simulator can answer probes against them.
+func planVectors(a *fpva.Array, plan *fpva.Plan) ([]*fpva.Vector, error) {
+	infos := plan.Vectors()
+	out := make([]*fpva.Vector, len(infos))
+	for i, vi := range infos {
+		v := a.NewVector(vi.Name)
+		for _, e := range vi.Open {
+			if err := v.SetOpen(e, true); err != nil {
+				return nil, err
+			}
+		}
+		out[i] = v
+	}
+	return out, nil
 }
 
 // loadPlan resolves the plan source: a serialized file, or in-process

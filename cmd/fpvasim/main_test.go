@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -156,6 +157,67 @@ func TestRunCustomDims(t *testing.T) {
 	}
 	if !strings.Contains(b.String(), "FPVA 4x4") {
 		t.Errorf("output:\n%s", b.String())
+	}
+}
+
+// TestRunDiagnose: the -diagnose study isolates every single stuck-at
+// fault on a small array, and its output is bit-identical across worker
+// counts and repeat runs.
+func TestRunDiagnose(t *testing.T) {
+	var want string
+	for _, workers := range []int{1, 2, 4} {
+		var b strings.Builder
+		err := run(context.Background(), &b, options{rows: 3, cols: 3,
+			diagnose: true, seed: 9, planner: "greedy", workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := b.String()
+		if workers == 1 {
+			want = out
+			for _, sub := range []string{"diagnosis (greedy planner)", "stuck-at-0", "stuck-at-1", "singleton"} {
+				if !strings.Contains(out, sub) {
+					t.Errorf("output missing %q:\n%s", sub, out)
+				}
+			}
+		} else if out != want {
+			t.Errorf("workers=%d output diverges:\n%s\nvs workers=1:\n%s", workers, out, want)
+		}
+	}
+}
+
+// TestRunDiagnoseSampled: -diagnose-trials takes a deterministic seeded
+// sample, and the ILP planner drives the same loop.
+func TestRunDiagnoseSampled(t *testing.T) {
+	outs := make([]string, 2)
+	for i := range outs {
+		var b strings.Builder
+		err := run(context.Background(), &b, options{caseName: "5x5",
+			diagnose: true, diagTrials: 6, seed: 4, planner: "ilp"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs[i] = b.String()
+	}
+	if outs[0] != outs[1] {
+		t.Errorf("sampled diagnose runs diverge:\n%s\nvs\n%s", outs[0], outs[1])
+	}
+	if !strings.Contains(outs[0], "diagnosis (ilp planner): 6 hidden faults") {
+		t.Errorf("output:\n%s", outs[0])
+	}
+}
+
+// TestRunDiagnoseUsageErrors: bad planner names and negative sample
+// counts are usage errors (exit code 2).
+func TestRunDiagnoseUsageErrors(t *testing.T) {
+	for name, opt := range map[string]options{
+		"bad planner":     {rows: 3, cols: 3, diagnose: true, planner: "psychic"},
+		"negative trials": {rows: 3, cols: 3, diagnose: true, planner: "greedy", diagTrials: -1},
+	} {
+		err := run(context.Background(), io.Discard, opt)
+		if exitCode(err) != 2 {
+			t.Errorf("%s: exit %d (err %v), want 2", name, exitCode(err), err)
+		}
 	}
 }
 

@@ -15,8 +15,8 @@ import (
 )
 
 // SubmitRequest is the POST /v1/jobs payload. Exactly one of Array (for
-// generate) and Plan (for campaign/verify) must be present, in the v1
-// wire format.
+// generate) and Plan (for campaign/verify/diagnose) must be present, in
+// the v1 wire format.
 type SubmitRequest struct {
 	Kind     string          `json:"kind"`
 	Array    json.RawMessage `json:"array,omitempty"`
@@ -24,6 +24,7 @@ type SubmitRequest struct {
 	Generate *GenerateParams `json:"generate,omitempty"`
 	Campaign *CampaignParams `json:"campaign,omitempty"`
 	Verify   *VerifyParams   `json:"verify,omitempty"`
+	Diagnose *DiagnoseParams `json:"diagnose,omitempty"`
 }
 
 // GenerateParams tunes a generate job.
@@ -51,6 +52,26 @@ type VerifyParams struct {
 	MaxPairs int `json:"maxPairs,omitempty"`
 }
 
+// DiagnoseParams tunes a diagnose job. Observations are the vector
+// readings already taken on the device under test; the job narrows the
+// candidate set against them and plans the follow-up probes.
+type DiagnoseParams struct {
+	Observations []Observation `json:"observations,omitempty"`
+	Planner      string        `json:"planner,omitempty"` // "greedy" | "ilp"
+	Engine       string        `json:"engine,omitempty"`  // "auto" | "bit-parallel" | "scalar"
+	Workers      int           `json:"workers,omitempty"`
+	Budget       int           `json:"budget,omitempty"`
+	MaxDoubles   int           `json:"maxDoubles,omitempty"`
+	NoLeaks      bool          `json:"noLeaks,omitempty"`
+}
+
+// Observation is one applied test vector and the flow readings observed
+// at the plan's sink order.
+type Observation struct {
+	Vector   int    `json:"vector"`
+	Readings []bool `json:"readings"`
+}
+
 // Job is the job-status resource (also the terminal line of an event
 // stream).
 type Job struct {
@@ -73,10 +94,12 @@ func JobStatus(j *fpva.Job) Job {
 // Event is one NDJSON progress line. A line with an empty Event field is
 // not an event but the stream's terminal Job status record.
 type Event struct {
-	Event string `json:"event"`
-	Phase string `json:"phase,omitempty"`
-	Done  int    `json:"done,omitempty"`
-	Total int    `json:"total,omitempty"`
+	Event     string `json:"event"`
+	Phase     string `json:"phase,omitempty"`
+	Done      int    `json:"done,omitempty"`
+	Total     int    `json:"total,omitempty"`
+	Round     int    `json:"round,omitempty"`
+	Ambiguity int    `json:"ambiguity,omitempty"`
 }
 
 // EventStatus converts a progress event into its wire line.
@@ -87,6 +110,8 @@ func EventStatus(e fpva.Event) Event {
 		out.Phase = e.Phase.String()
 	case fpva.CampaignTick:
 		out.Done, out.Total = e.TrialsDone, e.TrialsTotal
+	case fpva.DiagnoseTick:
+		out.Round, out.Ambiguity = e.Round, e.Ambiguity
 	}
 	return out
 }
@@ -143,21 +168,34 @@ type VerifyReport struct {
 // ServiceStats mirrors fpva.ServiceStats with wire-style field names
 // (durations in nanoseconds).
 type ServiceStats struct {
-	JobsSubmitted  int   `json:"jobsSubmitted"`
-	JobsPending    int   `json:"jobsPending"`
-	JobsRunning    int   `json:"jobsRunning"`
-	JobsDone       int   `json:"jobsDone"`
-	JobsFailed     int   `json:"jobsFailed"`
-	JobsCanceled   int   `json:"jobsCanceled"`
-	CacheHits      int   `json:"cacheHits"`
-	CacheMisses    int   `json:"cacheMisses"`
-	CacheCoalesced int   `json:"cacheCoalesced"`
-	CacheEntries   int   `json:"cacheEntries"`
-	CacheBytes     int64 `json:"cacheBytes"`
-	CacheCapBytes  int64 `json:"cacheCapBytes"`
-	Solves         int   `json:"solves"`
-	SolverWallNs   int64 `json:"solverWallNs"`
-	Campaigns      int   `json:"campaigns"`
-	CampaignWallNs int64 `json:"campaignWallNs"`
-	Verifies       int   `json:"verifies"`
+	JobsSubmitted  int                  `json:"jobsSubmitted"`
+	JobsPending    int                  `json:"jobsPending"`
+	JobsRunning    int                  `json:"jobsRunning"`
+	JobsDone       int                  `json:"jobsDone"`
+	JobsFailed     int                  `json:"jobsFailed"`
+	JobsCanceled   int                  `json:"jobsCanceled"`
+	CacheHits      int                  `json:"cacheHits"`
+	CacheMisses    int                  `json:"cacheMisses"`
+	CacheCoalesced int                  `json:"cacheCoalesced"`
+	CacheEntries   int                  `json:"cacheEntries"`
+	CacheBytes     int64                `json:"cacheBytes"`
+	CacheCapBytes  int64                `json:"cacheCapBytes"`
+	Solves         int                  `json:"solves"`
+	SolverWallNs   int64                `json:"solverWallNs"`
+	Campaigns      int                  `json:"campaigns"`
+	CampaignWallNs int64                `json:"campaignWallNs"`
+	Verifies       int                  `json:"verifies"`
+	Diagnoses      int                  `json:"diagnoses"`
+	DiagnoseWallNs int64                `json:"diagnoseWallNs"`
+	SigCacheHits   int                  `json:"sigCacheHits"`
+	SigCacheMisses int                  `json:"sigCacheMisses"`
+	Kinds          map[string]KindStats `json:"kinds,omitempty"`
+}
+
+// KindStats is the per-JobKind submission/terminal tally.
+type KindStats struct {
+	Submitted int `json:"submitted"`
+	Done      int `json:"done"`
+	Failed    int `json:"failed"`
+	Canceled  int `json:"canceled"`
 }

@@ -32,6 +32,8 @@ const (
 	ArrayFormat = "fpva.array"
 	// PlanFormat names the plan envelope.
 	PlanFormat = "fpva.plan"
+	// DiagnosisFormat names the diagnosis envelope.
+	DiagnosisFormat = "fpva.diagnosis"
 	// CodecVersion is the current wire-format version written by the
 	// encoders.
 	CodecVersion = 1
@@ -319,6 +321,199 @@ func (p *Plan) UnmarshalJSON(data []byte) error {
 	p.ts = ts
 	p.geometry = false
 	return nil
+}
+
+// faultJSON is one fault on the wire: the kind name and the dense valve
+// IDs it touches. B is present only for control-leak faults (a pointer, so
+// valve 0 is representable).
+type faultJSON struct {
+	Kind string `json:"kind"`
+	A    int    `json:"a"`
+	B    *int   `json:"b,omitempty"`
+}
+
+func faultsToJSON(g *grid.Array, fs []Fault) ([]faultJSON, error) {
+	out := make([]faultJSON, 0, len(fs))
+	for _, f := range fs {
+		ida, err := valveID(g, f.A)
+		if err != nil {
+			return nil, err
+		}
+		fj := faultJSON{Kind: f.Kind.String(), A: int(ida)}
+		if f.Kind == ControlLeak {
+			idb, err := valveID(g, f.B)
+			if err != nil {
+				return nil, err
+			}
+			b := int(idb)
+			fj.B = &b
+		}
+		out = append(out, fj)
+	}
+	return out, nil
+}
+
+func faultsFromJSON(g *grid.Array, fjs []faultJSON) ([]Fault, error) {
+	kinds := map[string]FaultKind{
+		StuckAt0.String():    StuckAt0,
+		StuckAt1.String():    StuckAt1,
+		ControlLeak.String(): ControlLeak,
+	}
+	out := make([]Fault, 0, len(fjs))
+	for _, fj := range fjs {
+		kind, ok := kinds[fj.Kind]
+		if !ok {
+			return nil, fmt.Errorf("fpva: %w: unknown fault kind %q", ErrWirePayload, fj.Kind)
+		}
+		ids, err := intsToIDs(g, []int{fj.A})
+		if err != nil {
+			return nil, err
+		}
+		f := Fault{Kind: kind, A: edgeOf(g, ids[0])}
+		if kind == ControlLeak {
+			if fj.B == nil {
+				return nil, fmt.Errorf("fpva: %w: control-leak fault missing valve b", ErrWirePayload)
+			}
+			ids, err := intsToIDs(g, []int{*fj.B})
+			if err != nil {
+				return nil, err
+			}
+			f.B = edgeOf(g, ids[0])
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// probeJSON / roundJSON carry the probe plan and the narrowing history.
+type probeJSON struct {
+	Vector    int `json:"vector"`
+	WorstCase int `json:"worstCase"`
+	Classes   int `json:"classes"`
+}
+
+type roundJSON struct {
+	Vector int `json:"vector"`
+	Before int `json:"before"`
+	After  int `json:"after"`
+}
+
+// diagnosisEnvelope is the diagnosis wire format: the array (text format),
+// the surviving candidate fault sets, their signature classes, the probe
+// plan and the per-round narrowing stats.
+type diagnosisEnvelope struct {
+	Format     string        `json:"format"`
+	Version    int           `json:"version"`
+	Array      string        `json:"array"`
+	Consistent bool          `json:"consistent"`
+	FaultFree  bool          `json:"faultFree"`
+	Isolated   bool          `json:"isolated"`
+	Ambiguity  [][]faultJSON `json:"ambiguity"`
+	Classes    [][]int       `json:"classes,omitempty"`
+	Probes     []probeJSON   `json:"probes,omitempty"`
+	Rounds     []roundJSON   `json:"rounds,omitempty"`
+}
+
+// MarshalJSON renders the diagnosis in the versioned JSON wire format.
+func (d *Diagnosis) MarshalJSON() ([]byte, error) {
+	env := diagnosisEnvelope{
+		Format:     DiagnosisFormat,
+		Version:    CodecVersion,
+		Array:      grid.Marshal(d.a.g),
+		Consistent: d.Consistent,
+		FaultFree:  d.FaultFree,
+		Isolated:   d.Isolated,
+		Ambiguity:  make([][]faultJSON, len(d.Ambiguity)),
+		Classes:    d.Classes,
+	}
+	for i, fs := range d.Ambiguity {
+		fjs, err := faultsToJSON(d.a.g, fs)
+		if err != nil {
+			return nil, err
+		}
+		env.Ambiguity[i] = fjs
+	}
+	for _, p := range d.Probes {
+		env.Probes = append(env.Probes, probeJSON{Vector: p.Vector, WorstCase: p.WorstCase, Classes: p.Classes})
+	}
+	for _, r := range d.Rounds {
+		env.Rounds = append(env.Rounds, roundJSON{Vector: r.Vector, Before: r.Before, After: r.After})
+	}
+	return json.Marshal(env)
+}
+
+// UnmarshalJSON decodes a diagnosis from the versioned JSON wire format.
+func (d *Diagnosis) UnmarshalJSON(data []byte) error {
+	var env diagnosisEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return fmt.Errorf("fpva: decode diagnosis: %w: %v", ErrWireSyntax, err)
+	}
+	if err := checkEnvelope(env.Format, DiagnosisFormat, env.Version); err != nil {
+		return err
+	}
+	g, err := grid.Parse(strings.NewReader(env.Array))
+	if err != nil {
+		return fmt.Errorf("fpva: decode diagnosis: %w: %v", ErrWirePayload, err)
+	}
+	if err := g.Validate(); err != nil {
+		return fmt.Errorf("fpva: decode diagnosis: %w: %v", ErrWirePayload, err)
+	}
+	amb := make([][]Fault, len(env.Ambiguity))
+	for i, fjs := range env.Ambiguity {
+		if amb[i], err = faultsFromJSON(g, fjs); err != nil {
+			return err
+		}
+	}
+	for _, class := range env.Classes {
+		for _, idx := range class {
+			if idx < 0 || idx >= len(amb) {
+				return fmt.Errorf("fpva: %w: class member %d outside the %d-candidate ambiguity set",
+					ErrWirePayload, idx, len(amb))
+			}
+		}
+	}
+	for _, p := range env.Probes {
+		if p.Vector < 0 {
+			return fmt.Errorf("fpva: %w: probe names negative vector %d", ErrWirePayload, p.Vector)
+		}
+	}
+	for _, r := range env.Rounds {
+		if r.Vector < 0 {
+			return fmt.Errorf("fpva: %w: round names negative vector %d", ErrWirePayload, r.Vector)
+		}
+	}
+	d.a = &Array{g: g}
+	d.Consistent = env.Consistent
+	d.FaultFree = env.FaultFree
+	d.Isolated = env.Isolated
+	d.Ambiguity = amb
+	d.Classes = env.Classes
+	d.Probes = nil
+	for _, p := range env.Probes {
+		d.Probes = append(d.Probes, ProbeStep{Vector: p.Vector, WorstCase: p.WorstCase, Classes: p.Classes})
+	}
+	d.Rounds = nil
+	for _, r := range env.Rounds {
+		d.Rounds = append(d.Rounds, DiagnoseRound{Vector: r.Vector, Before: r.Before, After: r.After})
+	}
+	return nil
+}
+
+// EncodeDiagnosis writes the diagnosis to w in the versioned JSON wire
+// format.
+func EncodeDiagnosis(w io.Writer, d *Diagnosis) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// DecodeDiagnosis reads a diagnosis in the versioned JSON wire format.
+func DecodeDiagnosis(r io.Reader) (*Diagnosis, error) {
+	var d Diagnosis
+	if err := decodeOne(r, &d, "decode diagnosis"); err != nil {
+		return nil, err
+	}
+	return &d, nil
 }
 
 // EncodePlan writes the plan to w in the versioned JSON wire format.

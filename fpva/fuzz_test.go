@@ -64,6 +64,47 @@ func FuzzDecodePlan(f *testing.F) {
 	})
 }
 
+// FuzzDecodeDiagnosis: an arbitrary byte string either decodes to a
+// diagnosis whose re-encoding is stable, or fails with a classified wire
+// error.
+func FuzzDecodeDiagnosis(f *testing.F) {
+	f.Add(goldenSeed(f, "diagnosis_v1.golden.json"))
+	f.Add(`{"format":"fpva.diagnosis","version":1,"array":"fpva 2 2\n","consistent":true,"faultFree":true,"isolated":true,"ambiguity":[[]]}`)
+	f.Add(`{"format":"fpva.diagnosis","version":1,"array":"fpva 2 2\n","ambiguity":[[{"kind":"stuck-at-0","a":0}],[{"kind":"control-leak","a":0,"b":1}]],"classes":[[0],[1]]}`)
+	f.Add(`{"format":"fpva.diagnosis","version":1,"array":"fpva 2 2\n","ambiguity":[[{"kind":"mystery","a":0}]]}`)
+	f.Add(`{"format":"fpva.diagnosis","version":1,"array":"fpva 2 2\n","ambiguity":[[{"kind":"control-leak","a":0}]]}`)
+	f.Add(`{"format":"fpva.diagnosis","version":1,"array":"fpva 2 2\n","ambiguity":[[]],"classes":[[7]]}`)
+	f.Add(`{"format":"fpva.diagnosis","version":1,"array":"fpva 2 2\n","ambiguity":[[]],"probes":[{"vector":-1}]}`)
+	f.Add(`{"format":"fpva.diagnosis","version":2}`)
+	f.Add(`{"format":"fpva.plan","version":1}`)
+	f.Add(`{"format":"fpva.diagnosis","version":1,"array":"garbage`)
+	f.Add(`{`)
+	f.Add(``)
+	f.Fuzz(func(t *testing.T, data string) {
+		d, err := fpva.DecodeDiagnosis(strings.NewReader(data))
+		if err != nil {
+			if !isWireError(err) {
+				t.Fatalf("unclassified decode error: %v", err)
+			}
+			return
+		}
+		var first, second bytes.Buffer
+		if err := fpva.EncodeDiagnosis(&first, d); err != nil {
+			t.Fatalf("re-encode of decoded diagnosis: %v", err)
+		}
+		q, err := fpva.DecodeDiagnosis(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("decode of re-encoded diagnosis: %v", err)
+		}
+		if err := fpva.EncodeDiagnosis(&second, q); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatal("diagnosis encoding is not a fixed point after one round trip")
+		}
+	})
+}
+
 // FuzzDecodeArray: same contract for the array envelope.
 func FuzzDecodeArray(f *testing.F) {
 	f.Add(goldenSeed(f, "array_v1.golden.json"))

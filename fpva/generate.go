@@ -36,6 +36,9 @@ const (
 	// CampaignTick fires while a campaign runs, carrying completed and
 	// total trial counts.
 	CampaignTick
+	// DiagnoseTick fires once per diagnosis observation round, carrying the
+	// round number and the surviving ambiguity count.
+	DiagnoseTick
 )
 
 func (k EventKind) String() string {
@@ -46,18 +49,23 @@ func (k EventKind) String() string {
 		return "phase-finished"
 	case CampaignTick:
 		return "campaign-tick"
+	case DiagnoseTick:
+		return "diagnose-tick"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }
 
 // Event is one observation delivered to a Progress callback: a generation
-// phase transition (PhaseStarted / PhaseFinished, Phase set) or a campaign
-// trial tick (CampaignTick, TrialsDone / TrialsTotal set).
+// phase transition (PhaseStarted / PhaseFinished, Phase set), a campaign
+// trial tick (CampaignTick, TrialsDone / TrialsTotal set), or a diagnosis
+// narrowing round (DiagnoseTick, Round / Ambiguity set).
 type Event struct {
 	Kind        EventKind
 	Phase       Phase
 	TrialsDone  int
 	TrialsTotal int
+	Round       int
+	Ambiguity   int
 }
 
 func (e Event) String() string {
@@ -66,6 +74,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("phase %v started", e.Phase)
 	case PhaseFinished:
 		return fmt.Sprintf("phase %v finished", e.Phase)
+	case DiagnoseTick:
+		return fmt.Sprintf("diagnose round %d: %d candidates", e.Round, e.Ambiguity)
 	default:
 		return fmt.Sprintf("campaign %d/%d trials", e.TrialsDone, e.TrialsTotal)
 	}

@@ -17,7 +17,13 @@ const (
 	JobCampaign
 	// JobVerify is an exhaustive 1-/2-fault verification job (SubmitVerify).
 	JobVerify
+	// JobDiagnose is an adaptive fault-diagnosis job (SubmitDiagnose).
+	JobDiagnose
 )
+
+// jobKinds lists every kind in declaration order, for deterministic
+// per-kind reporting.
+var jobKinds = []JobKind{JobGenerate, JobCampaign, JobVerify, JobDiagnose}
 
 func (k JobKind) String() string {
 	switch k {
@@ -27,6 +33,8 @@ func (k JobKind) String() string {
 		return "campaign"
 	case JobVerify:
 		return "verify"
+	case JobDiagnose:
+		return "diagnose"
 	}
 	return fmt.Sprintf("JobKind(%d)", int(k))
 }
@@ -113,6 +121,7 @@ type Job struct {
 	wire     []byte // v1 wire encoding of plan, when the service had one
 	camp     CampaignResult
 	verify   VerifyResult
+	diag     *Diagnosis
 	done     chan struct{}
 }
 
@@ -140,8 +149,9 @@ func (j *Job) State() JobState {
 	return j.state
 }
 
-// CacheHit reports whether a generate job was served from the plan cache
-// (meaningful once the job is done).
+// CacheHit reports whether a generate job was served from the plan cache,
+// or a diagnose job reused a cached signature table (meaningful once the
+// job is done).
 func (j *Job) CacheHit() bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -305,6 +315,22 @@ func (j *Job) Verify() (VerifyResult, error) {
 	return j.verify, nil
 }
 
+// Diagnosis returns the result of a finished JobDiagnose.
+func (j *Job) Diagnosis() (*Diagnosis, error) {
+	if j.kind != JobDiagnose {
+		return nil, fmt.Errorf("fpva: job %s is a %v job: %w", j.id, j.kind, ErrWrongJobKind)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case !j.state.Terminal():
+		return nil, fmt.Errorf("fpva: job %s: %w", j.id, ErrJobRunning)
+	case j.err != nil:
+		return nil, j.err
+	}
+	return j.diag, nil
+}
+
 // emit records one progress event, wakes streamers, and invokes the
 // submitter's callback synchronously (matching the direct-call API: the
 // callback has returned for every event before the job turns terminal).
@@ -344,7 +370,7 @@ func (j *Job) finish(state JobState, err error) {
 	j.mu.Unlock()
 	j.cancel() // release the context watcher; no-op if already canceled
 	close(j.done)
-	j.svc.noteTerminal()
+	j.svc.noteTerminal(j.kind, state)
 }
 
 // finishPlan completes a generate job successfully. wire, when non-nil,

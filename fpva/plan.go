@@ -3,6 +3,7 @@ package fpva
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/bench"
 	"repro/internal/core"
@@ -25,6 +26,12 @@ type Plan struct {
 	// geometry is true when ts carries Paths/Cuts (in-process generation),
 	// false for decoded and baseline plans.
 	geometry bool
+
+	// sigMu guards sigMemo, the plan's last compiled diagnosis signature
+	// table (see compileSignatures). Tables are immutable once built, so
+	// concurrent sessions share one safely.
+	sigMu   sync.Mutex
+	sigMemo *sigMemoEntry
 }
 
 // Array returns the array the plan was generated for.

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/diagnose"
 )
 
 // Service is the long-lived, concurrent entry point of the pipeline: one
@@ -36,6 +37,7 @@ type Service struct {
 
 	mu       sync.Mutex
 	cache    *planCache // nil when caching is disabled
+	sigs     *sigCache  // compiled diagnosis signature tables
 	flights  map[string]*flight
 	jobs     map[string]*Job
 	order    []*Job // submission order, for Jobs()
@@ -53,6 +55,10 @@ type Service struct {
 	campaigns               int
 	campaignWall            time.Duration
 	verifies                int
+	diagnoses               int
+	diagnoseWall            time.Duration
+	sigHits, sigMisses      int
+	byKind                  map[JobKind]*JobKindStats
 
 	wg sync.WaitGroup
 }
@@ -102,8 +108,10 @@ func NewService(opts ...ServiceOption) *Service {
 	s := &Service{
 		workers: cfg.workers,
 		sem:     make(chan struct{}, cfg.workers),
+		sigs:    newSigCache(defaultSigCacheEntries),
 		flights: make(map[string]*flight),
 		jobs:    make(map[string]*Job),
+		byKind:  make(map[JobKind]*JobKindStats),
 		retain:  cfg.retain,
 	}
 	if cfg.cacheBytes > 0 {
@@ -157,6 +165,28 @@ type ServiceStats struct {
 	Campaigns    int
 	CampaignWall time.Duration
 	Verifies     int
+
+	// Diagnoses / DiagnoseWall account completed diagnosis jobs.
+	// SigCacheHits / SigCacheMisses count signature-table lookups: a hit
+	// skips recompiling the candidate response matrix.
+	Diagnoses      int
+	DiagnoseWall   time.Duration
+	SigCacheHits   int
+	SigCacheMisses int
+
+	// Kinds partitions lifetime job counts by kind name ("generate",
+	// "campaign", "verify", "diagnose"). Submitted counts acceptances;
+	// Done / Failed / Canceled count terminal transitions, so their sum can
+	// trail Submitted by the jobs still in flight.
+	Kinds map[string]JobKindStats
+}
+
+// JobKindStats is the lifetime job accounting of one JobKind.
+type JobKindStats struct {
+	Submitted int
+	Done      int
+	Failed    int
+	Canceled  int
 }
 
 // Stats returns a snapshot of the service counters.
@@ -168,7 +198,15 @@ func (s *Service) Stats() ServiceStats {
 		CacheHits:     s.hits, CacheMisses: s.misses, CacheCoalesced: s.coalesced,
 		Solves: s.solves, SolverWall: s.solverWall,
 		Campaigns: s.campaigns, CampaignWall: s.campaignWall,
-		Verifies: s.verifies,
+		Verifies:  s.verifies,
+		Diagnoses: s.diagnoses, DiagnoseWall: s.diagnoseWall,
+		SigCacheHits: s.sigHits, SigCacheMisses: s.sigMisses,
+		Kinds: make(map[string]JobKindStats, len(jobKinds)),
+	}
+	for _, k := range jobKinds {
+		if ks := s.byKind[k]; ks != nil {
+			st.Kinds[k.String()] = *ks
+		}
 	}
 	if s.cache != nil {
 		st.CacheEntries = s.cache.len()
@@ -248,15 +286,37 @@ func (s *Service) register(kind JobKind, ctx context.Context, progress Progress,
 	s.jobs[j.id] = j
 	s.order = append(s.order, j)
 	s.submitted++
+	s.kindStats(kind).Submitted++
 	s.wg.Add(1)
 	return j, nil
 }
 
-// noteTerminal is called exactly once per job as it turns terminal; beyond
-// the retention cap the oldest terminal jobs are dropped from tracking.
-func (s *Service) noteTerminal() {
+// kindStats returns the mutable per-kind counter, creating it on first
+// use. The caller holds s.mu.
+func (s *Service) kindStats(k JobKind) *JobKindStats {
+	ks := s.byKind[k]
+	if ks == nil {
+		ks = &JobKindStats{}
+		s.byKind[k] = ks
+	}
+	return ks
+}
+
+// noteTerminal is called exactly once per job as it turns terminal; it
+// tallies the per-kind outcome, and beyond the retention cap the oldest
+// terminal jobs are dropped from tracking.
+func (s *Service) noteTerminal(kind JobKind, state JobState) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	ks := s.kindStats(kind)
+	switch state {
+	case JobDone:
+		ks.Done++
+	case JobFailed:
+		ks.Failed++
+	case JobCanceled:
+		ks.Canceled++
+	}
 	s.terminal++
 	if s.retain <= 0 || s.terminal <= s.retain {
 		return
@@ -372,6 +432,107 @@ func (s *Service) SubmitVerify(ctx context.Context, p *Plan, maxPairs int) (*Job
 	}
 	go s.runVerify(j, p, maxPairs)
 	return j, nil
+}
+
+// SubmitDiagnose queues an adaptive fault-diagnosis job against the plan.
+// Options are those of Plan.Diagnose; invalid engine or planner selections
+// fail synchronously. The returned handle resolves to a *Diagnosis via
+// Job.Diagnosis after Job.Wait, and emits one DiagnoseTick event per
+// observation round.
+//
+// Compiled signature tables are cached by content (plan wire encoding plus
+// the options that shape the candidate universe), so repeated diagnoses of
+// the same plan — the common case as observations trickle in — skip the
+// expensive response-matrix build; Job.CacheHit reports whether the table
+// was reused.
+func (s *Service) SubmitDiagnose(ctx context.Context, p *Plan, obs []Observation, opts ...DiagnoseOption) (*Job, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var cfg diagnoseConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if _, err := cfg.internalOptions(p); err != nil {
+		return nil, err
+	}
+	if _, err := cfg.internalPlanner(); err != nil {
+		return nil, err
+	}
+	// Deep-copy the observations: the job goroutine reads them after
+	// SubmitDiagnose returns, and the caller may reuse its buffers.
+	obsCopy := make([]Observation, len(obs))
+	for i, o := range obs {
+		obsCopy[i] = Observation{Vector: o.Vector, Readings: append([]bool(nil), o.Readings...)}
+	}
+	j, err := s.register(JobDiagnose, ctx, cfg.progress, p)
+	if err != nil {
+		return nil, err
+	}
+	go s.runDiagnose(j, p, obsCopy, cfg)
+	return j, nil
+}
+
+// signaturesFor returns the compiled signature table for (plan, cfg),
+// serving it from the service's content-addressed cache when possible.
+func (s *Service) signaturesFor(ctx context.Context, p *Plan, cfg diagnoseConfig) (sg *diagnose.Signatures, hit bool, err error) {
+	key, err := sigKey(p, cfg)
+	if err != nil {
+		return nil, false, err
+	}
+	s.mu.Lock()
+	if sg, ok := s.sigs.get(key); ok {
+		s.sigHits++
+		s.mu.Unlock()
+		return sg, true, nil
+	}
+	s.sigMisses++
+	s.mu.Unlock()
+	sg, err = p.compileSignatures(ctx, cfg)
+	if err != nil {
+		return nil, false, err
+	}
+	s.mu.Lock()
+	s.sigs.put(key, sg)
+	s.mu.Unlock()
+	return sg, false, nil
+}
+
+// runDiagnose is a diagnosis job's goroutine.
+func (s *Service) runDiagnose(j *Job, p *Plan, obs []Observation, cfg diagnoseConfig) {
+	defer s.wg.Done()
+	if err := s.acquireSlot(j.ctx); err != nil {
+		j.finish(JobCanceled, fmt.Errorf("fpva: diagnose: %w", err))
+		return
+	}
+	defer s.releaseSlot()
+	j.setRunning()
+	t0 := time.Now()
+	sg, hit, err := s.signaturesFor(j.ctx, p, cfg)
+	if err != nil {
+		j.finish(j.classifyTerminal(), err)
+		return
+	}
+	j.mu.Lock()
+	j.cacheHit = hit
+	j.mu.Unlock()
+	// Route round ticks through the job (j.emit already invokes the
+	// submitter's callback synchronously).
+	cfg.progress = func(e Event) { j.emit(e) }
+	d, err := runDiagnosis(j.ctx, p, sg, cfg, obs)
+	wall := time.Since(t0)
+	if err != nil {
+		j.finish(j.classifyTerminal(), err)
+		return
+	}
+	j.mu.Lock()
+	j.diag = d
+	j.mu.Unlock()
+	s.mu.Lock()
+	s.diagnoses++
+	s.diagnoseWall += wall
+	s.mu.Unlock()
+	j.finish(JobDone, nil)
 }
 
 // flight is one in-flight generation shared by every job that asked for

@@ -1,0 +1,179 @@
+// ILP probe planning: a minimal set of vectors that pairwise separates the
+// surviving ambiguity set, solved with the branch-and-bound core.
+//
+// The model is built once per session and only its bounds change between
+// rounds, which is exactly the contract under which ilp warm starts apply
+// (same variable/constraint shape). One binary x_v per plan vector (obj 1),
+// one continuous slack s_p per distinguishable candidate pair, one row per
+// pair:
+//
+//	sum over v distinguishing the pair of x_v  +  s_p  >=  1
+//
+// While the pair is alive s_p is fixed at 0 (the cover must separate it);
+// when either endpoint is eliminated s_p is fixed at 1 and the row becomes
+// vacuous. Probed vectors are fixed at 1 with objective 0 — sunk cost, the
+// solver only pays for new probes. Pairs whose endpoints share a signature
+// class get no row: no vector can separate them, and they are reported as
+// an indistinguishable class instead.
+//
+// Note the ILP mode allocates (model rows, solver state) and runs a
+// search; it is gated to small ambiguity sets (maxILPCandidates) and every
+// shortfall — set too large, solve not proven optimal — falls back to the
+// greedy rule, deterministically.
+package diagnose
+
+import (
+	"context"
+
+	"repro/internal/ilp"
+	"repro/internal/lp"
+)
+
+// maxILPCandidates caps the ambiguity-set size the ILP planner will model:
+// pairs grow quadratically, and past this size the greedy planner is both
+// faster and nearly as short.
+const maxILPCandidates = 64
+
+// ilpMaxNodes bounds the branch-and-bound search per round. Cover models of
+// <= ~2k rows prove optimality in far fewer nodes; the bound is a backstop,
+// and a solve that exhausts it falls back to the greedy rule.
+const ilpMaxNodes = 50_000
+
+// coverPlanner is the per-session ILP state.
+type coverPlanner struct {
+	m     ilp.Model
+	x     []ilp.VarID // per plan vector
+	slack []ilp.VarID // per pair
+	pairs [][2]int32  // candidate index pairs, endpoints ascending
+	dead  []bool      // pair rows already made vacuous
+	fixed []bool      // vectors already fixed (probed)
+	warm  *ilp.WarmStart
+}
+
+// buildCover models the current alive set, or reports ok=false when it is
+// too large. Distinguishing vectors of a pair are found by scanning the
+// response rows — one bit test per (vector, sink) per pair.
+func (s *Session) buildCover() (ok bool) {
+	members := Members(s.alive)
+	if len(members) > maxILPCandidates {
+		return false
+	}
+	cp := &coverPlanner{}
+	nv := s.sg.Vectors()
+	cp.x = make([]ilp.VarID, nv)
+	cp.fixed = make([]bool, nv)
+	for v := 0; v < nv; v++ {
+		cp.x[v] = cp.m.AddBinary(1, "")
+	}
+	var idx []ilp.VarID
+	var coef []float64
+	for i := 0; i < len(members); i++ {
+		for j := i + 1; j < len(members); j++ {
+			a, b := members[i], members[j]
+			if s.sg.classOf[a] == s.sg.classOf[b] {
+				continue // provably indistinguishable: no row
+			}
+			idx = idx[:0]
+			coef = coef[:0]
+			for v := 0; v < nv; v++ {
+				for k := 0; k < s.sg.Sinks(); k++ {
+					if s.sg.m.Reading(a, v, k) != s.sg.m.Reading(b, v, k) {
+						idx = append(idx, cp.x[v])
+						coef = append(coef, 1)
+						break
+					}
+				}
+			}
+			sl := cp.m.AddVar(0, 0, 0, false, "")
+			idx = append(idx, sl)
+			coef = append(coef, 1)
+			cp.m.AddCons(idx, coef, lp.GE, 1)
+			cp.pairs = append(cp.pairs, [2]int32{int32(a), int32(b)})
+			cp.slack = append(cp.slack, sl)
+			cp.dead = append(cp.dead, false)
+		}
+	}
+	s.cover = cp
+	return true
+}
+
+// syncCover re-fixes bounds against the current session state: dead pairs'
+// slacks to 1, probed vectors to 1 at objective 0. Bounds-only edits keep
+// the compiled relaxation and the warm start valid.
+func (s *Session) syncCover() {
+	cp := s.cover
+	for p, pair := range cp.pairs {
+		if cp.dead[p] {
+			continue
+		}
+		a, b := pair[0], pair[1]
+		if s.alive[a>>6]>>(uint(a)&63)&1 == 0 || s.alive[b>>6]>>(uint(b)&63)&1 == 0 {
+			cp.m.FixVar(cp.slack[p], 1)
+			cp.dead[p] = true
+		}
+	}
+	for v, fixed := range cp.fixed {
+		if !fixed && s.probed[v] {
+			cp.m.FixVar(cp.x[v], 1)
+			cp.m.SetObj(cp.x[v], 0)
+			cp.fixed[v] = true
+		}
+	}
+}
+
+// solveCover runs one warm-started cover solve and returns the chosen
+// vectors as a bitset, or ok=false when the planner is unavailable (set too
+// large, solve not proven optimal).
+func (s *Session) solveCover(ctx context.Context) (cover []uint64, ok bool, err error) {
+	if s.cover == nil && !s.buildCover() {
+		return nil, false, nil
+	}
+	s.syncCover()
+	cp := s.cover
+	opt := ilp.Options{MaxNodes: ilpMaxNodes}
+	if cp.warm != nil {
+		opt.WarmStart = cp.warm
+	}
+	sol := cp.m.Solve(ctx, opt)
+	if sol.WarmStart != nil {
+		cp.warm = sol.WarmStart
+	}
+	if sol.Status == ilp.Canceled {
+		return nil, false, ctx.Err()
+	}
+	if sol.Status != ilp.Optimal {
+		return nil, false, nil // budget ran out or infeasible: greedy takes over
+	}
+	cover = make([]uint64, (len(cp.x)+63)/64)
+	for v, xv := range cp.x {
+		if sol.X[xv] > 0.5 {
+			cover[v>>6] |= 1 << (uint(v) & 63)
+		}
+	}
+	return cover, true, nil
+}
+
+// nextProbeILP picks the lowest-indexed unprobed cover vector that actually
+// splits the surviving set. ok=false means the greedy rule should decide
+// this round.
+func (s *Session) nextProbeILP(ctx context.Context) (v int, ok bool, err error) {
+	cover, ok, err := s.solveCover(ctx)
+	if err != nil || !ok {
+		return -1, ok, err
+	}
+	blocks := [][]uint64{s.alive}
+	if v := s.sg.bestSplitAllowed(blocks, s.probed, cover, &s.sp); v >= 0 {
+		return v, true, nil
+	}
+	return -1, false, nil
+}
+
+// coverVectors returns the minimal-cover bitset for static planning, or nil
+// when the ILP planner is unavailable (the caller then plans greedily).
+func (s *Session) coverVectors(ctx context.Context) ([]uint64, error) {
+	cover, ok, err := s.solveCover(ctx)
+	if err != nil || !ok {
+		return nil, err
+	}
+	return cover, nil
+}

@@ -3,8 +3,9 @@
 # smoke-daemon`. It boots fpvad on an ephemeral port, submits a 4x4
 # generate job (once through the fpvatest -daemon client, once through raw
 # curl), streams the NDJSON progress of both, fetches the plans, replays
-# one with fpvasim, and proves the upload round trip is bit-identical to
-# local `fpvatest -o` output.
+# one with fpvasim, proves the upload round trip is bit-identical to
+# local `fpvatest -o` output, and drives a diagnose job plus the
+# closed-loop fpvasim -diagnose study against the same plan.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -97,8 +98,26 @@ cmp "$tmp/local-plan.json" "$tmp/roundtrip-plan.json"
 curl -fsSN "$base/v1/jobs/$cid/events" >/dev/null # wait for the campaign
 curl -fsS "$base/v1/jobs/$cid/result" | grep -q '"detected": 500'
 
+echo "== diagnose job: submit, stream ticks, decode the wire diagnosis"
+printf '{"kind":"diagnose","plan":%s,"diagnose":{"planner":"greedy"}}' \
+	"$(cat "$tmp/local-plan.json")" >"$tmp/diag-req.json"
+curl -fsS -X POST --data-binary @"$tmp/diag-req.json" "$base/v1/jobs" >"$tmp/diag-submit.json"
+grep -q '"kind": "diagnose"' "$tmp/diag-submit.json"
+did=$(tr -d ' \n' <"$tmp/diag-submit.json" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+[ -n "$did" ] || { echo "error: no diagnose job id in $(cat "$tmp/diag-submit.json")" >&2; exit 1; }
+curl -fsSN "$base/v1/jobs/$did/events" >"$tmp/diag-events.ndjson"
+grep -q '"state":"done"' "$tmp/diag-events.ndjson"
+curl -fsS "$base/v1/jobs/$did/result" >"$tmp/diagnosis.json"
+grep -q '"format": "fpva.diagnosis"' "$tmp/diagnosis.json"
+grep -q '"consistent": true' "$tmp/diagnosis.json"
+
+echo "== closed-loop diagnosis study via fpvasim -diagnose"
+"$tmp/fpvasim" -plan "$tmp/local-plan.json" -diagnose | grep -q "singleton"
+
 echo "== service stats"
 curl -fsS "$base/v1/stats" | tee "$tmp/stats.json" | grep -q '"solves": 1'
+grep -q '"diagnoses": 1' "$tmp/stats.json"
+grep -q '"diagnose"' "$tmp/stats.json"
 
 echo "== graceful shutdown"
 kill "$daemon_pid"
