@@ -9,6 +9,17 @@
 //	fpvad -addr :9000 -workers 8   tune the bind address and worker pool
 //	fpvad -cache-mb 256            raise the plan-cache byte budget
 //	fpvad -pprof-addr 127.0.0.1:6060  expose net/http/pprof (loopback only)
+//	fpvad -solver-exec subprocess  run solves in fpvaworker subprocesses
+//	fpvad -solver-exec subprocess -solver-workers 4 -worker-mem-mb 512 \
+//	      -solver-timeout 5m       size and resource-limit the worker pool
+//	fpvad -job-ttl 1h              expire terminal jobs after an hour
+//
+// With -solver-exec subprocess every generate solve runs in a supervised
+// fpvaworker process (found next to the fpvad binary, or via PATH;
+// override with -solver-worker-bin): a crashing or runaway solver fails
+// only its own job, the pool restarts the worker, and the daemon keeps
+// serving. Plan bytes are identical to in-process mode up to timing
+// statistics.
 //
 // API (all payloads JSON; plans and arrays use the v1 wire format):
 //
@@ -16,6 +27,7 @@
 //	GET  /v1/jobs                list jobs
 //	GET  /v1/jobs/{id}           job status
 //	POST /v1/jobs/{id}/cancel    cancel a job
+//	DELETE /v1/jobs/{id}         forget a terminal job (409 while running)
 //	GET  /v1/jobs/{id}/events    NDJSON progress stream (replays, then follows)
 //	GET  /v1/jobs/{id}/result    generate: the plan; campaign/verify: a report;
 //	                             diagnose: the diagnosis in the v1 wire format
@@ -56,6 +68,13 @@ type options struct {
 	workers   int
 	cacheMB   int
 	pprofAddr string
+
+	solverExec    fpva.SolverExecutor
+	solverWorkers int
+	workerBin     string
+	workerMemMB   int
+	solverTimeout time.Duration
+	jobTTL        time.Duration
 }
 
 func main() {
@@ -94,6 +113,12 @@ func parseFlags(args []string, stderr io.Writer) (options, error) {
 	fs.IntVar(&opt.workers, "workers", 0, "concurrent jobs (0 = all CPUs)")
 	fs.IntVar(&opt.cacheMB, "cache-mb", 64, "plan-cache byte budget in MiB (0 disables caching)")
 	fs.StringVar(&opt.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this loopback address (empty = disabled)")
+	solverExec := fs.String("solver-exec", "in-process", "solver executor: in-process or subprocess")
+	fs.IntVar(&opt.solverWorkers, "solver-workers", 0, "subprocess-mode worker pool size (0 = the -workers value)")
+	fs.StringVar(&opt.workerBin, "solver-worker-bin", "", "solver worker binary (empty = fpvaworker next to fpvad, then PATH)")
+	fs.IntVar(&opt.workerMemMB, "worker-mem-mb", 0, "per-worker soft memory ceiling in MiB, hard RSS kill at twice that (0 = unlimited)")
+	fs.DurationVar(&opt.solverTimeout, "solver-timeout", 0, "per-solve deadline, e.g. 5m (0 = none)")
+	fs.DurationVar(&opt.jobTTL, "job-ttl", 0, "drop terminal jobs from tracking after this long, e.g. 1h (0 = keep)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return opt, err
@@ -116,6 +141,26 @@ func parseFlags(args []string, stderr io.Writer) (options, error) {
 		if err := checkLoopback(opt.pprofAddr); err != nil {
 			fmt.Fprintln(stderr, "fpvad:", err)
 			return opt, usagef("%v", err)
+		}
+	}
+	exec, err := fpva.ParseSolverExecutor(*solverExec)
+	if err != nil {
+		fmt.Fprintf(stderr, "fpvad: -solver-exec %q: want in-process or subprocess\n", *solverExec)
+		return opt, usagef("-solver-exec %q", *solverExec)
+	}
+	opt.solverExec = exec
+	for _, iv := range []struct {
+		name string
+		v    int
+	}{
+		{"-solver-workers", opt.solverWorkers},
+		{"-worker-mem-mb", opt.workerMemMB},
+		{"-solver-timeout", int(opt.solverTimeout)},
+		{"-job-ttl", int(opt.jobTTL)},
+	} {
+		if iv.v < 0 {
+			fmt.Fprintf(stderr, "fpvad: %s must be >= 0\n", iv.name)
+			return opt, usagef("%s must be >= 0", iv.name)
 		}
 	}
 	return opt, nil
@@ -143,6 +188,22 @@ func run(ctx context.Context, w io.Writer, opt options) error {
 	if opt.workers > 0 {
 		svcOpts = append(svcOpts, fpva.WithServiceWorkers(opt.workers))
 	}
+	svcOpts = append(svcOpts, fpva.WithSolverExecutor(opt.solverExec))
+	if opt.workerBin != "" {
+		svcOpts = append(svcOpts, fpva.WithWorkerCommand(opt.workerBin))
+	}
+	if opt.solverWorkers > 0 {
+		svcOpts = append(svcOpts, fpva.WithSolverPoolSize(opt.solverWorkers))
+	}
+	if opt.workerMemMB > 0 {
+		svcOpts = append(svcOpts, fpva.WithWorkerMemLimitMB(opt.workerMemMB))
+	}
+	if opt.solverTimeout > 0 {
+		svcOpts = append(svcOpts, fpva.WithSolverTimeout(opt.solverTimeout))
+	}
+	if opt.jobTTL > 0 {
+		svcOpts = append(svcOpts, fpva.WithJobTTL(opt.jobTTL))
+	}
 	svc := fpva.NewService(svcOpts...)
 	defer svc.Close()
 	ln, err := net.Listen("tcp", opt.addr)
@@ -150,8 +211,8 @@ func run(ctx context.Context, w io.Writer, opt options) error {
 		return err
 	}
 	srv := &http.Server{Handler: newServer(svc)}
-	fmt.Fprintf(w, "fpvad: listening on http://%s (%d workers, %d MiB plan cache)\n",
-		ln.Addr(), svc.Workers(), opt.cacheMB)
+	fmt.Fprintf(w, "fpvad: listening on http://%s (%d workers, %d MiB plan cache, %v solver)\n",
+		ln.Addr(), svc.Workers(), opt.cacheMB, opt.solverExec)
 	var pprofSrv *http.Server
 	if opt.pprofAddr != "" {
 		pln, err := net.Listen("tcp", opt.pprofAddr)
@@ -206,6 +267,7 @@ func newServer(svc *fpva.Service) http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.list)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.status)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.cancel)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.delete)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.events)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.result)
 	mux.HandleFunc("GET /v1/jobs/{id}/plan", s.plan)
@@ -229,6 +291,9 @@ func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 		Verifies:  st.Verifies,
 		Diagnoses: st.Diagnoses, DiagnoseWallNs: st.DiagnoseWall.Nanoseconds(),
 		SigCacheHits: st.SigCacheHits, SigCacheMisses: st.SigCacheMisses,
+		SolverExecutor: st.SolverExecutor,
+		WorkerSlots:    st.WorkerSlots, WorkersAlive: st.WorkersAlive, WorkersBusy: st.WorkersBusy,
+		WorkerSpawns: st.WorkerSpawns, WorkerRestarts: st.WorkerRestarts, WorkerKills: st.WorkerKills,
 		Kinds: kindStats(st.Kinds),
 	})
 }
@@ -442,6 +507,25 @@ func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j.Cancel()
+	writeJSON(w, http.StatusOK, api.JobStatus(j))
+}
+
+// delete forgets a terminal job: its id stops resolving and it leaves
+// the per-state stats (lifetime counters keep it). Deleting a job that
+// is still pending or running is a 409 — cancel it first.
+func (s *server) delete(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	if !s.svc.Forget(j.ID()) {
+		// Known but not forgettable: the job has not reached a terminal
+		// state (a concurrent Forget losing the race lands here too, and
+		// 409 is still an honest answer: retry resolves it to a 404).
+		httpError(w, http.StatusConflict,
+			fmt.Errorf("job %s is %v; cancel it or wait before deleting", j.ID(), j.State()))
+		return
+	}
 	writeJSON(w, http.StatusOK, api.JobStatus(j))
 }
 

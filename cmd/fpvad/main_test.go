@@ -9,13 +9,51 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 
 	"repro/cmd/internal/api"
 	"repro/fpva"
+	"repro/internal/workerpool" // test files are exempt from apiboundary
 )
+
+// workerEnv re-execs the test binary as a solver worker: "solve" serves
+// real solves (what fpvaworker does), "hang" accepts a job and blocks
+// until canceled or killed — the crash-injection target.
+const workerEnv = "FPVAD_TEST_WORKER"
+
+func TestMain(m *testing.M) {
+	switch mode := os.Getenv(workerEnv); mode {
+	case "":
+		os.Exit(m.Run())
+	case "solve":
+		if err := fpva.ServeSolverWorker(context.Background(), os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "test worker:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	case "hang":
+		err := workerpool.Serve(context.Background(), os.Stdin, os.Stdout,
+			func(ctx context.Context, req []byte, emit func([]byte)) ([]byte, error) {
+				<-ctx.Done()
+				return nil, ctx.Err()
+			})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "test worker:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown %s mode %q\n", workerEnv, mode)
+		os.Exit(2)
+	}
+}
 
 func newTestServer(t *testing.T) (*httptest.Server, *fpva.Service) {
 	t.Helper()
@@ -498,6 +536,283 @@ func TestCancelEndpoint(t *testing.T) {
 	}
 }
 
+// TestDeleteJobEndpoint is the DELETE /v1/jobs/{id} contract, table-style:
+// unknown ids 404, live jobs 409, terminal jobs 200 and then 404 — with
+// the per-state stats dropping the job while lifetime tallies keep it.
+func TestDeleteJobEndpoint(t *testing.T) {
+	srv, svc := newTestServer(t)
+	del := func(id string) (int, []byte) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+id, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, b
+	}
+
+	// A terminal job first (on a one-CPU service the live job below would
+	// otherwise hold the only worker slot and starve it).
+	code, b := postJSON(t, srv.URL+"/v1/jobs", `{"kind":"generate","array":`+encodeArray(t, 4, 4)+`}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, b)
+	}
+	var done api.Job
+	if err := json.Unmarshal(b, &done); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, srv.URL, done.ID)
+	// And a live one to 409 against: heavy enough that delete lands
+	// mid-solve.
+	a, err := fpva.NewArray(10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := svc.SubmitGenerate(context.Background(), a,
+		fpva.WithDirectModel(), fpva.WithPathEngine(fpva.PathEngineILPIterative))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Cancel()
+
+	for _, tc := range []struct {
+		name string
+		id   string
+		code int
+	}{
+		{"unknown id", "nope", http.StatusNotFound},
+		{"running job", live.ID(), http.StatusConflict},
+		{"terminal job", done.ID, http.StatusOK},
+		{"already deleted", done.ID, http.StatusNotFound},
+	} {
+		if code, b := del(tc.id); code != tc.code {
+			t.Errorf("%s: DELETE %s = %d, want %d (%s)", tc.name, tc.id, code, tc.code, b)
+		}
+	}
+
+	code, b = getBody(t, srv.URL+"/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats: %d %s", code, b)
+	}
+	var st api.ServiceStats
+	if err := json.Unmarshal(b, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.JobsDone != 0 {
+		t.Errorf("deleted job still counted done: %+v", st)
+	}
+	if st.JobsSubmitted != 2 || st.Kinds["generate"].Done != 1 {
+		t.Errorf("lifetime counters must survive deletion: %+v", st)
+	}
+	if n := len(svc.Jobs()); n != 1 {
+		t.Errorf("tracking %d jobs after delete, want 1 (the live one)", n)
+	}
+}
+
+// newSubprocessServer boots a daemon whose solves run in re-execs of the
+// test binary (workerEnv selects the worker behavior).
+func newSubprocessServer(t *testing.T, mode string) (*httptest.Server, *fpva.Service) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Setenv(workerEnv, mode)
+	svc := fpva.NewService(
+		fpva.WithSolverExecutor(fpva.ExecSubprocess),
+		fpva.WithWorkerCommand(exe),
+		fpva.WithSolverPoolSize(1),
+	)
+	srv := httptest.NewServer(newServer(svc))
+	t.Cleanup(func() {
+		srv.Close()
+		svc.Close()
+	})
+	return srv, svc
+}
+
+// normalizeWire strips the five timing fields from a plan's wire bytes
+// (they are measurements, not content) and re-marshals the rest into a
+// canonical form for comparison.
+func normalizeWire(t *testing.T, wire []byte) string {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(wire, &m); err != nil {
+		t.Fatalf("plan wire does not parse: %v", err)
+	}
+	stats, ok := m["stats"].(map[string]any)
+	if !ok {
+		t.Fatalf("plan wire has no stats object: %.200s", wire)
+	}
+	for _, k := range []string{"tp_ns", "tc_ns", "tl_ns", "t_ns", "solver_wall_ns"} {
+		delete(stats, k)
+	}
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// runGenerate submits one generate job and returns its plan wire bytes.
+func runGenerate(t *testing.T, base, arrayJSON string) []byte {
+	t.Helper()
+	code, b := postJSON(t, base+"/v1/jobs", `{"kind":"generate","array":`+arrayJSON+`}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, b)
+	}
+	var j api.Job
+	if err := json.Unmarshal(b, &j); err != nil {
+		t.Fatal(err)
+	}
+	if got := waitDone(t, base, j.ID); got.State != "done" {
+		t.Fatalf("generate job: %+v", got)
+	}
+	code, wire := getBody(t, base+"/v1/jobs/"+j.ID+"/plan")
+	if code != http.StatusOK {
+		t.Fatalf("plan fetch: %d %s", code, wire)
+	}
+	return wire
+}
+
+// TestSubprocessDaemonPlanIdentical is the executor-transparency
+// acceptance check over HTTP: the same array generated by a
+// subprocess-mode daemon and an in-process one serves the same plan
+// bytes up to timing statistics.
+func TestSubprocessDaemonPlanIdentical(t *testing.T) {
+	subSrv, _ := newSubprocessServer(t, "solve")
+	inSrv, _ := newTestServer(t)
+	arr := encodeArray(t, 5, 4)
+	wireSub := runGenerate(t, subSrv.URL, arr)
+	wireIn := runGenerate(t, inSrv.URL, arr)
+	if normalizeWire(t, wireSub) != normalizeWire(t, wireIn) {
+		t.Error("subprocess-mode plan differs from in-process beyond timing stats")
+	}
+	code, b := getBody(t, subSrv.URL+"/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats: %d %s", code, b)
+	}
+	var st api.ServiceStats
+	if err := json.Unmarshal(b, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.SolverExecutor != "subprocess" || st.WorkerSlots != 1 || st.WorkerSpawns < 1 {
+		t.Errorf("worker stats not surfaced: %+v", st)
+	}
+}
+
+// childPids lists direct child processes via /proc — in these tests the
+// only children are pool workers.
+func childPids(t *testing.T) []int {
+	t.Helper()
+	self := os.Getpid()
+	stats, err := filepath.Glob("/proc/[0-9]*/stat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pids []int
+	for _, path := range stats {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			continue // raced with process exit
+		}
+		// /proc/<pid>/stat: "pid (comm) state ppid ..."; comm may hold
+		// spaces, so parse from after the last ')'.
+		s := string(b)
+		i := strings.LastIndexByte(s, ')')
+		if i < 0 {
+			continue
+		}
+		fields := strings.Fields(s[i+1:])
+		if len(fields) < 2 {
+			continue
+		}
+		if ppid, err := strconv.Atoi(fields[1]); err != nil || ppid != self {
+			continue
+		}
+		pid, err := strconv.Atoi(filepath.Base(filepath.Dir(path)))
+		if err == nil {
+			pids = append(pids, pid)
+		}
+	}
+	return pids
+}
+
+// TestSubprocessDaemonKill9KeepsServing is the crash-isolation
+// acceptance check end to end: kill -9 the worker mid-solve, exactly
+// that job fails, /healthz stays green, and the restarted pool serves
+// the next solve.
+func TestSubprocessDaemonKill9KeepsServing(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("worker pid discovery reads /proc")
+	}
+	srv, _ := newSubprocessServer(t, "hang")
+	code, b := postJSON(t, srv.URL+"/v1/jobs", `{"kind":"generate","array":`+encodeArray(t, 4, 4)+`}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, b)
+	}
+	var j api.Job
+	if err := json.Unmarshal(b, &j); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait until the hang worker holds the job, then shoot it.
+	pid := 0
+	deadline := time.Now().Add(10 * time.Second)
+	for pid == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never went busy")
+		}
+		_, sb := getBody(t, srv.URL+"/v1/stats")
+		var st api.ServiceStats
+		if err := json.Unmarshal(sb, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.WorkersBusy == 1 {
+			if pids := childPids(t); len(pids) == 1 {
+				pid = pids[0]
+				break
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := syscall.Kill(pid, syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := waitDone(t, srv.URL, j.ID); got.State != "failed" || !strings.Contains(got.Error, "worker crashed") {
+		t.Fatalf("after kill -9: %+v, want failed with a worker-crash error", got)
+	}
+	if code, _ := getBody(t, srv.URL+"/healthz"); code != http.StatusOK {
+		t.Errorf("healthz after worker crash: %d", code)
+	}
+
+	// The daemon keeps serving: flip the worker mode to a real solver (the
+	// replacement spawns with the current environment) and run a solve.
+	t.Setenv(workerEnv, "solve")
+	runGenerate(t, srv.URL, encodeArray(t, 3, 3))
+
+	code, b = getBody(t, srv.URL+"/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats: %d %s", code, b)
+	}
+	var st api.ServiceStats
+	if err := json.Unmarshal(b, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.JobsFailed != 1 || st.JobsDone != 1 || st.WorkerRestarts < 1 {
+		t.Errorf("crash accounting: %+v", st)
+	}
+}
+
 // TestParseFlags is the table-driven exit-code contract for the daemon's
 // flag surface.
 func TestParseFlags(t *testing.T) {
@@ -516,6 +831,14 @@ func TestParseFlags(t *testing.T) {
 		{"pprof localhost", []string{"-pprof-addr", "localhost:6060"}, 0},
 		{"pprof public addr", []string{"-pprof-addr", "0.0.0.0:6060"}, 2},
 		{"pprof missing port", []string{"-pprof-addr", "127.0.0.1"}, 2},
+		{"solver exec subprocess", []string{"-solver-exec", "subprocess"}, 0},
+		{"solver exec in-process", []string{"-solver-exec", "in-process"}, 0},
+		{"bad solver exec", []string{"-solver-exec", "alien"}, 2},
+		{"solver tuning", []string{"-solver-workers", "4", "-worker-mem-mb", "512", "-solver-timeout", "5m", "-job-ttl", "1h"}, 0},
+		{"negative solver workers", []string{"-solver-workers", "-1"}, 2},
+		{"negative worker mem", []string{"-worker-mem-mb", "-1"}, 2},
+		{"bad solver timeout", []string{"-solver-timeout", "soon"}, 2},
+		{"negative job ttl", []string{"-job-ttl", "-1s"}, 2},
 	} {
 		var errb strings.Builder
 		_, err := parseFlags(tc.args, &errb)

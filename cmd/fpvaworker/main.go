@@ -1,0 +1,87 @@
+// Command fpvaworker is the solver-worker subprocess of the
+// out-of-process executor (fpva.WithSolverExecutor(ExecSubprocess)). It
+// is not meant to be run by hand: a supervising service (fpvad, or any
+// embedder of fpva.Service) spawns one fpvaworker per pool slot and
+// speaks the length-prefixed frame protocol over the worker's
+// stdin/stdout — solve envelopes in, phase events and plan wire bytes
+// out. Stdout is reserved for frames; diagnostics go to stderr.
+//
+// Usage:
+//
+//	fpvaworker                    serve solves on stdin/stdout until EOF
+//	fpvaworker -mem-limit-mb 512  set a soft Go heap ceiling (runtime/debug.SetMemoryLimit)
+//
+// The -mem-limit-mb ceiling is soft: the runtime sheds memory to stay
+// under it, and the supervisor enforces a hard RSS backstop (at twice
+// the soft limit) by killing the worker, which fails only the job the
+// worker was running.
+//
+// Exit codes: 0 on clean shutdown (supervisor closed stdin), 1 on a
+// protocol or I/O failure, 2 on a usage error.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime/debug"
+
+	"repro/cmd/internal/cli"
+	"repro/fpva"
+)
+
+type options struct {
+	memLimitMB int
+}
+
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func realMain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	opt, err := parseFlags(args, stderr)
+	if errors.Is(err, flag.ErrHelp) {
+		return 0
+	}
+	if err != nil {
+		return 2
+	}
+	if opt.memLimitMB > 0 {
+		debug.SetMemoryLimit(int64(opt.memLimitMB) << 20)
+	}
+	// No signal handling: the worker's lifecycle belongs to its
+	// supervisor, which drains it by closing stdin (graceful) or kills it
+	// (deadline / memory backstop). A terminal-delivered SIGINT reaching
+	// the whole process group kills the worker along with the daemon,
+	// which is the correct collective shutdown.
+	if err := fpva.ServeSolverWorker(context.Background(), stdin, stdout); err != nil {
+		fmt.Fprintln(stderr, "fpvaworker:", err)
+		return cli.ExitCode(err)
+	}
+	return 0
+}
+
+func parseFlags(args []string, stderr io.Writer) (options, error) {
+	var opt options
+	fs := flag.NewFlagSet("fpvaworker", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.IntVar(&opt.memLimitMB, "mem-limit-mb", 0, "soft Go memory limit in MiB (0 = unlimited)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return opt, err
+		}
+		return opt, cli.Usagef("%v", err)
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "fpvaworker: unexpected argument %q\n", fs.Arg(0))
+		return opt, cli.Usagef("unexpected argument %q", fs.Arg(0))
+	}
+	if opt.memLimitMB < 0 {
+		fmt.Fprintln(stderr, "fpvaworker: -mem-limit-mb must be >= 0")
+		return opt, cli.Usagef("-mem-limit-mb must be >= 0")
+	}
+	return opt, nil
+}

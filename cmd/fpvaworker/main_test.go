@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestFlagErrors: the repo-wide exit-code contract — usage mistakes exit
+// 2, -h exits 0 after printing help.
+func TestFlagErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"unknown flag", []string{"-nope"}, 2},
+		{"extra argument", []string{"stray"}, 2},
+		{"negative mem limit", []string{"-mem-limit-mb", "-1"}, 2},
+		{"help", []string{"-h"}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if got := realMain(tc.args, strings.NewReader(""), &out, &errb); got != tc.code {
+				t.Errorf("realMain(%q) = %d, want %d (stderr: %s)", tc.args, got, tc.code, errb.String())
+			}
+			if out.Len() != 0 {
+				t.Errorf("wrote %d bytes to stdout on a non-serving run; stdout is reserved for frames", out.Len())
+			}
+		})
+	}
+}
+
+// TestHelloThenCleanDrain: a served run speaks the handshake first and
+// exits 0 when the supervisor closes stdin. The expected bytes are the
+// wire-protocol hello frame: type 1, big-endian length 6, "fpvaw1".
+func TestHelloThenCleanDrain(t *testing.T) {
+	hello := []byte{1, 0, 0, 0, 6, 'f', 'p', 'v', 'a', 'w', '1'}
+	var out, errb bytes.Buffer
+	if got := realMain(nil, strings.NewReader(""), &out, &errb); got != 0 {
+		t.Fatalf("realMain = %d, want 0 (stderr: %s)", got, errb.String())
+	}
+	if !bytes.Equal(out.Bytes(), hello) {
+		t.Errorf("stdout = %v, want the hello frame %v", out.Bytes(), hello)
+	}
+}
+
+// TestMemLimitFlagAccepted: the soft ceiling parses and the worker still
+// serves (the limit itself is a runtime knob, observable only under
+// memory pressure).
+func TestMemLimitFlagAccepted(t *testing.T) {
+	var out bytes.Buffer
+	if got := realMain([]string{"-mem-limit-mb", "512"}, strings.NewReader(""), &out, io.Discard); got != 0 {
+		t.Fatalf("realMain = %d, want 0", got)
+	}
+	if out.Len() == 0 {
+		t.Error("served run produced no frames")
+	}
+}

@@ -189,6 +189,13 @@ type ServiceStats struct {
 	DiagnoseWallNs int64                `json:"diagnoseWallNs"`
 	SigCacheHits   int                  `json:"sigCacheHits"`
 	SigCacheMisses int                  `json:"sigCacheMisses"`
+	SolverExecutor string               `json:"solverExecutor,omitempty"`
+	WorkerSlots    int                  `json:"workerSlots,omitempty"`
+	WorkersAlive   int                  `json:"workersAlive,omitempty"`
+	WorkersBusy    int                  `json:"workersBusy,omitempty"`
+	WorkerSpawns   int                  `json:"workerSpawns,omitempty"`
+	WorkerRestarts int                  `json:"workerRestarts,omitempty"`
+	WorkerKills    int                  `json:"workerKills,omitempty"`
 	Kinds          map[string]KindStats `json:"kinds,omitempty"`
 }
 

@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // JobKind names the pipeline stage a Job runs.
@@ -113,6 +114,7 @@ type Job struct {
 
 	mu       sync.Mutex
 	state    JobState
+	doneAt   time.Time // terminal-transition instant, for WithJobTTL expiry
 	cacheHit bool
 	events   []Event
 	notify   chan struct{} // closed and replaced on every append
@@ -367,6 +369,7 @@ func (j *Job) finish(state JobState, err error) {
 	}
 	j.state = state
 	j.err = err
+	j.doneAt = time.Now()
 	j.mu.Unlock()
 	j.cancel() // release the context watcher; no-op if already canceled
 	close(j.done)
@@ -386,6 +389,14 @@ func (j *Job) finishPlan(p *Plan, wire []byte) {
 	j.wire = wire
 	j.mu.Unlock()
 	j.finish(JobDone, nil)
+}
+
+// expiredBefore reports whether the job turned terminal before the cutoff
+// (the WithJobTTL expiry test).
+func (j *Job) expiredBefore(cutoff time.Time) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state.Terminal() && j.doneAt.Before(cutoff)
 }
 
 // classifyTerminal maps a worker failure to the terminal state: if the

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/diagnose"
+	"repro/internal/workerpool"
 )
 
 // Service is the long-lived, concurrent entry point of the pipeline: one
@@ -34,6 +35,12 @@ import (
 type Service struct {
 	workers int
 	sem     chan struct{} // worker-pool slots
+
+	// Subprocess executor state (nil pool means in-process solves).
+	executor      SolverExecutor
+	pool          *workerpool.Pool
+	solverTimeout time.Duration
+	jobTTL        time.Duration
 
 	mu       sync.Mutex
 	cache    *planCache // nil when caching is disabled
@@ -70,6 +77,13 @@ type serviceConfig struct {
 	workers    int
 	cacheBytes int64
 	retain     int
+
+	executor      SolverExecutor
+	workerCmd     []string
+	poolSize      int
+	solverTimeout time.Duration
+	workerMemMB   int
+	jobTTL        time.Duration
 }
 
 // DefaultJobRetention is the terminal-job retention cap of a service built
@@ -91,6 +105,54 @@ func WithCacheBytes(n int64) ServiceOption { return func(c *serviceConfig) { c.c
 // Jobs tracking — their handles keep working for whoever holds them.
 func WithJobRetention(n int) ServiceOption { return func(c *serviceConfig) { c.retain = n } }
 
+// WithSolverExecutor selects where generate solves run (default
+// ExecInProcess). With ExecSubprocess the service owns a pool of worker
+// subprocesses (see WithWorkerCommand, WithSolverPoolSize): a solver
+// crash, hang, or memory blow-up fails only the job that hit it, the pool
+// restarts the worker, and the service keeps serving. Cache keys, the
+// singleflight path, and the plan wire bytes are identical across
+// executors — a subprocess solve produces the same vectors, cached
+// verbatim from the worker's response.
+func WithSolverExecutor(e SolverExecutor) ServiceOption {
+	return func(c *serviceConfig) { c.executor = e }
+}
+
+// WithWorkerCommand sets the worker subprocess argv for ExecSubprocess
+// (default: an fpvaworker binary next to the current executable, then
+// PATH). The command must speak the solver-worker protocol —
+// ServeSolverWorker on stdin/stdout.
+func WithWorkerCommand(argv ...string) ServiceOption {
+	return func(c *serviceConfig) { c.workerCmd = append([]string(nil), argv...) }
+}
+
+// WithSolverPoolSize bounds how many worker subprocesses ExecSubprocess
+// keeps (default: the service worker count). Processes spawn lazily and
+// stay alive across jobs.
+func WithSolverPoolSize(n int) ServiceOption { return func(c *serviceConfig) { c.poolSize = n } }
+
+// WithSolverTimeout bounds one generate solve's wall clock (default: none).
+// It applies to both executors; under ExecSubprocess an expired solve is
+// first asked to cancel and its worker killed only if it does not comply.
+func WithSolverTimeout(d time.Duration) ServiceOption {
+	return func(c *serviceConfig) { c.solverTimeout = d }
+}
+
+// WithWorkerMemLimitMB caps a worker subprocess's memory (default: none;
+// ExecSubprocess only). The limit is handed to the worker as its soft Go
+// runtime memory limit, and the supervisor hard-kills any worker whose
+// resident set exceeds twice it — the killed solve fails, the pool
+// restarts the worker.
+func WithWorkerMemLimitMB(mb int) ServiceOption {
+	return func(c *serviceConfig) { c.workerMemMB = mb }
+}
+
+// WithJobTTL expires terminal jobs: once a job has been done, failed, or
+// canceled for longer than the TTL it is dropped from Job / Jobs / Stats
+// tracking, exactly as if Forget had been called (default: none — jobs are
+// retained until the WithJobRetention cap reaps them). Held handles keep
+// working.
+func WithJobTTL(d time.Duration) ServiceOption { return func(c *serviceConfig) { c.jobTTL = d } }
+
 // NewService builds a Service. Close it when done to cancel outstanding
 // jobs and wait for their workers to drain.
 func NewService(opts ...ServiceOption) *Service {
@@ -106,16 +168,22 @@ func NewService(opts ...ServiceOption) *Service {
 		cfg.workers = 1
 	}
 	s := &Service{
-		workers: cfg.workers,
-		sem:     make(chan struct{}, cfg.workers),
-		sigs:    newSigCache(defaultSigCacheEntries),
-		flights: make(map[string]*flight),
-		jobs:    make(map[string]*Job),
-		byKind:  make(map[JobKind]*JobKindStats),
-		retain:  cfg.retain,
+		workers:       cfg.workers,
+		sem:           make(chan struct{}, cfg.workers),
+		sigs:          newSigCache(defaultSigCacheEntries),
+		flights:       make(map[string]*flight),
+		jobs:          make(map[string]*Job),
+		byKind:        make(map[JobKind]*JobKindStats),
+		retain:        cfg.retain,
+		executor:      cfg.executor,
+		solverTimeout: cfg.solverTimeout,
+		jobTTL:        cfg.jobTTL,
 	}
 	if cfg.cacheBytes > 0 {
 		s.cache = newPlanCache(cfg.cacheBytes)
+	}
+	if cfg.executor == ExecSubprocess {
+		s.pool = newSolverPool(cfg)
 	}
 	return s
 }
@@ -179,6 +247,21 @@ type ServiceStats struct {
 	// Done / Failed / Canceled count terminal transitions, so their sum can
 	// trail Submitted by the jobs still in flight.
 	Kinds map[string]JobKindStats
+
+	// SolverExecutor names where generate solves run ("in-process" or
+	// "subprocess"). The Worker* fields describe the subprocess pool and
+	// are zero in-process: WorkerSlots / WorkersAlive / WorkersBusy are
+	// point-in-time occupancy, WorkerSpawns counts process starts,
+	// WorkerRestarts counts crashes and kills recovered from, and
+	// WorkerKills the supervisor-initiated subset (deadline escalation,
+	// missed pings, memory limit, protocol violations).
+	SolverExecutor string
+	WorkerSlots    int
+	WorkersAlive   int
+	WorkersBusy    int
+	WorkerSpawns   int
+	WorkerRestarts int
+	WorkerKills    int
 }
 
 // JobKindStats is the lifetime job accounting of one JobKind.
@@ -193,6 +276,7 @@ type JobKindStats struct {
 func (s *Service) Stats() ServiceStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.sweepExpiredLocked()
 	st := ServiceStats{
 		JobsSubmitted: s.submitted,
 		CacheHits:     s.hits, CacheMisses: s.misses, CacheCoalesced: s.coalesced,
@@ -212,6 +296,16 @@ func (s *Service) Stats() ServiceStats {
 		st.CacheEntries = s.cache.len()
 		st.CacheBytes = s.cache.bytes
 		st.CacheCapBytes = s.cache.capBytes
+	}
+	st.SolverExecutor = s.executor.String()
+	if s.pool != nil {
+		ps := s.pool.Stats()
+		st.WorkerSlots = ps.Workers
+		st.WorkersAlive = ps.Alive
+		st.WorkersBusy = ps.Busy
+		st.WorkerSpawns = ps.Spawns
+		st.WorkerRestarts = ps.Restarts
+		st.WorkerKills = ps.Kills
 	}
 	for _, j := range s.jobs {
 		//lint:ignore fpva/detorder tallying states into counters is order-independent
@@ -238,6 +332,7 @@ func (s *Service) Workers() int { return s.workers }
 func (s *Service) Job(id string) (*Job, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.sweepExpiredLocked()
 	j, ok := s.jobs[id]
 	return j, ok
 }
@@ -246,9 +341,34 @@ func (s *Service) Job(id string) (*Job, bool) {
 func (s *Service) Jobs() []*Job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.sweepExpiredLocked()
 	out := make([]*Job, len(s.order))
 	copy(out, s.order)
 	return out
+}
+
+// sweepExpiredLocked drops terminal jobs older than the WithJobTTL bound
+// from tracking. The caller holds s.mu; expiry is lazy — checked on every
+// lookup, registration, and terminal transition — so an idle service holds
+// no timer goroutines.
+func (s *Service) sweepExpiredLocked() {
+	if s.jobTTL <= 0 || s.terminal == 0 {
+		return
+	}
+	cutoff := time.Now().Add(-s.jobTTL)
+	kept := s.order[:0]
+	for _, j := range s.order {
+		if j.expiredBefore(cutoff) {
+			delete(s.jobs, j.id)
+			s.terminal--
+			continue
+		}
+		kept = append(kept, j)
+	}
+	for i := len(kept); i < len(s.order); i++ {
+		s.order[i] = nil
+	}
+	s.order = kept
 }
 
 // Close cancels every outstanding job, waits for their workers to drain,
@@ -268,6 +388,11 @@ func (s *Service) Close() error {
 		j.Cancel()
 	}
 	s.wg.Wait()
+	if s.pool != nil {
+		// After the job goroutines drain no new dispatches can arrive, so
+		// this is a clean stop: idle workers get EOF on stdin and exit.
+		s.pool.Close()
+	}
 	return nil
 }
 
@@ -280,6 +405,7 @@ func (s *Service) register(kind JobKind, ctx context.Context, progress Progress,
 	if s.closed {
 		return nil, fmt.Errorf("fpva: %w", ErrServiceClosed)
 	}
+	s.sweepExpiredLocked()
 	s.seq++
 	j := newJob(s, fmt.Sprintf("j%06d", s.seq), kind, ctx, progress)
 	j.inPlan = inPlan
@@ -318,6 +444,7 @@ func (s *Service) noteTerminal(kind JobKind, state JobState) {
 		ks.Canceled++
 	}
 	s.terminal++
+	s.sweepExpiredLocked()
 	if s.retain <= 0 || s.terminal <= s.retain {
 		return
 	}
@@ -693,31 +820,48 @@ func (s *Service) runFlight(fl *flight, a *Array, cfg genConfig, key string) {
 		finish(nil, err)
 		return
 	}
-	coreCfg.OnPhase = func(ph core.Phase, done bool) {
-		kind := PhaseStarted
-		if done {
-			kind = PhaseFinished
-		}
-		fl.emit(s, Event{Kind: kind, Phase: Phase(ph)})
+	sctx := fl.ctx
+	if s.solverTimeout > 0 {
+		var cancel context.CancelFunc
+		sctx, cancel = context.WithTimeout(fl.ctx, s.solverTimeout)
+		defer cancel()
 	}
 	t0 := time.Now()
-	ts, err := core.Generate(fl.ctx, a.g, coreCfg)
-	wall := time.Since(t0)
-	if err != nil {
-		finish(nil, err)
-		return
-	}
-	plan := &Plan{a: a, ts: ts, geometry: true}
-	// Materialize the wire bytes once, outside the service lock — a large
-	// plan must not stall unrelated submissions and stats. These exact
-	// bytes back every later fetch: the cache entry, Job.PlanBytes, and
-	// fpvad's /plan handler all serve them without re-encoding.
-	if s.cache != nil {
-		var buf bytes.Buffer
-		if encErr := EncodePlan(&buf, plan); encErr == nil {
-			fl.wire = buf.Bytes()
+	var plan *Plan
+	if s.pool != nil {
+		// Subprocess executor: the solve runs in a supervised worker; its
+		// response IS the plan's wire encoding, kept verbatim in fl.wire.
+		plan, err = s.solveSubprocess(sctx, fl, a, cfg)
+		if err != nil {
+			finish(nil, err)
+			return
+		}
+	} else {
+		coreCfg.OnPhase = func(ph core.Phase, done bool) {
+			kind := PhaseStarted
+			if done {
+				kind = PhaseFinished
+			}
+			fl.emit(s, Event{Kind: kind, Phase: Phase(ph)})
+		}
+		ts, genErr := core.Generate(sctx, a.g, coreCfg)
+		if genErr != nil {
+			finish(nil, genErr)
+			return
+		}
+		plan = &Plan{a: a, ts: ts, geometry: true}
+		// Materialize the wire bytes once, outside the service lock — a large
+		// plan must not stall unrelated submissions and stats. These exact
+		// bytes back every later fetch: the cache entry, Job.PlanBytes, and
+		// fpvad's /plan handler all serve them without re-encoding.
+		if s.cache != nil {
+			var buf bytes.Buffer
+			if encErr := EncodePlan(&buf, plan); encErr == nil {
+				fl.wire = buf.Bytes()
+			}
 		}
 	}
+	wall := time.Since(t0)
 	s.mu.Lock()
 	s.solves++
 	s.solverWall += wall

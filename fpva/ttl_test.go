@@ -1,0 +1,77 @@
+package fpva_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/fpva"
+)
+
+// TestJobTTLExpiresTerminalJobs: a terminal job older than the TTL drops
+// out of Job / Jobs / Stats tracking; held handles keep working; running
+// jobs are never expired.
+func TestJobTTLExpiresTerminalJobs(t *testing.T) {
+	svc := fpva.NewService(fpva.WithJobTTL(50 * time.Millisecond))
+	defer svc.Close()
+	a, err := fpva.NewArray(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := svc.SubmitGenerate(context.Background(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := svc.Job(j.ID()); !ok {
+		t.Fatal("freshly finished job already expired")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := svc.Job(j.ID()); !ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("terminal job never expired past its TTL")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := len(svc.Jobs()); n != 0 {
+		t.Errorf("Jobs() still tracks %d jobs after expiry", n)
+	}
+	st := svc.Stats()
+	if st.JobsDone != 0 {
+		t.Errorf("stats still count the expired job: %+v", st)
+	}
+	if st.JobsSubmitted != 1 || st.Kinds["generate"].Done != 1 {
+		t.Errorf("lifetime counters must survive expiry: %+v", st)
+	}
+	// The held handle still works.
+	if _, err := j.Plan(); err != nil {
+		t.Errorf("expired job's handle broke: %v", err)
+	}
+}
+
+// TestJobTTLZeroKeepsJobs: without WithJobTTL terminal jobs stay tracked
+// (the retention cap is the only reaper).
+func TestJobTTLZeroKeepsJobs(t *testing.T) {
+	svc := fpva.NewService()
+	defer svc.Close()
+	a, err := fpva.NewArray(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := svc.SubmitGenerate(context.Background(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if _, ok := svc.Job(j.ID()); !ok {
+		t.Error("job expired with no TTL configured")
+	}
+}

@@ -1,0 +1,108 @@
+// Package workerpool runs solver jobs in long-lived worker subprocesses,
+// speaking a small length-prefixed frame protocol over the workers'
+// stdin/stdout. The pool side (Pool) supervises the processes — spawn,
+// health-check pings, restart with backoff on crash or protocol violation,
+// per-job deadlines with a cancel-then-kill escalation, an RSS kill
+// switch, and graceful drain — while the worker side (Serve) is a single
+// loop a worker binary runs over its standard streams.
+//
+// Payloads are opaque bytes: the package knows nothing about the solver
+// wire format it carries, so the daemon and the worker agree on content
+// (the fpva v1 wire format) one layer up. That keeps the crash-isolation
+// machinery reusable and free of codec dependencies.
+package workerpool
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Frame layout: a 5-byte header — one type byte, then the payload length
+// as a big-endian uint32 — followed by the payload bytes. The protocol is
+// strictly request/response from the supervisor's point of view; the only
+// unsolicited worker frame is the hello that opens the stream.
+const frameHeaderLen = 5
+
+// Frame types. The supervisor sends ping/job/cancel; the worker sends
+// hello/pong/event/result/error.
+const (
+	frameHello  byte = 1 // worker -> pool: protocol handshake, payload = helloPayload
+	framePing   byte = 2 // pool -> worker: liveness probe, payload echoed back
+	framePong   byte = 3 // worker -> pool: ping echo
+	frameJob    byte = 4 // pool -> worker: one job request payload
+	frameCancel byte = 5 // pool -> worker: cancel the in-flight job
+	frameEvent  byte = 6 // worker -> pool: progress event for the in-flight job
+	frameResult byte = 7 // worker -> pool: job response payload (success)
+	frameError  byte = 8 // worker -> pool: job failure message (worker stays up)
+)
+
+// helloVersion is the protocol version; helloPayload is the exact
+// handshake bytes a worker must send first. A version bump changes the
+// payload, so a stale worker binary fails the handshake instead of
+// misparsing frames.
+const helloVersion = 1
+
+var helloPayload = []byte{'f', 'p', 'v', 'a', 'w', '0' + helloVersion}
+
+// DefaultMaxFrameBytes bounds a frame payload (a 30x30 plan is ~1 MiB;
+// the ceiling leaves two orders of magnitude of headroom).
+const DefaultMaxFrameBytes = 256 << 20
+
+// errFrameTooBig marks a header announcing a payload beyond the limit —
+// almost always garbage on the stream, not a real giant frame.
+var errFrameTooBig = errors.New("workerpool: frame exceeds size limit")
+
+// writeFrame writes one frame. The caller owns write serialization and
+// any buffering/flush policy on w.
+//
+//fpva:allocfree
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	var hdr [frameHeaderLen]byte
+	hdr[0] = typ
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) == 0 {
+		return nil
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame into buf, growing it only when the payload
+// outsizes every previous one, and returns the payload as a sub-slice of
+// the returned buffer — valid until the next call. io.EOF is returned
+// only for a clean end of stream between frames; a stream that dies
+// mid-frame surfaces io.ErrUnexpectedEOF.
+func readFrame(r io.Reader, buf []byte, maxBytes int64) (typ byte, payload, nbuf []byte, err error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		return 0, nil, buf, err // io.EOF here is a clean close
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, buf, err
+	}
+	typ = hdr[0]
+	n := int64(binary.BigEndian.Uint32(hdr[1:]))
+	if maxBytes > 0 && n > maxBytes {
+		return 0, nil, buf, fmt.Errorf("%w: %d bytes (limit %d)", errFrameTooBig, n, maxBytes)
+	}
+	if int64(cap(buf)) < n {
+		//lint:ignore fpva/allocfree the frame buffer grows once to the steady payload size and is reused across frames
+		buf = make([]byte, n)
+	}
+	buf = buf[:cap(buf)]
+	if _, err := io.ReadFull(r, buf[:n]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, buf, err
+	}
+	return typ, buf[:n], buf, nil
+}

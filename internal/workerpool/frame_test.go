@@ -1,0 +1,109 @@
+package workerpool
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte("abc"), 1000)}
+	for i, p := range payloads {
+		if err := writeFrame(&buf, byte(i+1), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var rb []byte
+	for i, want := range payloads {
+		typ, payload, nrb, err := readFrame(&buf, rb, 0)
+		rb = nrb
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if typ != byte(i+1) {
+			t.Fatalf("frame %d: type %d", i, typ)
+		}
+		if !bytes.Equal(payload, want) {
+			t.Fatalf("frame %d: payload %q, want %q", i, payload, want)
+		}
+	}
+	if _, _, _, err := readFrame(&buf, rb, 0); err != io.EOF {
+		t.Fatalf("end of stream: %v, want io.EOF", err)
+	}
+}
+
+func TestFrameBufferReuse(t *testing.T) {
+	var buf bytes.Buffer
+	writeFrame(&buf, 1, bytes.Repeat([]byte("a"), 512))
+	writeFrame(&buf, 2, []byte("small"))
+	_, _, rb, err := readFrame(&buf, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capBefore := cap(rb)
+	_, payload, rb2, err := readFrame(&buf, rb, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap(rb2) != capBefore {
+		t.Fatalf("buffer reallocated for a smaller frame: %d -> %d", capBefore, cap(rb2))
+	}
+	if string(payload) != "small" {
+		t.Fatalf("payload = %q", payload)
+	}
+}
+
+func TestFrameTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	writeFrame(&buf, 7, []byte("full payload"))
+	full := buf.Bytes()
+	for cut := 1; cut < len(full); cut++ {
+		_, _, _, err := readFrame(bytes.NewReader(full[:cut]), nil, 0)
+		if err == nil {
+			t.Fatalf("cut at %d: no error", cut)
+		}
+		if err == io.EOF && cut >= 1 && cut != 0 {
+			// io.EOF is only legal at a frame boundary (cut 0).
+			t.Fatalf("cut at %d: io.EOF mid-frame", cut)
+		}
+	}
+}
+
+func TestFrameSizeLimit(t *testing.T) {
+	var buf bytes.Buffer
+	writeFrame(&buf, 1, bytes.Repeat([]byte("a"), 100))
+	_, _, _, err := readFrame(&buf, nil, 10)
+	if !errors.Is(err, errFrameTooBig) {
+		t.Fatalf("err = %v, want errFrameTooBig", err)
+	}
+}
+
+func TestGarbageHeaderRejected(t *testing.T) {
+	// ASCII garbage decodes as an absurd length and trips the limit.
+	r := strings.NewReader("this is not a frame at all")
+	_, _, _, err := readFrame(r, nil, DefaultMaxFrameBytes)
+	if err == nil {
+		t.Fatal("garbage parsed as a frame")
+	}
+}
+
+func BenchmarkFrameRoundTrip(b *testing.B) {
+	payload := bytes.Repeat([]byte("v"), 4096)
+	var buf bytes.Buffer
+	var rb []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := writeFrame(&buf, frameJob, payload); err != nil {
+			b.Fatal(err)
+		}
+		_, _, nrb, err := readFrame(&buf, rb, 0)
+		rb = nrb
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

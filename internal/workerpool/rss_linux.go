@@ -1,0 +1,50 @@
+//go:build linux
+
+package workerpool
+
+import (
+	"bytes"
+	"os"
+)
+
+// rssSupported reports whether resident-set polling works on this
+// platform.
+func rssSupported() bool { return true }
+
+// procRSS returns the process's resident set size in bytes, or 0 when it
+// cannot be read (the process is usually already gone).
+func procRSS(pid int) int64 {
+	// /proc/<pid>/statm: size resident shared ... , in pages.
+	buf, err := os.ReadFile("/proc/" + itoa(pid) + "/statm")
+	if err != nil {
+		return 0
+	}
+	fields := bytes.Fields(buf)
+	if len(fields) < 2 {
+		return 0
+	}
+	var pages int64
+	for _, c := range fields[1] {
+		if c < '0' || c > '9' {
+			return 0
+		}
+		pages = pages*10 + int64(c-'0')
+	}
+	return pages * int64(os.Getpagesize())
+}
+
+// itoa is a minimal positive-int formatter (strconv is fine too; this
+// keeps the poll path allocation-light).
+func itoa(n int) string {
+	if n <= 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

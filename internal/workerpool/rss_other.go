@@ -1,0 +1,10 @@
+//go:build !linux
+
+package workerpool
+
+// rssSupported reports whether resident-set polling works on this
+// platform. Without /proc the RSS kill switch is disabled; the worker's
+// own soft memory limit (runtime/debug.SetMemoryLimit) still applies.
+func rssSupported() bool { return false }
+
+func procRSS(pid int) int64 { return 0 }

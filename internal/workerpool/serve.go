@@ -1,0 +1,114 @@
+package workerpool
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Handler executes one job inside a worker process: req is the opaque
+// request payload, emit publishes a progress event frame back to the
+// supervisor (safe to call from any goroutine until the handler returns),
+// and the returned bytes are the job's response payload. ctx is canceled
+// when the supervisor sends a cancel frame for this job or the serve loop
+// shuts down.
+type Handler func(ctx context.Context, req []byte, emit func(event []byte)) ([]byte, error)
+
+// Serve runs the worker side of the protocol over (r, w) — a worker
+// binary calls it on (os.Stdin, os.Stdout) and exits with its error. The
+// loop answers pings while a job is in flight, so supervision keeps
+// working during long solves, and a clean EOF on r (the supervisor
+// draining) returns nil once the in-flight job, if any, has finished.
+//
+// Serve owns w entirely; anything else the process writes there corrupts
+// the stream (diagnostics belong on stderr).
+func Serve(ctx context.Context, r io.Reader, w io.Writer, h Handler) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(w, 64<<10)
+	var wmu sync.Mutex
+	send := func(typ byte, payload []byte) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		if err := writeFrame(bw, typ, payload); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+	if err := send(frameHello, helloPayload); err != nil {
+		return err
+	}
+
+	br := bufio.NewReaderSize(r, 64<<10)
+	var buf []byte
+
+	// One job in flight at a time; the job runs in its own goroutine so
+	// this loop keeps answering pings and can deliver a cancel.
+	var jobWG sync.WaitGroup
+	var jobMu sync.Mutex
+	var jobCancel context.CancelFunc // non-nil while a job runs
+	cancelJob := func() {
+		jobMu.Lock()
+		if jobCancel != nil {
+			jobCancel()
+		}
+		jobMu.Unlock()
+	}
+	defer jobWG.Wait()
+	defer cancelJob()
+
+	for {
+		typ, payload, nbuf, err := readFrame(br, buf, DefaultMaxFrameBytes)
+		buf = nbuf
+		if err == io.EOF {
+			return nil // supervisor closed our stdin: drain and exit clean
+		}
+		if err != nil {
+			return fmt.Errorf("workerpool: serve: read frame: %w", err)
+		}
+		switch typ {
+		case framePing:
+			if err := send(framePong, payload); err != nil {
+				return err
+			}
+		case frameCancel:
+			cancelJob()
+		case frameJob:
+			jobMu.Lock()
+			busy := jobCancel != nil
+			if !busy {
+				var jctx context.Context
+				jctx, jobCancel = context.WithCancel(ctx)
+				// payload aliases the read buffer; the job outlives this
+				// iteration, so it gets its own copy.
+				req := append([]byte(nil), payload...)
+				jobWG.Add(1)
+				go func(jctx context.Context, cancel context.CancelFunc, req []byte) {
+					defer jobWG.Done()
+					resp, err := h(jctx, req, func(ev []byte) { send(frameEvent, ev) })
+					cancel()
+					jobMu.Lock()
+					jobCancel = nil
+					jobMu.Unlock()
+					if err != nil {
+						send(frameError, []byte(err.Error()))
+						return
+					}
+					send(frameResult, resp)
+				}(jctx, jobCancel, req)
+			}
+			jobMu.Unlock()
+			if busy {
+				// The supervisor never double-dispatches; a second job frame
+				// means the stream is corrupt. Die loudly so the pool
+				// restarts this worker into a clean state.
+				return fmt.Errorf("workerpool: serve: job frame while a job is in flight")
+			}
+		default:
+			return fmt.Errorf("workerpool: serve: unexpected frame type %d", typ)
+		}
+	}
+}

@@ -11,14 +11,17 @@ cd "$(dirname "$0")/.."
 
 tmp=$(mktemp -d)
 daemon_pid=""
+sub_pid=""
 cleanup() {
 	[ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+	[ -n "$sub_pid" ] && kill "$sub_pid" 2>/dev/null || true
 	rm -rf "$tmp"
 }
 trap cleanup EXIT INT TERM
 
 echo "== build"
 go build -o "$tmp/fpvad" ./cmd/fpvad
+go build -o "$tmp/fpvaworker" ./cmd/fpvaworker
 go build -o "$tmp/fpvatest" ./cmd/fpvatest
 go build -o "$tmp/fpvasim" ./cmd/fpvasim
 
@@ -118,6 +121,49 @@ echo "== service stats"
 curl -fsS "$base/v1/stats" | tee "$tmp/stats.json" | grep -q '"solves": 1'
 grep -q '"diagnoses": 1' "$tmp/stats.json"
 grep -q '"diagnose"' "$tmp/stats.json"
+
+echo "== subprocess solver mode: same request, byte-identical plan"
+# A second daemon whose solves run in fpvaworker subprocesses. The plan it
+# serves must match the in-process daemon's bytes exactly once the five
+# timing fields (measurements, not content) are normalized.
+"$tmp/fpvad" -addr 127.0.0.1:0 -solver-exec subprocess \
+	-solver-worker-bin "$tmp/fpvaworker" -solver-workers 1 \
+	>"$tmp/fpvad-sub.log" 2>&1 &
+sub_pid=$!
+sub_base=""
+i=0
+while [ $i -lt 100 ]; do
+	sub_base=$(sed -n 's|.*listening on \(http://[^ ]*\).*|\1|p' "$tmp/fpvad-sub.log")
+	[ -n "$sub_base" ] && break
+	i=$((i + 1))
+	sleep 0.1
+done
+if [ -z "$sub_base" ]; then
+	echo "error: subprocess-mode fpvad did not start" >&2
+	cat "$tmp/fpvad-sub.log" >&2
+	exit 1
+fi
+grep -q "subprocess solver" "$tmp/fpvad-sub.log"
+curl -fsS -X POST --data-binary @"$tmp/gen-req.json" "$sub_base/v1/jobs" >"$tmp/sub-submit.json"
+sid=$(tr -d ' \n' <"$tmp/sub-submit.json" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+[ -n "$sid" ] || { echo "error: no job id in $(cat "$tmp/sub-submit.json")" >&2; exit 1; }
+curl -fsSN "$sub_base/v1/jobs/$sid/events" >/dev/null # wait for the solve
+curl -fsS "$sub_base/v1/jobs/$sid/plan" >"$tmp/sub-plan.json"
+norm() {
+	sed -E 's/"(tp_ns|tc_ns|tl_ns|t_ns|solver_wall_ns)": [0-9]+/"\1": 0/g' "$1"
+}
+norm "$tmp/sub-plan.json" >"$tmp/sub-plan.norm"
+norm "$tmp/curl-plan.json" >"$tmp/in-plan.norm"
+cmp "$tmp/sub-plan.norm" "$tmp/in-plan.norm" || {
+	echo "error: subprocess-mode plan differs from in-process beyond timing" >&2
+	exit 1
+}
+curl -fsS "$sub_base/v1/stats" | grep -q '"solverExecutor": "subprocess"'
+echo "== subprocess daemon graceful shutdown"
+kill "$sub_pid"
+wait "$sub_pid" || { echo "error: subprocess-mode fpvad exited non-zero" >&2; cat "$tmp/fpvad-sub.log" >&2; exit 1; }
+sub_pid=""
+grep -q "shut down" "$tmp/fpvad-sub.log"
 
 echo "== graceful shutdown"
 kill "$daemon_pid"
