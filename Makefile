@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check check-imports lint fmt vet bench bench-smoke bench-json bench-diff bench-ci fuzz-smoke smoke-daemon clean
+.PHONY: all build test check check-imports lint fmt vet bench bench-smoke bench-json bench-diff bench-ci fuzz-smoke smoke-daemon chaos clean
 
 # Where `make bench-json` records the benchmark suite (bumped per PR so the
 # repo keeps its performance trajectory).
@@ -78,9 +78,19 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzDecodeDiagnosis -fuzztime 10s ./fpva
 
 # End-to-end daemon smoke: boot fpvad, submit a 4x4 generate job, stream
-# progress, fetch the plan, prove the upload round trip is bit-identical.
+# progress, fetch the plan, prove the upload round trip is bit-identical,
+# kill -9 a -cache-dir daemon and prove the restart serves the same
+# bytes, and exercise the admission controls (401/429).
 smoke-daemon:
 	./scripts/fpvad-smoke.sh
+
+# Fault-injection suite under the race detector: the durable plan
+# store's crash/corruption/EIO tests (including the kill -9 child-
+# process rounds), plus the service-level store and admission tests.
+chaos:
+	$(GO) test -race -count 2 ./internal/store
+	$(GO) test -race -run 'TestCacheDir|TestStoreDegraded|TestMaxPending|TestJobTimeout' ./fpva
+	$(GO) test -race -run 'TestAuth|TestRateLimit|TestQueueFull|TestHealthz|TestConfig|TestValidate' ./cmd/fpvad
 
 clean:
 	$(GO) clean ./...

@@ -8,11 +8,28 @@
 //	fpvad                          serve on 127.0.0.1:8471
 //	fpvad -addr :9000 -workers 8   tune the bind address and worker pool
 //	fpvad -cache-mb 256            raise the plan-cache byte budget
+//	fpvad -cache-dir /var/lib/fpvad  persist plans on disk: a restarted
+//	                               daemon serves bit-identical bytes for
+//	                               everything it solved before
 //	fpvad -pprof-addr 127.0.0.1:6060  expose net/http/pprof (loopback only)
 //	fpvad -solver-exec subprocess  run solves in fpvaworker subprocesses
 //	fpvad -solver-exec subprocess -solver-workers 4 -worker-mem-mb 512 \
 //	      -solver-timeout 5m       size and resource-limit the worker pool
 //	fpvad -job-ttl 1h              expire terminal jobs after an hour
+//	fpvad -token-file tokens -rate 10 -burst 20 -max-pending 256 \
+//	      -job-timeout 10m         multi-tenant admission control: bearer
+//	                               auth, per-client rate limits (429 +
+//	                               Retry-After), bounded job queue (503)
+//	fpvad -config fpvad.json       read all of the above from a JSON file
+//	                               (flags override it); -validate checks
+//	                               the configuration and exits
+//
+// With -cache-dir the content-addressed plan cache is written through
+// to disk (atomic temp-file+rename, checksums verified on read, torn
+// entries quarantined), so the cache survives kill -9 at any instant.
+// On disk trouble (ENOSPC, EIO) the store degrades to memory-only mode
+// and re-probes with backoff; /healthz reports "degraded" with the
+// reason — still with HTTP 200 unless ?strict=1 asks for a 503.
 //
 // With -solver-exec subprocess every generate solve runs in a supervised
 // fpvaworker process (found next to the fpvad binary, or via PATH;
@@ -32,8 +49,12 @@
 //	GET  /v1/jobs/{id}/result    generate: the plan; campaign/verify: a report;
 //	                             diagnose: the diagnosis in the v1 wire format
 //	GET  /v1/jobs/{id}/plan      the job's plan (result or submitted input)
-//	GET  /v1/stats               service counters
-//	GET  /healthz                liveness
+//	GET  /v1/stats               service counters (cache, store, workers,
+//	                             admission)
+//	GET  /healthz                liveness: JSON status document, 200 for
+//	                             both "ok" and "degraded" (?strict=1
+//	                             turns degraded into 503); exempt from
+//	                             auth and rate limits
 //
 // Exit codes: 0 on clean shutdown (SIGINT/SIGTERM), 1 on runtime failure,
 // 2 on a usage error.
@@ -64,17 +85,40 @@ import (
 const maxBodyBytes = 32 << 20
 
 type options struct {
-	addr      string
-	workers   int
-	cacheMB   int
-	pprofAddr string
+	addr       string
+	workers    int
+	cacheMB    int
+	cacheDir   string
+	cacheDirMB int
+	pprofAddr  string
 
-	solverExec    fpva.SolverExecutor
-	solverWorkers int
-	workerBin     string
-	workerMemMB   int
-	solverTimeout time.Duration
-	jobTTL        time.Duration
+	solverExecName string
+	solverExec     fpva.SolverExecutor
+	solverWorkers  int
+	workerBin      string
+	workerMemMB    int
+	solverTimeout  time.Duration
+	jobTTL         time.Duration
+	jobTimeout     time.Duration
+
+	tokenFile  string
+	ratePerSec float64
+	rateBurst  int
+	maxPending int
+
+	configPath string
+	validate   bool
+}
+
+// defaultOptions is the base layer of the precedence stack: defaults,
+// then the config file, then command-line flags.
+func defaultOptions() options {
+	return options{
+		addr:           "127.0.0.1:8471",
+		cacheMB:        64,
+		cacheDirMB:     256,
+		solverExecName: "in-process",
+	}
 }
 
 func main() {
@@ -89,6 +133,14 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return 2
 	}
+	if opt.validate {
+		if err := checkConfig(opt); err != nil {
+			fmt.Fprintln(stderr, "fpvad:", err)
+			return exitCode(err)
+		}
+		fmt.Fprintln(stdout, "fpvad: configuration ok")
+		return 0
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := run(ctx, stdout, opt); err != nil {
@@ -96,6 +148,18 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		return exitCode(err)
 	}
 	return 0
+}
+
+// checkConfig runs the validations that need I/O (the pure flag checks
+// already ran in parseFlags): the token file must load. -validate uses
+// it; run performs the same loads for real.
+func checkConfig(opt options) error {
+	if opt.tokenFile != "" {
+		if _, err := loadTokenFile(opt.tokenFile); err != nil {
+			return usagef("-token-file: %v", err)
+		}
+	}
+	return nil
 }
 
 // usagef / exitCode alias the repo-wide CLI exit-code contract
@@ -106,19 +170,41 @@ var (
 )
 
 func parseFlags(args []string, stderr io.Writer) (options, error) {
-	var opt options
+	// The config file (found by a pre-scan) seeds the flag defaults, so
+	// "flags override file" falls out of flag.Parse itself.
+	opt := defaultOptions()
+	cfgPath, err := scanConfigArg(args)
+	if err != nil {
+		fmt.Fprintln(stderr, "fpvad:", err)
+		return opt, usagef("%v", err)
+	}
+	if cfgPath != "" {
+		if err := applyConfigFile(cfgPath, &opt); err != nil {
+			fmt.Fprintln(stderr, "fpvad:", err)
+			return opt, usagef("%v", err)
+		}
+	}
 	fs := flag.NewFlagSet("fpvad", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	fs.StringVar(&opt.addr, "addr", "127.0.0.1:8471", "listen address (use :0 for an ephemeral port)")
-	fs.IntVar(&opt.workers, "workers", 0, "concurrent jobs (0 = all CPUs)")
-	fs.IntVar(&opt.cacheMB, "cache-mb", 64, "plan-cache byte budget in MiB (0 disables caching)")
-	fs.StringVar(&opt.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this loopback address (empty = disabled)")
-	solverExec := fs.String("solver-exec", "in-process", "solver executor: in-process or subprocess")
-	fs.IntVar(&opt.solverWorkers, "solver-workers", 0, "subprocess-mode worker pool size (0 = the -workers value)")
-	fs.StringVar(&opt.workerBin, "solver-worker-bin", "", "solver worker binary (empty = fpvaworker next to fpvad, then PATH)")
-	fs.IntVar(&opt.workerMemMB, "worker-mem-mb", 0, "per-worker soft memory ceiling in MiB, hard RSS kill at twice that (0 = unlimited)")
-	fs.DurationVar(&opt.solverTimeout, "solver-timeout", 0, "per-solve deadline, e.g. 5m (0 = none)")
-	fs.DurationVar(&opt.jobTTL, "job-ttl", 0, "drop terminal jobs from tracking after this long, e.g. 1h (0 = keep)")
+	fs.StringVar(&opt.configPath, "config", cfgPath, "JSON config file; flags given on the command line override it")
+	fs.BoolVar(&opt.validate, "validate", false, "parse and check the configuration (config file, flags, token file), then exit")
+	fs.StringVar(&opt.addr, "addr", opt.addr, "listen address (use :0 for an ephemeral port)")
+	fs.IntVar(&opt.workers, "workers", opt.workers, "concurrent jobs (0 = all CPUs)")
+	fs.IntVar(&opt.cacheMB, "cache-mb", opt.cacheMB, "plan-cache byte budget in MiB (0 disables caching)")
+	fs.StringVar(&opt.cacheDir, "cache-dir", opt.cacheDir, "persist the plan cache in this directory (empty = memory only)")
+	fs.IntVar(&opt.cacheDirMB, "cache-dir-mb", opt.cacheDirMB, "on-disk plan-store byte budget in MiB")
+	fs.StringVar(&opt.pprofAddr, "pprof-addr", opt.pprofAddr, "serve net/http/pprof on this loopback address (empty = disabled)")
+	fs.StringVar(&opt.solverExecName, "solver-exec", opt.solverExecName, "solver executor: in-process or subprocess")
+	fs.IntVar(&opt.solverWorkers, "solver-workers", opt.solverWorkers, "subprocess-mode worker pool size (0 = the -workers value)")
+	fs.StringVar(&opt.workerBin, "solver-worker-bin", opt.workerBin, "solver worker binary (empty = fpvaworker next to fpvad, then PATH)")
+	fs.IntVar(&opt.workerMemMB, "worker-mem-mb", opt.workerMemMB, "per-worker soft memory ceiling in MiB, hard RSS kill at twice that (0 = unlimited)")
+	fs.DurationVar(&opt.solverTimeout, "solver-timeout", opt.solverTimeout, "per-solve deadline, e.g. 5m (0 = none)")
+	fs.DurationVar(&opt.jobTTL, "job-ttl", opt.jobTTL, "drop terminal jobs from tracking after this long, e.g. 1h (0 = keep)")
+	fs.DurationVar(&opt.jobTimeout, "job-timeout", opt.jobTimeout, "per-job lifetime bound, queue wait included, e.g. 10m (0 = none)")
+	fs.StringVar(&opt.tokenFile, "token-file", opt.tokenFile, "bearer-token credential file, one name:token per line (empty = no auth)")
+	fs.Float64Var(&opt.ratePerSec, "rate", opt.ratePerSec, "per-client sustained request rate limit in req/s (0 = unlimited)")
+	fs.IntVar(&opt.rateBurst, "burst", opt.rateBurst, "per-client rate-limit burst size (0 = 1)")
+	fs.IntVar(&opt.maxPending, "max-pending", opt.maxPending, "admission bound: max jobs queued or running before submissions shed with 503 (0 = unbounded)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return opt, err
@@ -129,34 +215,36 @@ func parseFlags(args []string, stderr io.Writer) (options, error) {
 		fmt.Fprintf(stderr, "fpvad: unexpected argument %q\n", fs.Arg(0))
 		return opt, usagef("unexpected argument %q", fs.Arg(0))
 	}
-	if opt.workers < 0 {
-		fmt.Fprintln(stderr, "fpvad: -workers must be >= 0")
-		return opt, usagef("-workers must be >= 0")
-	}
-	if opt.cacheMB < 0 {
-		fmt.Fprintln(stderr, "fpvad: -cache-mb must be >= 0")
-		return opt, usagef("-cache-mb must be >= 0")
-	}
 	if opt.pprofAddr != "" {
 		if err := checkLoopback(opt.pprofAddr); err != nil {
 			fmt.Fprintln(stderr, "fpvad:", err)
 			return opt, usagef("%v", err)
 		}
 	}
-	exec, err := fpva.ParseSolverExecutor(*solverExec)
+	exec, err := fpva.ParseSolverExecutor(opt.solverExecName)
 	if err != nil {
-		fmt.Fprintf(stderr, "fpvad: -solver-exec %q: want in-process or subprocess\n", *solverExec)
-		return opt, usagef("-solver-exec %q", *solverExec)
+		fmt.Fprintf(stderr, "fpvad: -solver-exec %q: want in-process or subprocess\n", opt.solverExecName)
+		return opt, usagef("-solver-exec %q", opt.solverExecName)
 	}
 	opt.solverExec = exec
+	if opt.ratePerSec < 0 {
+		fmt.Fprintln(stderr, "fpvad: -rate must be >= 0")
+		return opt, usagef("-rate must be >= 0")
+	}
 	for _, iv := range []struct {
 		name string
 		v    int
 	}{
+		{"-workers", opt.workers},
+		{"-cache-mb", opt.cacheMB},
+		{"-cache-dir-mb", opt.cacheDirMB},
 		{"-solver-workers", opt.solverWorkers},
 		{"-worker-mem-mb", opt.workerMemMB},
 		{"-solver-timeout", int(opt.solverTimeout)},
 		{"-job-ttl", int(opt.jobTTL)},
+		{"-job-timeout", int(opt.jobTimeout)},
+		{"-burst", opt.rateBurst},
+		{"-max-pending", opt.maxPending},
 	} {
 		if iv.v < 0 {
 			fmt.Fprintf(stderr, "fpvad: %s must be >= 0\n", iv.name)
@@ -204,15 +292,46 @@ func run(ctx context.Context, w io.Writer, opt options) error {
 	if opt.jobTTL > 0 {
 		svcOpts = append(svcOpts, fpva.WithJobTTL(opt.jobTTL))
 	}
+	if opt.cacheDir != "" {
+		svcOpts = append(svcOpts, fpva.WithCacheDir(opt.cacheDir),
+			fpva.WithDiskCacheBytes(int64(opt.cacheDirMB)<<20))
+	}
+	if opt.maxPending > 0 {
+		svcOpts = append(svcOpts, fpva.WithMaxPending(opt.maxPending))
+	}
+	if opt.jobTimeout > 0 {
+		svcOpts = append(svcOpts, fpva.WithJobTimeout(opt.jobTimeout))
+	}
+	var tokens map[string]string
+	if opt.tokenFile != "" {
+		var err error
+		if tokens, err = loadTokenFile(opt.tokenFile); err != nil {
+			return usagef("-token-file: %v", err)
+		}
+	}
+	adm := newAdmission(tokens, opt.ratePerSec, opt.rateBurst)
 	svc := fpva.NewService(svcOpts...)
 	defer svc.Close()
 	ln, err := net.Listen("tcp", opt.addr)
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: newServer(svc)}
+	srv := &http.Server{
+		Handler: adm.wrap(newServer(svc, adm)),
+		// Slow-loris guard: a client must finish its request headers
+		// promptly or lose the connection (bodies are already bounded by
+		// maxBodyBytes).
+		ReadHeaderTimeout: 10 * time.Second,
+	}
 	fmt.Fprintf(w, "fpvad: listening on http://%s (%d workers, %d MiB plan cache, %v solver)\n",
 		ln.Addr(), svc.Workers(), opt.cacheMB, opt.solverExec)
+	if opt.cacheDir != "" {
+		fmt.Fprintf(w, "fpvad: durable plan store in %s (%d MiB)\n", opt.cacheDir, opt.cacheDirMB)
+	}
+	if adm != nil {
+		fmt.Fprintf(w, "fpvad: admission control: auth=%v rate=%g/s burst=%d\n",
+			tokens != nil, opt.ratePerSec, opt.rateBurst)
+	}
 	var pprofSrv *http.Server
 	if opt.pprofAddr != "" {
 		pln, err := net.Listen("tcp", opt.pprofAddr)
@@ -253,13 +372,16 @@ func run(ctx context.Context, w io.Writer, opt options) error {
 	return nil
 }
 
-// server routes the job API onto one fpva.Service.
+// server routes the job API onto one fpva.Service. adm (may be nil)
+// supplies the admission counters for /v1/stats; the middleware itself
+// wraps the whole handler in run.
 type server struct {
 	svc *fpva.Service
+	adm *admission
 }
 
-func newServer(svc *fpva.Service) http.Handler {
-	s := &server{svc: svc}
+func newServer(svc *fpva.Service, adm *admission) http.Handler {
+	s := &server{svc: svc, adm: adm}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.healthz)
 	mux.HandleFunc("GET /v1/stats", s.stats)
@@ -274,13 +396,43 @@ func newServer(svc *fpva.Service) http.Handler {
 	return mux
 }
 
+// healthz is the liveness document. A degraded plan store (daemon still
+// serves, memory-only) keeps the 200 so load balancers don't flap;
+// ?strict=1 opts orchestrators into a 503 they can drain on.
 func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	st := s.svc.Stats()
+	h := api.Health{
+		Status: "ok",
+		Workers: &api.HealthWorkers{
+			Slots:    st.WorkerSlots,
+			Executor: st.SolverExecutor,
+			Alive:    st.WorkersAlive,
+			Busy:     st.WorkersBusy,
+		},
+	}
+	if h.Workers.Slots == 0 {
+		h.Workers.Slots = s.svc.Workers()
+	}
+	if h.Workers.Executor == "" {
+		h.Workers.Executor = "in-process"
+	}
+	if st.Store.Mode != "" {
+		h.Store = &api.HealthStore{Mode: st.Store.Mode, Reason: st.Store.Reason}
+		if st.Store.Mode == "degraded" {
+			h.Status = "degraded"
+		}
+	}
+	status := http.StatusOK
+	if h.Status != "ok" && r.URL.Query().Get("strict") == "1" {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
 }
 
 func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 	st := s.svc.Stats()
-	writeJSON(w, http.StatusOK, api.ServiceStats{
+	authFailures, rateLimited := s.adm.counters()
+	out := api.ServiceStats{
 		JobsSubmitted: st.JobsSubmitted,
 		JobsPending:   st.JobsPending, JobsRunning: st.JobsRunning,
 		JobsDone: st.JobsDone, JobsFailed: st.JobsFailed, JobsCanceled: st.JobsCanceled,
@@ -294,8 +446,22 @@ func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 		SolverExecutor: st.SolverExecutor,
 		WorkerSlots:    st.WorkerSlots, WorkersAlive: st.WorkersAlive, WorkersBusy: st.WorkersBusy,
 		WorkerSpawns: st.WorkerSpawns, WorkerRestarts: st.WorkerRestarts, WorkerKills: st.WorkerKills,
+		JobsShed:     st.JobsShed,
+		AuthFailures: authFailures, RateLimited: rateLimited,
 		Kinds: kindStats(st.Kinds),
-	})
+	}
+	if st.Store.Mode != "" {
+		out.Store = &api.StoreStats{
+			Mode: st.Store.Mode, Reason: st.Store.Reason,
+			Entries: st.Store.Entries, Bytes: st.Store.Bytes, CapBytes: st.Store.CapBytes,
+			Hits: st.Store.Hits, Misses: st.Store.Misses,
+			Writes: st.Store.Writes, WriteErrors: st.Store.WriteErrors,
+			SkippedWrites: st.Store.SkippedWrites, ReadErrors: st.Store.ReadErrors,
+			Quarantined: st.Store.Quarantined, Evictions: st.Store.Evictions,
+			Trips: st.Store.Trips, Recoveries: st.Store.Recoveries,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // kindStats converts the per-kind tallies onto their wire mirror.
@@ -343,10 +509,11 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, api.JobStatus(job))
 }
 
-// statusForSubmitError: malformed payloads are the client's fault; only a
-// closed service is a server-side condition.
+// statusForSubmitError: malformed payloads are the client's fault; a
+// closed service or a full job queue (WithMaxPending shedding) is a
+// server-side 503 the client should back off and retry.
 func statusForSubmitError(err error) int {
-	if errors.Is(err, fpva.ErrServiceClosed) {
+	if errors.Is(err, fpva.ErrServiceClosed) || errors.Is(err, fpva.ErrQueueFull) {
 		return http.StatusServiceUnavailable
 	}
 	return http.StatusBadRequest

@@ -58,7 +58,7 @@ func TestMain(m *testing.M) {
 func newTestServer(t *testing.T) (*httptest.Server, *fpva.Service) {
 	t.Helper()
 	svc := fpva.NewService()
-	srv := httptest.NewServer(newServer(svc))
+	srv := httptest.NewServer(newServer(svc, nil))
 	t.Cleanup(func() {
 		srv.Close()
 		svc.Close()
@@ -631,7 +631,7 @@ func newSubprocessServer(t *testing.T, mode string) (*httptest.Server, *fpva.Ser
 		fpva.WithWorkerCommand(exe),
 		fpva.WithSolverPoolSize(1),
 	)
-	srv := httptest.NewServer(newServer(svc))
+	srv := httptest.NewServer(newServer(svc, nil))
 	t.Cleanup(func() {
 		srv.Close()
 		svc.Close()

@@ -196,7 +196,59 @@ type ServiceStats struct {
 	WorkerSpawns   int                  `json:"workerSpawns,omitempty"`
 	WorkerRestarts int                  `json:"workerRestarts,omitempty"`
 	WorkerKills    int                  `json:"workerKills,omitempty"`
+	JobsShed       int                  `json:"jobsShed"`
+	AuthFailures   int                  `json:"authFailures"`
+	RateLimited    int                  `json:"rateLimited"`
+	Store          *StoreStats          `json:"store,omitempty"`
 	Kinds          map[string]KindStats `json:"kinds,omitempty"`
+}
+
+// StoreStats mirrors fpva.ServiceStats.Store: the durable plan store's
+// mode and counters. Absent from /v1/stats when the daemon runs
+// without -cache-dir.
+type StoreStats struct {
+	Mode          string `json:"mode"` // "ok" | "degraded"
+	Reason        string `json:"reason,omitempty"`
+	Entries       int    `json:"entries"`
+	Bytes         int64  `json:"bytes"`
+	CapBytes      int64  `json:"capBytes"`
+	Hits          int    `json:"hits"`
+	Misses        int    `json:"misses"`
+	Writes        int    `json:"writes"`
+	WriteErrors   int    `json:"writeErrors"`
+	SkippedWrites int    `json:"skippedWrites"`
+	ReadErrors    int    `json:"readErrors"`
+	Quarantined   int    `json:"quarantined"`
+	Evictions     int    `json:"evictions"`
+	Trips         int    `json:"trips"`
+	Recoveries    int    `json:"recoveries"`
+}
+
+// Health is the GET /healthz body. Status is "ok" or "degraded"; both
+// answer 200 so load balancers don't flap on a daemon that still
+// serves (memory-only), while ?strict=1 turns degraded into a 503 for
+// orchestrators that should drain it.
+type Health struct {
+	Status  string         `json:"status"`
+	Store   *HealthStore   `json:"store,omitempty"`
+	Workers *HealthWorkers `json:"workers"`
+}
+
+// HealthStore summarizes the durable plan store (absent without
+// -cache-dir).
+type HealthStore struct {
+	Mode   string `json:"mode"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// HealthWorkers summarizes job execution capacity: service worker
+// slots, and under -solver-exec subprocess the solver pool's
+// aliveness.
+type HealthWorkers struct {
+	Slots    int    `json:"slots"`
+	Executor string `json:"executor"`
+	Alive    int    `json:"alive,omitempty"`
+	Busy     int    `json:"busy,omitempty"`
 }
 
 // KindStats is the per-JobKind submission/terminal tally.

@@ -26,6 +26,11 @@ var (
 var (
 	// ErrServiceClosed is returned by Submit* after Close.
 	ErrServiceClosed = errors.New("service closed")
+	// ErrQueueFull is returned by Submit* when the admission queue
+	// (WithMaxPending) is at capacity: the service sheds the submission
+	// deterministically instead of growing without bound. The fpvad
+	// daemon maps it to 503.
+	ErrQueueFull = errors.New("job queue full")
 	// ErrJobRunning is returned by result accessors before the job reached
 	// a terminal state.
 	ErrJobRunning = errors.New("job not finished")

@@ -128,7 +128,16 @@ type Job struct {
 }
 
 func newJob(svc *Service, id string, kind JobKind, ctx context.Context, progress Progress) *Job {
-	jctx, cancel := context.WithCancel(ctx)
+	var jctx context.Context
+	var cancel context.CancelFunc
+	if svc.jobTimeout > 0 {
+		// WithJobTimeout: the deadline covers the job's whole lifetime,
+		// queue wait included. finish always calls cancel, releasing the
+		// timer.
+		jctx, cancel = context.WithTimeout(ctx, svc.jobTimeout)
+	} else {
+		jctx, cancel = context.WithCancel(ctx)
+	}
 	return &Job{
 		id: id, kind: kind, svc: svc,
 		ctx: jctx, cancel: cancel,

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/diagnose"
+	"repro/internal/store"
 	"repro/internal/workerpool"
 )
 
@@ -41,6 +42,17 @@ type Service struct {
 	pool          *workerpool.Pool
 	solverTimeout time.Duration
 	jobTTL        time.Duration
+	jobTimeout    time.Duration
+
+	// Admission control: with maxActive > 0, at most that many jobs may
+	// be pending or running at once — further submissions are shed with
+	// ErrQueueFull instead of growing the pending queue without bound.
+	maxActive int
+
+	// store, when non-nil, is the durable half of the plan cache
+	// (WithCacheDir): completed plans are written through to disk and a
+	// restarted service reads them back bit-identically.
+	store *store.Store
 
 	mu       sync.Mutex
 	cache    *planCache // nil when caching is disabled
@@ -55,6 +67,8 @@ type Service struct {
 	retain int // terminal-job retention cap; <= 0 keeps all
 
 	// counters (guarded by mu)
+	active                  int // non-terminal jobs, for admission control
+	shed                    int // submissions rejected with ErrQueueFull
 	submitted               int
 	hits, misses, coalesced int
 	solves                  int
@@ -84,6 +98,16 @@ type serviceConfig struct {
 	solverTimeout time.Duration
 	workerMemMB   int
 	jobTTL        time.Duration
+	jobTimeout    time.Duration
+
+	maxActive int
+
+	cacheDir   string
+	diskBytes  int64
+	storeFS    store.FS         // test hook: injectable filesystem faults
+	storeNow   func() time.Time // test hook: injectable clock for probe backoff
+	storeBkMin time.Duration
+	storeBkMax time.Duration
 }
 
 // DefaultJobRetention is the terminal-job retention cap of a service built
@@ -146,6 +170,53 @@ func WithWorkerMemLimitMB(mb int) ServiceOption {
 	return func(c *serviceConfig) { c.workerMemMB = mb }
 }
 
+// DefaultDiskCacheBytes is the on-disk plan-store byte budget of a
+// service built with WithCacheDir but without WithDiskCacheBytes.
+const DefaultDiskCacheBytes = 256 << 20
+
+// WithCacheDir makes the plan cache durable: completed plans are
+// written through to an on-disk content-addressed store under dir
+// (atomic temp-file+rename writes, checksums verified on every read),
+// and a cache miss reads back from disk before solving — so a
+// restarted service serves bit-identical plan bytes for everything it
+// solved before. The store degrades instead of failing: on disk
+// trouble (ENOSPC, EIO) it trips into memory-only mode, re-probes with
+// doubling backoff, and recovers on its own; Stats().Store reports the
+// mode and every counter. Two services may share a dir only if at most
+// one writes to it.
+func WithCacheDir(dir string) ServiceOption { return func(c *serviceConfig) { c.cacheDir = dir } }
+
+// WithDiskCacheBytes sets the on-disk store's LRU byte budget (default
+// DefaultDiskCacheBytes; meaningful only with WithCacheDir). An
+// entry's cost is its v1 wire length; eviction never removes an entry
+// with an in-flight reader.
+func WithDiskCacheBytes(n int64) ServiceOption { return func(c *serviceConfig) { c.diskBytes = n } }
+
+// withStoreHooks injects the store's filesystem, clock, and probe
+// backoff bounds — the fault-injection seam used by tests; production
+// callers never need it.
+func withStoreHooks(fs store.FS, now func() time.Time, bkMin, bkMax time.Duration) ServiceOption {
+	return func(c *serviceConfig) {
+		c.storeFS, c.storeNow = fs, now
+		c.storeBkMin, c.storeBkMax = bkMin, bkMax
+	}
+}
+
+// WithMaxPending bounds the admission queue: at most n submitted jobs
+// may be pending or running at once, and further Submit* calls fail
+// fast with ErrQueueFull (deterministic load shedding) instead of
+// queueing without bound (default: unbounded). Terminal jobs do not
+// count against the bound.
+func WithMaxPending(n int) ServiceOption { return func(c *serviceConfig) { c.maxActive = n } }
+
+// WithJobTimeout bounds every submitted job's total lifetime — queue
+// wait included — by deriving each job's context with this deadline
+// (default: none). A job that overruns is canceled exactly as if its
+// submitter had canceled it.
+func WithJobTimeout(d time.Duration) ServiceOption {
+	return func(c *serviceConfig) { c.jobTimeout = d }
+}
+
 // WithJobTTL expires terminal jobs: once a job has been done, failed, or
 // canceled for longer than the TTL it is dropped from Job / Jobs / Stats
 // tracking, exactly as if Forget had been called (default: none — jobs are
@@ -178,9 +249,21 @@ func NewService(opts ...ServiceOption) *Service {
 		executor:      cfg.executor,
 		solverTimeout: cfg.solverTimeout,
 		jobTTL:        cfg.jobTTL,
+		jobTimeout:    cfg.jobTimeout,
+		maxActive:     cfg.maxActive,
 	}
 	if cfg.cacheBytes > 0 {
 		s.cache = newPlanCache(cfg.cacheBytes)
+	}
+	if cfg.cacheDir != "" {
+		if cfg.diskBytes == 0 {
+			cfg.diskBytes = DefaultDiskCacheBytes
+		}
+		s.store = store.Open(store.Options{
+			Dir: cfg.cacheDir, CapBytes: cfg.diskBytes,
+			FS: cfg.storeFS, Now: cfg.storeNow,
+			BackoffMin: cfg.storeBkMin, BackoffMax: cfg.storeBkMax,
+		})
 	}
 	if cfg.executor == ExecSubprocess {
 		s.pool = newSolverPool(cfg)
@@ -242,6 +325,14 @@ type ServiceStats struct {
 	SigCacheHits   int
 	SigCacheMisses int
 
+	// JobsShed counts submissions rejected with ErrQueueFull by the
+	// WithMaxPending admission bound.
+	JobsShed int
+
+	// Store describes the durable plan store (WithCacheDir); its Mode is
+	// "" when no cache directory is configured.
+	Store StoreStats
+
 	// Kinds partitions lifetime job counts by kind name ("generate",
 	// "campaign", "verify", "diagnose"). Submitted counts acceptances;
 	// Done / Failed / Canceled count terminal transitions, so their sum can
@@ -264,6 +355,37 @@ type ServiceStats struct {
 	WorkerKills    int
 }
 
+// StoreStats is the public snapshot of the durable plan store behind
+// WithCacheDir. Mode is "" when the service has no disk store, "ok"
+// when the store is healthy, and "degraded" (with Reason set) while it
+// runs memory-only after disk trouble.
+type StoreStats struct {
+	Mode   string
+	Reason string
+
+	Entries  int
+	Bytes    int64
+	CapBytes int64
+
+	// Hits / Misses count disk lookups on memory-cache misses: a hit
+	// served a restarted (or memory-evicted) plan without re-solving.
+	Hits   int
+	Misses int
+
+	Writes        int
+	WriteErrors   int
+	SkippedWrites int
+
+	ReadErrors  int
+	Quarantined int
+	Evictions   int
+
+	// Trips / Recoveries count transitions into and out of degraded
+	// memory-only mode.
+	Trips      int
+	Recoveries int
+}
+
 // JobKindStats is the lifetime job accounting of one JobKind.
 type JobKindStats struct {
 	Submitted int
@@ -279,6 +401,7 @@ func (s *Service) Stats() ServiceStats {
 	s.sweepExpiredLocked()
 	st := ServiceStats{
 		JobsSubmitted: s.submitted,
+		JobsShed:      s.shed,
 		CacheHits:     s.hits, CacheMisses: s.misses, CacheCoalesced: s.coalesced,
 		Solves: s.solves, SolverWall: s.solverWall,
 		Campaigns: s.campaigns, CampaignWall: s.campaignWall,
@@ -296,6 +419,17 @@ func (s *Service) Stats() ServiceStats {
 		st.CacheEntries = s.cache.len()
 		st.CacheBytes = s.cache.bytes
 		st.CacheCapBytes = s.cache.capBytes
+	}
+	if s.store != nil {
+		ss := s.store.Stats()
+		st.Store = StoreStats{
+			Mode: ss.Mode, Reason: ss.Reason,
+			Entries: ss.Entries, Bytes: ss.Bytes, CapBytes: ss.CapBytes,
+			Hits: ss.Hits, Misses: ss.Misses,
+			Writes: ss.Writes, WriteErrors: ss.WriteErrors, SkippedWrites: ss.SkippedWrites,
+			ReadErrors: ss.ReadErrors, Quarantined: ss.Quarantined, Evictions: ss.Evictions,
+			Trips: ss.Trips, Recoveries: ss.Recoveries,
+		}
 	}
 	st.SolverExecutor = s.executor.String()
 	if s.pool != nil {
@@ -393,6 +527,9 @@ func (s *Service) Close() error {
 		// this is a clean stop: idle workers get EOF on stdin and exit.
 		s.pool.Close()
 	}
+	if s.store != nil {
+		s.store.Close()
+	}
 	return nil
 }
 
@@ -406,6 +543,11 @@ func (s *Service) register(kind JobKind, ctx context.Context, progress Progress,
 		return nil, fmt.Errorf("fpva: %w", ErrServiceClosed)
 	}
 	s.sweepExpiredLocked()
+	if s.maxActive > 0 && s.active >= s.maxActive {
+		s.shed++
+		return nil, fmt.Errorf("fpva: %d jobs already queued or running: %w", s.active, ErrQueueFull)
+	}
+	s.active++
 	s.seq++
 	j := newJob(s, fmt.Sprintf("j%06d", s.seq), kind, ctx, progress)
 	j.inPlan = inPlan
@@ -443,6 +585,7 @@ func (s *Service) noteTerminal(kind JobKind, state JobState) {
 	case JobCanceled:
 		ks.Canceled++
 	}
+	s.active--
 	s.terminal++
 	s.sweepExpiredLocked()
 	if s.retain <= 0 || s.terminal <= s.retain {
@@ -679,10 +822,11 @@ type flight struct {
 	events  []Event
 	running bool
 
-	done chan struct{}
-	plan *Plan
-	wire []byte // v1 wire encoding of plan (caching services only)
-	err  error
+	done   chan struct{}
+	plan   *Plan
+	wire   []byte // v1 wire encoding of plan (caching services only)
+	cached bool   // served from the disk store, not a fresh solve
+	err    error
 }
 
 // runGenerate is a generate job's goroutine: cache lookup, flight
@@ -755,6 +899,11 @@ func (s *Service) runGenerate(j *Job, a *Array, cfg genConfig, key string) {
 		if fl.err != nil {
 			j.finish(j.classifyTerminal(), fl.err)
 		} else {
+			if fl.cached {
+				j.mu.Lock()
+				j.cacheHit = true
+				j.mu.Unlock()
+			}
 			j.finishPlan(fl.plan, fl.wire)
 		}
 	case <-j.ctx.Done():
@@ -802,6 +951,28 @@ func (s *Service) runFlight(fl *flight, a *Array, cfg genConfig, key string) {
 		s.mu.Unlock()
 		fl.plan, fl.err = plan, err
 		close(fl.done)
+	}
+	// Durable cache read-back: a plan solved before the last restart (or
+	// evicted from memory under pressure) is served from disk —
+	// checksum-verified, bit-identical wire bytes, no solver slot
+	// consumed. Concurrent identical submissions coalesce onto this
+	// flight first, so the disk sees one read however many clients ask.
+	if s.store != nil {
+		if wire, ok := s.store.Get(key); ok {
+			if plan, derr := DecodePlan(bytes.NewReader(wire)); derr == nil {
+				s.mu.Lock()
+				if s.cache != nil {
+					s.cache.put(key, plan, wire, nil)
+				}
+				s.mu.Unlock()
+				fl.wire = wire
+				fl.cached = true
+				finish(plan, nil)
+				return
+			}
+			// Verified bytes that fail to decode mean codec drift, not disk
+			// corruption; solve fresh and overwrite the entry.
+		}
 	}
 	if err := s.acquireSlot(fl.ctx); err != nil {
 		finish(nil, fmt.Errorf("fpva: generate: %w", err))
@@ -852,9 +1023,10 @@ func (s *Service) runFlight(fl *flight, a *Array, cfg genConfig, key string) {
 		plan = &Plan{a: a, ts: ts, geometry: true}
 		// Materialize the wire bytes once, outside the service lock — a large
 		// plan must not stall unrelated submissions and stats. These exact
-		// bytes back every later fetch: the cache entry, Job.PlanBytes, and
-		// fpvad's /plan handler all serve them without re-encoding.
-		if s.cache != nil {
+		// bytes back every later fetch: the cache entry, the disk store,
+		// Job.PlanBytes, and fpvad's /plan handler all serve them without
+		// re-encoding.
+		if s.cache != nil || s.store != nil {
 			var buf bytes.Buffer
 			if encErr := EncodePlan(&buf, plan); encErr == nil {
 				fl.wire = buf.Bytes()
@@ -869,6 +1041,11 @@ func (s *Service) runFlight(fl *flight, a *Array, cfg genConfig, key string) {
 		s.cache.put(key, plan, fl.wire, append([]Event(nil), fl.events...))
 	}
 	s.mu.Unlock()
+	// Write-through outside the service lock: disk latency (or a store
+	// stuck probing a sick disk) must not stall submissions and stats.
+	if s.store != nil && fl.wire != nil {
+		s.store.Put(key, fl.wire)
+	}
 	finish(plan, nil)
 }
 

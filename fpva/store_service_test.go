@@ -1,0 +1,339 @@
+package fpva
+
+// Service-level tests of the durable plan store (WithCacheDir) and the
+// admission controls (WithMaxPending, WithJobTimeout). These are
+// in-package: the store fault-injection seam (withStoreHooks) is
+// deliberately unexported.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+)
+
+type testClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newTestClock() *testClock {
+	return &testClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *testClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *testClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// TestCacheDirRestartServesIdenticalBytes is the restart-persistence
+// acceptance check: a new service over the same cache directory serves
+// bit-identical plan bytes without re-solving.
+func TestCacheDirRestartServesIdenticalBytes(t *testing.T) {
+	dir := t.TempDir()
+	a, err := NewArray(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc1 := NewService(WithCacheDir(dir))
+	first, err := generateOn(t, svc1, a).PlanBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := svc1.Stats(); st.Store.Mode != "ok" || st.Store.Writes != 1 {
+		t.Fatalf("after first solve: store = %+v", st.Store)
+	}
+	svc1.Close()
+
+	// "Restart": a fresh service, same directory, cold memory cache.
+	svc2 := NewService(WithCacheDir(dir))
+	defer svc2.Close()
+	b, err := NewArray(5, 5) // content-identical, distinct instance
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := generateOn(t, svc2, b)
+	if !j.CacheHit() {
+		t.Error("restarted service missed its disk cache")
+	}
+	second, err := j.PlanBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Error("restarted service served different plan bytes")
+	}
+	st := svc2.Stats()
+	if st.Solves != 0 {
+		t.Errorf("restarted service re-solved: %d solves", st.Solves)
+	}
+	if st.Store.Hits != 1 {
+		t.Errorf("store hits = %d, want 1", st.Store.Hits)
+	}
+}
+
+// TestCacheDirConcurrentIdenticalSubmissions: after a restart, N
+// concurrent identical submissions coalesce onto one disk read (the
+// read-back happens inside the singleflight).
+func TestCacheDirConcurrentIdenticalSubmissions(t *testing.T) {
+	dir := t.TempDir()
+	a, err := NewArray(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc1 := NewService(WithCacheDir(dir))
+	want, err := generateOn(t, svc1, a).PlanBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc1.Close()
+
+	svc2 := NewService(WithCacheDir(dir))
+	defer svc2.Close()
+	const n = 8
+	var wg sync.WaitGroup
+	wires := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ai, err := NewArray(4, 4)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			j, err := svc2.SubmitGenerate(context.Background(), ai)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := j.Wait(context.Background()); err != nil {
+				t.Error(err)
+				return
+			}
+			wires[i], _ = j.PlanBytes()
+		}(i)
+	}
+	wg.Wait()
+	for i, w := range wires {
+		if !bytes.Equal(w, want) {
+			t.Errorf("submission %d served different bytes", i)
+		}
+	}
+	st := svc2.Stats()
+	if st.Solves != 0 {
+		t.Errorf("re-solved despite disk cache: %d solves", st.Solves)
+	}
+	if st.Store.Hits > 1 {
+		t.Errorf("store hits = %d, want <= 1 (singleflight should coalesce)", st.Store.Hits)
+	}
+}
+
+// TestCacheDirEvictionUnderConcurrentLoad: a tiny disk budget under
+// concurrent distinct submissions evicts without corrupting, racing, or
+// tripping the store.
+func TestCacheDirEvictionUnderConcurrentLoad(t *testing.T) {
+	dir := t.TempDir()
+	shapes := [][2]int{{2, 2}, {2, 3}, {3, 2}, {3, 3}, {2, 4}, {4, 2}, {3, 4}, {4, 3}}
+	// Budget sized off one real plan so the full set cannot fit.
+	probe := NewService(WithCacheDir(t.TempDir()))
+	a0, err := NewArray(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire0, err := generateOn(t, probe, a0).PlanBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe.Close()
+	cap := int64(len(wire0)) * 3
+
+	svc := NewService(WithCacheDir(dir), WithDiskCacheBytes(cap))
+	defer svc.Close()
+	var wg sync.WaitGroup
+	var total int64
+	var mu sync.Mutex
+	for round := 0; round < 2; round++ {
+		for _, sh := range shapes {
+			wg.Add(1)
+			go func(r, c int) {
+				defer wg.Done()
+				a, err := NewArray(r, c)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				j, err := svc.SubmitGenerate(context.Background(), a)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := j.Wait(context.Background()); err != nil {
+					t.Error(err)
+					return
+				}
+				if w, err := j.PlanBytes(); err == nil {
+					mu.Lock()
+					total += int64(len(w))
+					mu.Unlock()
+				}
+			}(sh[0], sh[1])
+		}
+		wg.Wait()
+	}
+	st := svc.Stats()
+	if st.Store.Mode != "ok" {
+		t.Fatalf("store tripped under eviction load: %+v", st.Store)
+	}
+	if st.Store.Bytes > cap {
+		t.Errorf("store over budget: %d > %d", st.Store.Bytes, cap)
+	}
+	if total/2 > cap && st.Store.Evictions == 0 {
+		t.Errorf("wrote %d bytes into a %d budget with no evictions", total/2, cap)
+	}
+}
+
+// TestStoreDegradedTripAndRecover: a write-path EIO flips the service's
+// store to degraded (visible in Stats), jobs keep succeeding, and once
+// the disk heals the next post-backoff write recovers it.
+func TestStoreDegradedTripAndRecover(t *testing.T) {
+	clock := newTestClock()
+	ffs := &store.FaultFS{Base: store.OSFS()}
+	svc := NewService(
+		WithCacheDir(t.TempDir()),
+		withStoreHooks(ffs, clock.Now, time.Second, time.Minute),
+	)
+	defer svc.Close()
+
+	eio := errors.New("injected EIO")
+	ffs.SetHook(func(op store.Op, path string) error {
+		if op == store.OpCreateTemp {
+			return eio
+		}
+		return nil
+	})
+	a, err := NewArray(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := generateOn(t, svc, a) // solve succeeds; the write-through fails
+	if _, err := j.Plan(); err != nil {
+		t.Fatalf("job failed because of a store error: %v", err)
+	}
+	st := svc.Stats()
+	if st.Store.Mode != "degraded" || st.Store.Trips != 1 {
+		t.Fatalf("store after EIO: %+v", st.Store)
+	}
+
+	ffs.SetHook(nil)
+	clock.Advance(2 * time.Second)
+	b, err := NewArray(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	generateOn(t, svc, b) // this write is the probe
+	st = svc.Stats()
+	if st.Store.Mode != "ok" || st.Store.Recoveries != 1 {
+		t.Fatalf("store after heal: %+v", st.Store)
+	}
+}
+
+// TestMaxPendingShedsQueueFull: with the admission bound at 1, a second
+// submission while the first is still running fails fast with
+// ErrQueueFull, and the shed is counted.
+func TestMaxPendingShedsQueueFull(t *testing.T) {
+	svc := NewService(WithServiceWorkers(1), WithMaxPending(1))
+	defer svc.Close()
+	a, err := NewArray(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	j1, err := svc.SubmitGenerate(context.Background(), a,
+		WithProgress(func(Event) {
+			once.Do(func() { close(started) })
+			<-release
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	b, err := NewArray(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.SubmitGenerate(context.Background(), b); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("second submission: err = %v, want ErrQueueFull", err)
+	}
+	if st := svc.Stats(); st.JobsShed != 1 {
+		t.Errorf("JobsShed = %d, want 1", st.JobsShed)
+	}
+
+	close(release)
+	if err := j1.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// The slot freed: the same submission is admitted now.
+	j2, err := svc.SubmitGenerate(context.Background(), b)
+	if err != nil {
+		t.Fatalf("post-drain submission still shed: %v", err)
+	}
+	if err := j2.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJobTimeoutCancelsQueuedJob: WithJobTimeout covers queue wait, so
+// a job stuck behind a hog is canceled at its deadline without ever
+// holding a worker slot.
+func TestJobTimeoutCancelsQueuedJob(t *testing.T) {
+	svc := NewService(WithServiceWorkers(1), WithJobTimeout(100*time.Millisecond))
+	defer svc.Close()
+	a, err := NewArray(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	hog, err := svc.SubmitGenerate(context.Background(), a,
+		WithProgress(func(Event) {
+			once.Do(func() { close(started) })
+			<-release
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	b, err := NewArray(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := svc.SubmitGenerate(context.Background(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := queued.Wait(context.Background()); err == nil {
+		t.Fatal("queued job finished despite the hogged worker")
+	}
+	if got := queued.State(); got != JobCanceled {
+		t.Errorf("queued job state = %v, want canceled", got)
+	}
+	close(release)
+	hog.Wait(context.Background())
+}

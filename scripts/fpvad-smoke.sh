@@ -12,12 +12,34 @@ cd "$(dirname "$0")/.."
 tmp=$(mktemp -d)
 daemon_pid=""
 sub_pid=""
+dur_pid=""
+auth_pid=""
 cleanup() {
 	[ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
 	[ -n "$sub_pid" ] && kill "$sub_pid" 2>/dev/null || true
+	[ -n "$dur_pid" ] && kill -9 "$dur_pid" 2>/dev/null || true
+	[ -n "$auth_pid" ] && kill "$auth_pid" 2>/dev/null || true
 	rm -rf "$tmp"
 }
 trap cleanup EXIT INT TERM
+
+# wait_base LOGFILE: print the daemon's base URL once it appears.
+wait_base() {
+	_wb_base=""
+	_wb_i=0
+	while [ $_wb_i -lt 100 ]; do
+		_wb_base=$(sed -n 's|.*listening on \(http://[^ ]*\).*|\1|p' "$1")
+		[ -n "$_wb_base" ] && break
+		_wb_i=$((_wb_i + 1))
+		sleep 0.1
+	done
+	if [ -z "$_wb_base" ]; then
+		echo "error: fpvad did not start ($1)" >&2
+		cat "$1" >&2
+		exit 1
+	fi
+	printf '%s' "$_wb_base"
+}
 
 echo "== build"
 go build -o "$tmp/fpvad" ./cmd/fpvad
@@ -58,12 +80,18 @@ package main
 
 import (
 	"os"
+	"strconv"
 
 	"repro/fpva"
 )
 
 func main() {
-	a, err := fpva.NewArray(4, 4)
+	rows, cols := 4, 4
+	if len(os.Args) == 3 {
+		rows, _ = strconv.Atoi(os.Args[1])
+		cols, _ = strconv.Atoi(os.Args[2])
+	}
+	a, err := fpva.NewArray(rows, cols)
 	if err != nil {
 		panic(err)
 	}
@@ -170,5 +198,69 @@ kill "$daemon_pid"
 wait "$daemon_pid" || { echo "error: fpvad exited non-zero" >&2; cat "$tmp/fpvad.log" >&2; exit 1; }
 daemon_pid=""
 grep -q "shut down" "$tmp/fpvad.log"
+
+echo "== restart persistence: -cache-dir survives kill -9"
+cache="$tmp/cache"
+"$tmp/fpvad" -addr 127.0.0.1:0 -cache-dir "$cache" >"$tmp/fpvad-dur.log" 2>&1 &
+dur_pid=$!
+dur_base=$(wait_base "$tmp/fpvad-dur.log")
+grep -q "durable plan store" "$tmp/fpvad-dur.log"
+curl -fsS -X POST --data-binary @"$tmp/gen-req.json" "$dur_base/v1/jobs" >"$tmp/dur-submit.json"
+durid=$(tr -d ' \n' <"$tmp/dur-submit.json" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+curl -fsSN "$dur_base/v1/jobs/$durid/events" >/dev/null # wait for the solve
+curl -fsS "$dur_base/v1/jobs/$durid/plan" >"$tmp/dur-plan-1.json"
+curl -fsS "$dur_base/v1/stats" | grep -q '"mode": "ok"'
+# Fire another solve and SIGKILL the daemon mid-workload: no shutdown
+# hooks run, so this is the crash-safety path, not the clean one.
+go run "$tmp/mkarray.go" 5 5 >"$tmp/array5.json"
+printf '{"kind":"generate","array":%s}' "$(cat "$tmp/array5.json")" >"$tmp/gen-req2.json"
+curl -fsS -X POST --data-binary @"$tmp/gen-req2.json" "$dur_base/v1/jobs" >/dev/null
+kill -9 "$dur_pid"
+wait "$dur_pid" 2>/dev/null || true
+dur_pid=""
+
+"$tmp/fpvad" -addr 127.0.0.1:0 -cache-dir "$cache" >"$tmp/fpvad-dur2.log" 2>&1 &
+dur_pid=$!
+dur_base=$(wait_base "$tmp/fpvad-dur2.log")
+curl -fsS -X POST --data-binary @"$tmp/gen-req.json" "$dur_base/v1/jobs" >"$tmp/dur-submit2.json"
+durid2=$(tr -d ' \n' <"$tmp/dur-submit2.json" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+curl -fsSN "$dur_base/v1/jobs/$durid2/events" >/dev/null
+# The restarted daemon served the plan from disk: no solve, a store hit,
+# and byte-identical plan output.
+curl -fsS "$dur_base/v1/jobs/$durid2" | grep -q '"cacheHit": true'
+curl -fsS "$dur_base/v1/jobs/$durid2/plan" >"$tmp/dur-plan-2.json"
+cmp "$tmp/dur-plan-1.json" "$tmp/dur-plan-2.json"
+curl -fsS "$dur_base/v1/stats" >"$tmp/dur-stats.json"
+grep -q '"solves": 0' "$tmp/dur-stats.json"
+grep -q '"hits": 1' "$tmp/dur-stats.json"
+curl -fsS "$dur_base/healthz" | grep -q '"status": "ok"'
+kill -9 "$dur_pid" 2>/dev/null || true
+dur_pid=""
+
+echo "== admission control: bearer auth and rate limits"
+printf 'ci:smoke-secret-token\n' >"$tmp/tokens"
+"$tmp/fpvad" -token-file "$tmp/tokens" -rate 1 -burst 1 -max-pending 4 -validate | grep -q "configuration ok"
+"$tmp/fpvad" -addr 127.0.0.1:0 -token-file "$tmp/tokens" -rate 1 -burst 1 \
+	>"$tmp/fpvad-auth.log" 2>&1 &
+auth_pid=$!
+auth_base=$(wait_base "$tmp/fpvad-auth.log")
+code=$(curl -s -o /dev/null -w '%{http_code}' "$auth_base/v1/stats")
+[ "$code" = "401" ] || { echo "error: unauthenticated request got $code, want 401" >&2; exit 1; }
+code=$(curl -s -o /dev/null -w '%{http_code}' "$auth_base/healthz")
+[ "$code" = "200" ] || { echo "error: healthz needs auth ($code)" >&2; exit 1; }
+auth() {
+	curl -s -o /dev/null -w '%{http_code}' -H "Authorization: Bearer smoke-secret-token" "$auth_base/v1/stats"
+}
+code=$(auth)
+[ "$code" = "200" ] || { echo "error: authenticated request got $code, want 200" >&2; exit 1; }
+# Burst spent: immediate repeats must hit the limiter.
+limited=0
+for _ in 1 2 3; do
+	[ "$(auth)" = "429" ] && limited=1
+done
+[ "$limited" = "1" ] || { echo "error: rate limiter never returned 429" >&2; exit 1; }
+kill "$auth_pid"
+wait "$auth_pid" || { echo "error: auth-mode fpvad exited non-zero" >&2; cat "$tmp/fpvad-auth.log" >&2; exit 1; }
+auth_pid=""
 
 echo "fpvad smoke ok"
